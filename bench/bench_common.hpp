@@ -1,0 +1,79 @@
+// Shared helpers for the bench binaries. Each binary regenerates one table
+// or figure of the paper; this header provides the size sweeps, the
+// ours-vs-baseline runner and the summary statistics the paper quotes
+// (average and maximum speedup, position of the maximum).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/table.hpp"
+#include "core/hgemm.hpp"
+#include "device/spec.hpp"
+
+namespace tc::bench {
+
+/// The paper's evaluation sweep: W = 1024 .. 16384 step 256 (Section VII).
+/// `step` can be raised from the command line to make quick passes cheap.
+inline std::vector<std::size_t> size_sweep(std::size_t step = 256) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t w = 1024; w <= 16384; w += step) sizes.push_back(w);
+  return sizes;
+}
+
+/// Parses an optional "--step N" argument (default 1024 for bench runs; the
+/// full 256-step sweep of the paper is available with --step 256).
+inline std::size_t step_from_args(int argc, char** argv, std::size_t def = 1024) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--step") return static_cast<std::size_t>(std::stoul(argv[i + 1]));
+  }
+  return def;
+}
+
+struct SweepStats {
+  double avg_speedup = 0.0;
+  double max_speedup = 0.0;
+  std::size_t max_at = 0;
+  double best_tflops = 0.0;
+  std::size_t best_at = 0;
+};
+
+/// Runs one series of shapes through two estimators and prints
+/// W, ours TFLOPS, baseline TFLOPS, speedup rows.
+inline SweepStats run_versus_sweep(const std::string& title, core::PerfEstimator& ours,
+                                   core::PerfEstimator& baseline,
+                                   const std::vector<GemmShape>& shapes,
+                                   const std::vector<std::size_t>& labels) {
+  TablePrinter table({"W", "ours_TFLOPS", "cublas_like_TFLOPS", "speedup"});
+  SweepStats st;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const auto po = ours.estimate(shapes[i]);
+    const auto pb = baseline.estimate(shapes[i]);
+    const double speedup = po.tflops / pb.tflops;
+    sum += speedup;
+    if (speedup > st.max_speedup) {
+      st.max_speedup = speedup;
+      st.max_at = labels[i];
+    }
+    if (po.tflops > st.best_tflops) {
+      st.best_tflops = po.tflops;
+      st.best_at = labels[i];
+    }
+    table.add_row({std::to_string(labels[i]), fmt_fixed(po.tflops, 2), fmt_fixed(pb.tflops, 2),
+                   fmt_fixed(speedup, 2)});
+  }
+  st.avg_speedup = sum / static_cast<double>(shapes.size());
+
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << "max speedup " << fmt_fixed(st.max_speedup, 2) << "x at W=" << st.max_at
+            << "; average speedup " << fmt_fixed(st.avg_speedup, 2) << "x; our best "
+            << fmt_fixed(st.best_tflops, 2) << " TFLOPS at W=" << st.best_at << "\n\n";
+  return st;
+}
+
+}  // namespace tc::bench

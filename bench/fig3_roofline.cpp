@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 3: the global-memory roofline of RTX2070 and T4,
+// with the Tensor Core and FP16-unit roofs and the computation intensities
+// of the candidate thread-block blocking sizes (Section VI-A).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "device/spec.hpp"
+#include "model/roofline.hpp"
+
+using namespace tc;
+
+namespace {
+
+void print_device(const device::DeviceSpec& spec) {
+  std::cout << "-- " << spec.name << " (DRAM " << fmt_fixed(spec.dram_bw_gbps, 0)
+            << " GB/s measured, Tensor peak " << fmt_fixed(spec.tensor_peak_flops() / 1e12, 1)
+            << " TF, FP16 peak " << fmt_fixed(spec.fp16_peak_flops() / 1e12, 1) << " TF) --\n";
+  std::cout << "Tensor ridge at " << fmt_fixed(model::ridge_intensity(
+                   spec.dram_bw_gbps * 1e9, spec.tensor_peak_flops()), 1)
+            << " FLOP/B; FP16 ridge at "
+            << fmt_fixed(model::ridge_intensity(spec.dram_bw_gbps * 1e9,
+                                                spec.fp16_peak_flops()), 1)
+            << " FLOP/B\n\n";
+
+  const struct {
+    int bm, bn;
+  } blocks[] = {{64, 64}, {128, 64}, {128, 128}, {256, 128}, {256, 256}};
+
+  TablePrinter t({"blocking (bm x bn)", "intensity FLOP/B", "attainable TF (Tensor)",
+                  "attainable TF (FP16)", "Tensor bound"});
+  std::vector<double> intensities;
+  for (const auto& b : blocks) intensities.push_back(model::block_intensity(b.bm, b.bn));
+  const auto series = model::roofline_series(spec, intensities);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& p = series[i];
+    const bool mem_bound = p.tensor_flops < spec.tensor_peak_flops() * 0.999;
+    t.add_row({std::to_string(blocks[i].bm) + "x" + std::to_string(blocks[i].bn),
+               fmt_fixed(p.intensity, 1), fmt_fixed(p.tensor_flops / 1e12, 1),
+               fmt_fixed(p.fp16_flops / 1e12, 1), mem_bound ? "DRAM-bound" : "compute-bound"});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 3: global memory roofline model\n";
+  std::cout << "(paper: with FP16 units 128x128 suffices; with Tensor Cores even\n"
+               " 256x256 leaves HGEMM close to the DRAM roof)\n\n";
+  print_device(device::rtx2070());
+  print_device(device::t4());
+
+  // The roofline curves themselves (for plotting).
+  std::cout << "roofline series (intensity, TF):\n";
+  TablePrinter curve({"intensity", "RTX2070_tensor", "RTX2070_fp16", "T4_tensor", "T4_fp16"});
+  const auto r2070 = device::rtx2070();
+  const auto rt4 = device::t4();
+  for (double i = 8.0; i <= 512.0; i *= 2.0) {
+    curve.add_row(
+        {fmt_fixed(i, 0),
+         fmt_fixed(model::attainable_flops(i, r2070.dram_bw_gbps * 1e9, r2070.tensor_peak_flops()) / 1e12, 1),
+         fmt_fixed(model::attainable_flops(i, r2070.dram_bw_gbps * 1e9, r2070.fp16_peak_flops()) / 1e12, 1),
+         fmt_fixed(model::attainable_flops(i, rt4.dram_bw_gbps * 1e9, rt4.tensor_peak_flops()) / 1e12, 1),
+         fmt_fixed(model::attainable_flops(i, rt4.dram_bw_gbps * 1e9, rt4.fp16_peak_flops()) / 1e12, 1)});
+  }
+  curve.print(std::cout);
+  return 0;
+}

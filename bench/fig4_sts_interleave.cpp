@@ -1,0 +1,36 @@
+// Reproduces paper Fig. 4: our HGEMM's throughput on RTX2070 when STS.128
+// is interleaved with 2 HMMAs (STS2, cuBLAS's spacing) versus 5 HMMAs (STS5,
+// the Eq. (6) minimum). Paper: average speedup 1.13x, maximum 1.26x.
+#include "bench_common.hpp"
+
+using namespace tc;
+
+int main(int argc, char** argv) {
+  const auto step = bench::step_from_args(argc, argv);
+  std::cout << "Fig. 4: STS interleaving on RTX2070 (square W x W x W, step " << step << ")\n\n";
+
+  auto sts5 = core::HgemmConfig::optimized();
+  auto sts2 = core::HgemmConfig::optimized();
+  sts2.sts_interleave = 2;
+  core::PerfEstimator est5(device::rtx2070(), sts5);
+  core::PerfEstimator est2(device::rtx2070(), sts2);
+
+  TablePrinter t({"W", "STS5_TFLOPS", "STS2_TFLOPS", "speedup"});
+  double sum = 0.0;
+  double best = 0.0;
+  const auto sizes = bench::size_sweep(step);
+  for (const auto w : sizes) {
+    const GemmShape s{w, w, w};
+    const double t5 = est5.estimate(s).tflops;
+    const double t2 = est2.estimate(s).tflops;
+    const double speedup = t5 / t2;
+    sum += speedup;
+    best = std::max(best, speedup);
+    t.add_row({std::to_string(w), fmt_fixed(t5, 2), fmt_fixed(t2, 2), fmt_fixed(speedup, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "average speedup of STS5 over STS2: "
+            << fmt_fixed(sum / static_cast<double>(sizes.size()), 2) << "x (paper: 1.13x); max "
+            << fmt_fixed(best, 2) << "x (paper: 1.26x)\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 8: rectangular HGEMM on RTX2070.
+// Paper: trends match the square case; max speedup 3.23x at W=14848 for
+// [W x W x 4W]; average speedup 1.77x across rectangular shapes.
+#include "rect_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto step = tc::bench::step_from_args(argc, argv, 2048);
+  std::cout << "Fig. 8: rectangular HGEMM on RTX2070 (step " << step << ")\n"
+            << "(paper: max speedup 3.23x at W=14848 [W x W x 4W]; average 1.77x)\n\n";
+  return tc::bench::run_rect(tc::device::rtx2070(), step);
+}

@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 9: rectangular HGEMM on T4.
+// Paper: max speedup 2.17x at W=15360 for [W x W x 4W]; average 1.45x.
+#include "rect_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto step = tc::bench::step_from_args(argc, argv, 2048);
+  std::cout << "Fig. 9: rectangular HGEMM on T4 (step " << step << ")\n"
+            << "(paper: max speedup 2.17x at W=15360 [W x W x 4W]; average 1.45x)\n\n";
+  return tc::bench::run_rect(tc::device::t4(), step);
+}

@@ -1,0 +1,115 @@
+// Library-level performance benchmarks (google-benchmark): throughput of
+// the building blocks the experiments lean on — FP16 conversion, MMA
+// emulation, bank-conflict arbitration, functional and timed execution.
+// These guard the simulator's own performance, not the paper's numbers.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/hgemm.hpp"
+#include "core/kernel_gen.hpp"
+#include "driver/device.hpp"
+#include "mem/banked_smem.hpp"
+#include "sim/exec_core.hpp"
+#include "sim/mma_exec.hpp"
+
+namespace {
+
+using namespace tc;
+
+void BM_HalfFromFloat(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<float> src(4096);
+  for (auto& f : src) f = rng.next_float(-100.0f, 100.0f);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const float f : src) acc += half(f).bits();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_HalfFromFloat);
+
+void BM_HalfToFloat(benchmark::State& state) {
+  std::vector<half> src(4096);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = half::from_bits(static_cast<std::uint16_t>(i * 13));
+  }
+  for (auto _ : state) {
+    float acc = 0;
+    for (const half h : src) acc += h.is_nan() ? 0.0f : h.to_float();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_HalfToFloat);
+
+void BM_HmmaEmulation(benchmark::State& state) {
+  sim::WarpRegs regs;
+  Rng rng(2);
+  for (int r = 0; r < 8; ++r) {
+    for (int lane = 0; lane < 32; ++lane) {
+      regs.write_now(sass::Reg{static_cast<std::uint8_t>(r)}, lane,
+                     static_cast<std::uint32_t>(rng.next_u64()));
+    }
+  }
+  sim::ImmediateSink sink(regs);
+  for (auto _ : state) {
+    sim::exec_mma(sass::Opcode::kHmma1688F16, regs, sass::Reg{8}, sass::Reg{2}, sass::Reg{6},
+                  sass::Reg{4}, sink);
+  }
+  // 16x8x8 MACs * 2 flops per HMMA.
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_HmmaEmulation);
+
+void BM_SmemConflictArbitration(benchmark::State& state) {
+  std::array<std::uint32_t, 32> addrs{};
+  std::array<bool, 32> active{};
+  active.fill(true);
+  for (int l = 0; l < 32; ++l) addrs[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(l) * 8;
+  for (auto _ : state) {
+    auto cost = mem::smem_access_cost(addrs, active, sass::MemWidth::k32, false);
+    benchmark::DoNotOptimize(cost.beats);
+  }
+}
+BENCHMARK(BM_SmemConflictArbitration);
+
+void BM_FunctionalHgemm256(benchmark::State& state) {
+  Rng rng(3);
+  HalfMatrix a(256, 64), bt(256, 64);
+  a.randomize(rng);
+  bt.randomize(rng);
+  for (auto _ : state) {
+    driver::Device dev(device::rtx2070());
+    auto c = core::run_hgemm(dev, a, bt);
+    benchmark::DoNotOptimize(c.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 64);
+}
+BENCHMARK(BM_FunctionalHgemm256);
+
+void BM_TimedSteadyIteration(benchmark::State& state) {
+  const auto cfg = core::HgemmConfig::optimized();
+  const GemmShape shape{256, 256, 192};
+  const auto prog = core::hgemm_kernel(cfg, shape);
+  for (auto _ : state) {
+    mem::GlobalMemory gmem;
+    sim::Launch launch;
+    launch.program = &prog;
+    launch.params = {gmem.alloc(shape.m * shape.k * 2), gmem.alloc(shape.n * shape.k * 2),
+                     gmem.alloc(shape.m * shape.n * 2)};
+    sim::TimedConfig tcfg;
+    tcfg.spec = device::rtx2070();
+    tcfg.skip_mma_math = true;
+    tcfg.forced_l2_hit_rate = 0.5;
+    sim::TimedSm sm(tcfg, gmem);
+    const sim::CtaCoord cta{0, 0};
+    auto stats = sm.run(launch, std::span(&cta, 1));
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+}
+BENCHMARK(BM_TimedSteadyIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Shared driver for the rectangular-shape figures (paper Figs. 8 and 9):
+// six shapes [2W,W,W], [W,2W,W], [W,W,2W], [4W,W,W], [W,4W,W], [W,W,4W].
+#pragma once
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace tc::bench {
+
+struct ShapeRule {
+  const char* name;
+  std::size_t mf, nf, kf;  // multipliers of W
+};
+
+inline constexpr ShapeRule kRectRules[] = {
+    {"[2W x W x W]", 2, 1, 1}, {"[W x 2W x W]", 1, 2, 1}, {"[W x W x 2W]", 1, 1, 2},
+    {"[4W x W x W]", 4, 1, 1}, {"[W x 4W x W]", 1, 4, 1}, {"[W x W x 4W]", 1, 1, 4},
+};
+
+inline int run_rect(const device::DeviceSpec& spec, std::size_t step) {
+  core::PerfEstimator ours(spec, core::HgemmConfig::optimized());
+  core::PerfEstimator baseline(spec, core::HgemmConfig::cublas_like());
+
+  double total = 0.0;
+  double overall_max = 0.0;
+  std::size_t max_at = 0;
+  const char* max_shape = "";
+  int count = 0;
+  for (const auto& rule : kRectRules) {
+    std::vector<GemmShape> shapes;
+    std::vector<std::size_t> labels;
+    for (const auto w : size_sweep(step)) {
+      // Cap the long dimension at the paper's evaluated range.
+      if (std::max({rule.mf, rule.nf, rule.kf}) * w > 65536) continue;
+      shapes.push_back({rule.mf * w, rule.nf * w, rule.kf * w});
+      labels.push_back(w);
+    }
+    const auto st = run_versus_sweep(std::string(rule.name) + " on " + spec.name, ours,
+                                     baseline, shapes, labels);
+    total += st.avg_speedup * static_cast<double>(shapes.size());
+    count += static_cast<int>(shapes.size());
+    if (st.max_speedup > overall_max) {
+      overall_max = st.max_speedup;
+      max_at = st.max_at;
+      max_shape = rule.name;
+    }
+  }
+  std::cout << "== rectangular summary on " << spec.name << " ==\n"
+            << "average speedup " << fmt_fixed(total / count, 2) << "x; max "
+            << fmt_fixed(overall_max, 2) << "x at W=" << max_at << " shape " << max_shape
+            << "\n";
+  return 0;
+}
+
+}  // namespace tc::bench

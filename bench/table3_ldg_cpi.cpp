@@ -1,0 +1,56 @@
+// Reproduces paper Table III: CPI of LDG on Turing by width and by serving
+// level (L1 hit vs L2). Methodology: 128-instruction LDG loops fitting the
+// L0 i-cache, timed with CS2R (Section V-A). Such loops are impossible at
+// the CUDA C++ level (the compiler deletes effect-free loads) — the SASS
+// generator in src/kernels emits them directly.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "driver/device.hpp"
+#include "kernels/micro.hpp"
+
+using namespace tc;
+
+namespace {
+
+double measure(sass::MemWidth width, sass::CacheOp cache, std::uint32_t window) {
+  driver::Device dev(device::rtx2070());
+  auto data = dev.alloc<std::uint8_t>(1 << 20);
+  auto clocks = dev.alloc<std::uint32_t>(64);
+  const int unroll = 128;
+  const int iters = 100;
+  const auto prog = kernels::ldg_cpi_kernel(width, cache, unroll, iters, window);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {clocks.addr, data.addr};
+  const sim::CtaCoord cta{0, 0};
+  dev.run_timed(launch, std::span(&cta, 1), dev.timing_whole_device());
+  std::vector<std::uint32_t> host(64);
+  dev.download(std::span(host.data(), host.size()), clocks);
+  return kernels::cpi_from_clocks(host[0], host[32], unroll, iters);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table III: CPI of LDG on Turing GPUs\n";
+  std::cout << "(paper: L1 4.04/4.04/8.00; L2 4.19/8.38/15.95)\n\n";
+
+  TablePrinter t({"Type", "32", "64", "128"});
+  {
+    std::vector<std::string> row{"LDG (data in L1 cache)"};
+    for (auto w : {sass::MemWidth::k32, sass::MemWidth::k64, sass::MemWidth::k128}) {
+      row.push_back(fmt_fixed(measure(w, sass::CacheOp::kCa, 16 * 1024), 2));
+    }
+    t.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"LDG (data in L2 cache)"};
+    for (auto w : {sass::MemWidth::k32, sass::MemWidth::k64, sass::MemWidth::k128}) {
+      row.push_back(fmt_fixed(measure(w, sass::CacheOp::kCg, 256 * 1024), 2));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  return 0;
+}

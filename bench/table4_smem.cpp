@@ -1,0 +1,103 @@
+// Reproduces paper Tables IV and V: CPI and throughput (bytes/cycle) of
+// shared-memory load/store instructions, plus a bank-conflict sweep showing
+// how conflicts scale the cost (the mechanism behind Fig. 5).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "driver/device.hpp"
+#include "kernels/micro.hpp"
+
+using namespace tc;
+
+namespace {
+
+double measure(sass::Opcode op, sass::MemWidth width) {
+  driver::Device dev(device::rtx2070());
+  auto clocks = dev.alloc<std::uint32_t>(64);
+  const int unroll = 128;
+  const int iters = 100;
+  const auto prog = kernels::smem_cpi_kernel(op, width, unroll, iters);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {clocks.addr};
+  const sim::CtaCoord cta{0, 0};
+  dev.run_timed(launch, std::span(&cta, 1), dev.timing_whole_device());
+  std::vector<std::uint32_t> host(64);
+  dev.download(std::span(host.data(), host.size()), clocks);
+  return kernels::cpi_from_clocks(host[0], host[32], unroll, iters);
+}
+
+double measure_conflict(int stride_words) {
+  driver::Device dev(device::rtx2070());
+  auto clocks = dev.alloc<std::uint32_t>(64);
+  const int unroll = 128;
+  const int iters = 50;
+  const auto prog = kernels::lds_conflict_kernel(stride_words, unroll, iters);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {clocks.addr};
+  const sim::CtaCoord cta{0, 0};
+  dev.run_timed(launch, std::span(&cta, 1), dev.timing_whole_device());
+  std::vector<std::uint32_t> host(64);
+  dev.download(std::span(host.data(), host.size()), clocks);
+  return kernels::cpi_from_clocks(host[0], host[32], unroll, iters);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table IV: CPI of shared memory load/store instructions\n";
+  std::cout << "(paper: LDS 2.11/4.00/8.00; STS 4.06/6.00/10.00)\n\n";
+
+  const sass::MemWidth widths[] = {sass::MemWidth::k32, sass::MemWidth::k64,
+                                   sass::MemWidth::k128};
+  double lds_cpi[3];
+  double sts_cpi[3];
+  TablePrinter t4({"Type", "32", "64", "128"});
+  {
+    std::vector<std::string> row{"LDS"};
+    for (int i = 0; i < 3; ++i) {
+      lds_cpi[i] = measure(sass::Opcode::kLds, widths[i]);
+      row.push_back(fmt_fixed(lds_cpi[i], 2));
+    }
+    t4.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"STS"};
+    for (int i = 0; i < 3; ++i) {
+      sts_cpi[i] = measure(sass::Opcode::kSts, widths[i]);
+      row.push_back(fmt_fixed(sts_cpi[i], 2));
+    }
+    t4.add_row(row);
+  }
+  t4.print(std::cout);
+
+  std::cout << "\nTable V: throughput (bytes/cycle) of shared memory instructions\n";
+  std::cout << "(paper: LDS 60.66/64.00/64.00; STS 31.53/42.67/51.20)\n\n";
+  TablePrinter t5({"Type", "32", "64", "128"});
+  {
+    std::vector<std::string> row{"LDS"};
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(fmt_fixed(32.0 * sass::width_bytes(widths[i]) / lds_cpi[i], 2));
+    }
+    t5.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"STS"};
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(fmt_fixed(32.0 * sass::width_bytes(widths[i]) / sts_cpi[i], 2));
+    }
+    t5.add_row(row);
+  }
+  t5.print(std::cout);
+
+  std::cout << "\nExtension: LDS.32 CPI under n-way bank conflicts\n\n";
+  TablePrinter tc({"stride (words)", "conflict ways", "CPI"});
+  for (int stride : {1, 2, 4, 8, 16, 32}) {
+    const int ways = std::min(stride, 32);
+    tc.add_row({std::to_string(stride), std::to_string(ways),
+                fmt_fixed(measure_conflict(stride), 2)});
+  }
+  tc.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces paper Table VII: configuration and occupancy of our HGEMM
+// versus cuBLAS 10.1's, computed by the occupancy calculator from the real
+// generated kernels' resource usage.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/kernel_gen.hpp"
+#include "device/occupancy.hpp"
+
+using namespace tc;
+
+int main() {
+  std::cout << "Table VII: details of our HGEMM and cuBLAS 10.1's HGEMM\n";
+  std::cout << "(paper: ours 256x256x32 / 128x64x8 / 36KB / 1 CTA / 8 warps;\n"
+               " cuBLAS 128x128x64 / 64x64x8 / 32KB / 2 CTAs / 8 warps)\n\n";
+
+  const auto spec = device::rtx2070();
+  const auto ours_cfg = core::HgemmConfig::optimized();
+  const auto cb_cfg = core::HgemmConfig::cublas_like();
+  const auto ours = core::hgemm_kernel(ours_cfg, {256, 256, 64});
+  const auto cublas = core::hgemm_kernel(cb_cfg, {128, 128, 128});
+  const auto occ_ours = device::occupancy(spec, ours);
+  const auto occ_cb = device::occupancy(spec, cublas);
+
+  auto cfg_str = [](const core::HgemmConfig& c) {
+    return "(" + std::to_string(c.bm) + "x" + std::to_string(c.bn) + "x" + std::to_string(c.bk) +
+           ")";
+  };
+  auto warp_str = [](const core::HgemmConfig& c) {
+    return "(" + std::to_string(c.wm) + "x" + std::to_string(c.wn) + "x" + std::to_string(c.wk) +
+           ")";
+  };
+
+  TablePrinter t({"", "Ours", "cuBLAS 10.1"});
+  t.add_row({"(bm x bn x bk)", cfg_str(ours_cfg), cfg_str(cb_cfg)});
+  t.add_row({"(wm x wn x wk)", warp_str(ours_cfg), warp_str(cb_cfg)});
+  t.add_row({"Shared memory/CTA", std::to_string(ours.smem_bytes / 1024) + "KB",
+             std::to_string(cublas.smem_bytes / 1024) + "KB"});
+  t.add_row({"Registers/thread (used)", std::to_string(ours.num_regs),
+             std::to_string(cublas.num_regs)});
+  t.add_row({"Active CTAs/SM", std::to_string(occ_ours.ctas_per_sm),
+             std::to_string(occ_cb.ctas_per_sm)});
+  t.add_row({"Active warps/SM", std::to_string(occ_ours.warps_per_sm),
+             std::to_string(occ_cb.warps_per_sm)});
+  t.add_row({"Occupancy limiter", device::limiter_name(occ_ours.limiter),
+             device::limiter_name(occ_cb.limiter)});
+  t.add_row({"STS interleave (HMMAs)", std::to_string(ours_cfg.sts_interleave),
+             std::to_string(cb_cfg.sts_interleave)});
+  t.print(std::cout);
+  return 0;
+}

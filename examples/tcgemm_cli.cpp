@@ -1,0 +1,124 @@
+// tcgemm_cli — command-line front end for the library.
+//
+//   tcgemm_cli run  --m 512 --n 512 --k 256 [--device rtx2070] [--check]
+//   tcgemm_cli perf --m 8192 --n 8192 --k 8192 [--device t4] [--baseline]
+//   tcgemm_cli disasm [--baseline]
+//
+// `run` executes the kernel functionally on the simulator (optionally
+// validating against the bit-exact reference); `perf` prints the estimated
+// full-device time/TFLOPS; `disasm` dumps the generated SASS.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/hgemm.hpp"
+#include "core/kernel_gen.hpp"
+#include "core/reference.hpp"
+#include "driver/device.hpp"
+
+using namespace tc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::size_t m = 512, n = 512, k = 256;
+  std::string device = "rtx2070";
+  bool check = false;
+  bool baseline = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) return a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      TC_CHECK(i + 1 < argc, "flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--m") {
+      a.m = std::stoul(value());
+    } else if (flag == "--n") {
+      a.n = std::stoul(value());
+    } else if (flag == "--k") {
+      a.k = std::stoul(value());
+    } else if (flag == "--device") {
+      a.device = value();
+    } else if (flag == "--check") {
+      a.check = true;
+    } else if (flag == "--baseline") {
+      a.baseline = true;
+    } else {
+      throw Error("unknown flag " + flag);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::cout << "usage:\n"
+               "  tcgemm_cli run    --m M --n N --k K [--device rtx2070|t4] [--check] [--baseline]\n"
+               "  tcgemm_cli perf   --m M --n N --k K [--device rtx2070|t4] [--baseline]\n"
+               "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    const auto cfg =
+        args.baseline ? core::HgemmConfig::cublas_like() : core::HgemmConfig::optimized();
+
+    if (args.command == "run") {
+      Rng rng(1);
+      HalfMatrix a(args.m, args.k), bt(args.n, args.k);
+      a.randomize(rng, -0.5f, 0.5f);
+      bt.randomize(rng, -0.5f, 0.5f);
+      driver::Device dev(device::spec_by_name(args.device));
+      const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
+      std::cout << "ran " << cfg.name() << " on " << dev.spec().name << ": C is " << c.rows()
+                << " x " << c.cols() << ", C[0][0] = " << c.at(0, 0) << "\n";
+      if (args.check) {
+        const auto mismatches = core::mismatch_count(c, core::gemm_ref_tc(a, bt));
+        std::cout << "bit-exact mismatches vs reference: " << mismatches << "\n";
+        return mismatches == 0 ? 0 : 1;
+      }
+      return 0;
+    }
+
+    if (args.command == "perf") {
+      core::PerfEstimator est(device::spec_by_name(args.device), cfg);
+      const auto p = est.estimate({args.m, args.n, args.k});
+      std::cout << cfg.name() << " on " << est.spec().name << " for " << args.m << " x "
+                << args.n << " x " << args.k << ":\n"
+                << "  " << p.tflops << " TFLOPS, " << p.seconds * 1e3 << " ms, " << p.waves
+                << " waves, L2 hit " << p.l2_hit_rate << ", " << p.cycles_per_iter
+                << " cycles/iteration\n";
+      return 0;
+    }
+
+    if (args.command == "disasm") {
+      const GemmShape shape{
+          (args.m + static_cast<std::size_t>(cfg.bm) - 1) / static_cast<std::size_t>(cfg.bm) *
+              static_cast<std::size_t>(cfg.bm),
+          (args.n + static_cast<std::size_t>(cfg.bn) - 1) / static_cast<std::size_t>(cfg.bn) *
+              static_cast<std::size_t>(cfg.bn),
+          std::max<std::size_t>((args.k + static_cast<std::size_t>(cfg.bk) - 1) /
+                                    static_cast<std::size_t>(cfg.bk) *
+                                    static_cast<std::size_t>(cfg.bk),
+                                2 * static_cast<std::size_t>(cfg.bk))};
+      std::cout << core::hgemm_kernel(cfg, shape).disassemble();
+      return 0;
+    }
+
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,38 @@
+// Error handling primitives shared by every tcgemm module.
+//
+// The library throws `tc::Error` (derived from std::runtime_error) for
+// programmer-visible failures: malformed SASS, invalid launch configs,
+// out-of-range memory accesses on the simulated device, and so on.
+// Internal invariants use TC_ASSERT which also throws (so tests can assert
+// on failures without aborting the process).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tc {
+
+/// Exception type thrown by all tcgemm components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+}  // namespace detail
+
+}  // namespace tc
+
+/// Check a condition that reflects API misuse or simulated-program error.
+#define TC_CHECK(cond, msg)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::tc::detail::throw_error(__FILE__, __LINE__, std::string(msg)); \
+    }                                                                  \
+  } while (0)
+
+/// Check an internal invariant of the library itself.
+#define TC_ASSERT(cond, msg) TC_CHECK(cond, std::string("internal: ") + (msg))

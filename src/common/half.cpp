@@ -1,0 +1,86 @@
+#include "common/half.hpp"
+
+#include <bit>
+#include <cstring>
+#include <ostream>
+
+namespace tc {
+
+float half::to_float() const {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits_ >> 15) & 1u;
+  const std::uint32_t exp = static_cast<std::uint32_t>(bits_ >> 10) & 0x1Fu;
+  const std::uint32_t man = bits_ & 0x3FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (man == 0) {
+      out = sign << 31;  // signed zero
+    } else {
+      // Subnormal: normalize into the float domain.
+      int e = -1;
+      std::uint32_t m = man;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
+      const std::uint32_t fman = (m & 0x3FFu) << 13;
+      out = (sign << 31) | (fexp << 23) | fman;
+    }
+  } else if (exp == 0x1F) {
+    out = (sign << 31) | 0x7F800000u | (man << 13);  // inf / NaN
+  } else {
+    out = (sign << 31) | ((exp - 15 + 127) << 23) | (man << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+std::uint16_t half::from_float_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t aexp = (x >> 23) & 0xFFu;
+  const std::uint32_t aman = x & 0x7FFFFFu;
+
+  if (aexp == 0xFF) {  // inf or NaN
+    if (aman == 0) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    // Quieten NaN, keep top payload bits if any survive.
+    std::uint32_t payload = aman >> 13;
+    if (payload == 0) payload = 1;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | payload | 0x0200u);
+  }
+
+  const int e = static_cast<int>(aexp) - 127 + 15;  // rebased exponent
+  if (e >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow -> inf
+
+  // Mantissa with implicit bit, in a 24-bit field.
+  std::uint32_t man = aman | (aexp != 0 ? 0x800000u : 0u);
+  int shift = 13;  // bits to drop for a normal result
+  int hexp = e;
+  if (e <= 0) {
+    // Result is subnormal (or underflows to zero): shift further right.
+    shift += 1 - e;
+    hexp = 0;
+    if (shift > 24 + 1) return static_cast<std::uint16_t>(sign);  // -> 0
+  }
+
+  const std::uint32_t kept = man >> shift;
+  const std::uint32_t round_bit = (man >> (shift - 1)) & 1u;
+  const std::uint32_t sticky = (man & ((1u << (shift - 1)) - 1u)) != 0 ? 1u : 0u;
+
+  std::uint32_t h = (static_cast<std::uint32_t>(hexp) << 10) | (kept & 0x3FFu);
+  if (hexp == 0) h = kept;  // subnormal: no exponent bits, kept includes them
+  // Round to nearest even.
+  if (round_bit && (sticky || (h & 1u))) {
+    ++h;  // may carry into the exponent, which is exactly correct behaviour
+  }
+  if (h >= 0x7C00u) h = 0x7C00u;  // rounded up to infinity
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+half fma_round_half(half a, half b, half c) {
+  return half(std::fma(a.to_float(), b.to_float(), c.to_float()));
+}
+
+std::ostream& operator<<(std::ostream& os, half h) { return os << h.to_float(); }
+
+}  // namespace tc

@@ -1,0 +1,77 @@
+// Host-side matrix containers used by the HGEMM API, reference GEMM, tests
+// and workload generators.
+//
+// Storage convention follows the paper's evaluation setup (Section VII):
+// A (m x k) is row-major, B (n x k holding B^T, i.e. B column-major from the
+// GEMM's point of view), C (m x n) row-major. HostMatrix carries an explicit
+// Layout so the same container expresses all three.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace tc {
+
+enum class Layout { kRowMajor, kColMajor };
+
+/// Owning dense matrix with an explicit storage layout.
+template <typename T>
+class HostMatrix {
+ public:
+  HostMatrix() = default;
+  HostMatrix(std::size_t rows, std::size_t cols, Layout layout = Layout::kRowMajor)
+      : rows_(rows), cols_(cols), layout_(layout), data_(rows * cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  [[nodiscard]] std::size_t index(std::size_t r, std::size_t c) const {
+    TC_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return layout_ == Layout::kRowMajor ? r * cols_ + c : c * rows_ + r;
+  }
+
+  T& at(std::size_t r, std::size_t c) { return data_[index(r, c)]; }
+  const T& at(std::size_t r, std::size_t c) const { return data_[index(r, c)]; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T value) {
+    for (auto& x : data_) x = value;
+  }
+
+  /// Fills with deterministic uniform values from `rng`.
+  void randomize(Rng& rng, float lo = -1.0f, float hi = 1.0f) {
+    for (auto& x : data_) x = T(rng.next_float(lo, hi));
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Layout layout_ = Layout::kRowMajor;
+  std::vector<T> data_;
+};
+
+using HalfMatrix = HostMatrix<half>;
+using FloatMatrix = HostMatrix<float>;
+
+/// Problem size in the paper's m x n x k convention: C(m x n) = A(m x k) B(k x n).
+struct GemmShape {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+
+  [[nodiscard]] double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+  }
+  friend bool operator==(const GemmShape&, const GemmShape&) = default;
+};
+
+}  // namespace tc

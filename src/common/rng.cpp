@@ -1,0 +1,69 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace tc {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64, used to expand the seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  TC_CHECK(bound > 0, "next_below requires a positive bound");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  TC_CHECK(lo <= hi, "next_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+float Rng::next_float(float lo, float hi) {
+  const auto u = static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;  // [0,1)
+  return lo + (hi - lo) * u;
+}
+
+half Rng::next_half(float lo, float hi) { return half(next_float(lo, hi)); }
+
+std::vector<half> Rng::half_vector(std::size_t n, float lo, float hi) {
+  std::vector<half> v(n);
+  for (auto& x : v) x = next_half(lo, hi);
+  return v;
+}
+
+}  // namespace tc

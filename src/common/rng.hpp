@@ -1,0 +1,43 @@
+// Deterministic random number generation for tests, workloads and benches.
+//
+// All randomness in tcgemm flows through Rng so that every experiment is
+// reproducible from a seed printed in its output. The engine is
+// xoshiro256** (public domain, Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+
+namespace tc {
+
+/// Seeded xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo = 0.0f, float hi = 1.0f);
+
+  /// A half drawn uniformly from [lo, hi) then rounded to binary16.
+  half next_half(float lo = -1.0f, float hi = 1.0f);
+
+  /// Fills a vector with halves in [lo, hi). Values are kept small so FP16
+  /// GEMM accumulation does not overflow for the sizes used in experiments.
+  std::vector<half> half_vector(std::size_t n, float lo = -1.0f, float hi = 1.0f);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tc

@@ -1,0 +1,35 @@
+// Minimal fixed-width table/CSV printer for the bench binaries.
+//
+// Every bench prints the same rows/series the paper's tables and figures
+// report; TablePrinter keeps that output aligned and machine-greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+/// Collects rows of strings and renders them as an aligned text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places, trimming noise ("8.06", "59.7").
+std::string fmt_fixed(double v, int digits);
+
+}  // namespace tc

@@ -1,0 +1,103 @@
+// HGEMM kernel configuration (Section VI): two-level blocking sizes, shared
+// memory layout, instruction interleaving and prefetch policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "model/l2_reuse.hpp"
+
+namespace tc::core {
+
+/// Shared-memory layout for the A/B slabs.
+enum class SmemLayout {
+  /// 8x8 tiles stored contiguously in fragment-register order (one LDS.32
+  /// per tile, banks 0..31 exactly once) plus 64 dead bytes per tile row to
+  /// keep the paper's 36 KB footprint ("padding", Section VI-D). See
+  /// DESIGN.md for the adaptation of the paper's literal pad formula to this
+  /// simulator's bank model.
+  kPaddedTile,
+  /// Tile-major without padding — the "economical" 32 KB layout the paper
+  /// attributes to cuBLAS 10.1 (conflict-free, no spare bytes).
+  kTileMajor,
+  /// Row-major A[bm][bk] / B[bn][bk] exactly as Algorithm 1 declares them —
+  /// the naive layout of Fig. 5, heavily bank-conflicted.
+  kNaiveRowMajor,
+};
+
+struct HgemmConfig {
+  // Thread-block tile (shared memory blocking).
+  int bm = 256, bn = 256, bk = 32;
+  // Warp tile (register blocking).
+  int wm = 128, wn = 64, wk = 8;
+
+  SmemLayout layout = SmemLayout::kPaddedTile;
+  /// HMMAs between consecutive STS.128 in the store phase (Section VI-C):
+  /// the paper's Eq. (6) demands >= 5; cuBLAS 10.1 uses 2.
+  int sts_interleave = 5;
+  /// Double-buffer global loads into registers (Section VI-B). Disabling
+  /// serializes LDG -> STS each iteration (ablation only).
+  bool prefetch = true;
+
+  /// CTA scheduling order assumed by the L2 reuse model.
+  model::LaunchOrder launch_order = model::LaunchOrder::kSwizzled;
+  /// Grid width beyond which the swizzle degrades to row-major (models the
+  /// cuBLAS 10.1 L2-blocking failure at W = 12032, i.e. grid_x = 94).
+  int swizzle_max_grid_x = 1 << 30;
+
+  /// The paper's optimized kernel (Table VII left column).
+  static HgemmConfig optimized() { return {}; }
+
+  /// cuBLAS 10.1's HGEMM configuration (Table VII right column).
+  static HgemmConfig cublas_like() {
+    HgemmConfig c;
+    c.bm = 128;
+    c.bn = 128;
+    c.bk = 64;
+    c.wm = 64;
+    c.wn = 64;
+    c.wk = 8;
+    c.layout = SmemLayout::kTileMajor;
+    c.sts_interleave = 2;
+    c.swizzle_max_grid_x = 94;  // 94 * 128 = 12032, the observed cliff
+    return c;
+  }
+
+  [[nodiscard]] int warps() const { return (bm / wm) * (bn / wn); }
+  [[nodiscard]] int threads() const { return warps() * 32; }
+
+  /// Shared memory bytes for one slab of `rows` x bk halves.
+  [[nodiscard]] std::uint32_t slab_bytes(int rows) const {
+    const auto data = static_cast<std::uint32_t>(rows) * static_cast<std::uint32_t>(bk) * 2;
+    if (layout == SmemLayout::kPaddedTile) {
+      return data + static_cast<std::uint32_t>(rows / 8) * 64;  // 64 dead B / tile row
+    }
+    return data;
+  }
+  [[nodiscard]] std::uint32_t smem_bytes() const { return slab_bytes(bm) + slab_bytes(bn); }
+
+  /// Validates divisibility constraints the generator relies on.
+  void check() const {
+    TC_CHECK(wk == 8, "wk must be 8 (HMMA.1688 depth)");
+    TC_CHECK(bm % wm == 0 && bn % wn == 0 && bk % wk == 0, "tile divisibility");
+    TC_CHECK(wm % 16 == 0 && wn % 8 == 0, "warp tile must be HMMA-shaped");
+    TC_CHECK(bm % 8 == 0 && bn % 8 == 0 && bk % 32 == 0, "block tile granularity");
+    TC_CHECK(threads() >= 32 && threads() <= 1024, "1..32 warps per CTA");
+    const int ldg_instrs = (bm / 8) * (bk / 8) / 4;
+    TC_CHECK(ldg_instrs % warps() == 0, "global loads must divide evenly among warps");
+    TC_CHECK((bn / 8) * (bk / 8) / 4 % warps() == 0, "B loads must divide evenly");
+    TC_CHECK(sts_interleave >= 1, "sts_interleave must be >= 1");
+  }
+
+  [[nodiscard]] std::string name() const {
+    return "hgemm_" + std::to_string(bm) + "x" + std::to_string(bn) + "x" + std::to_string(bk) +
+           "_w" + std::to_string(wm) + "x" + std::to_string(wn) + "_i" +
+           std::to_string(sts_interleave) +
+           (layout == SmemLayout::kNaiveRowMajor
+                ? "_naive"
+                : (layout == SmemLayout::kPaddedTile ? "_pad" : "_tile"));
+  }
+};
+
+}  // namespace tc::core

@@ -1,0 +1,44 @@
+// SASS generators for the blocked Tensor-Core HGEMM (Section VI) and the
+// naive WMMA-style baseline.
+//
+// Like the paper's hand-written SASS (and like cuBLAS's shape-specialized
+// kernels), programs are generated per GEMM shape: m, n, k and the leading
+// strides are baked into immediates, which keeps the inner loop free of
+// index arithmetic. One generator covers the optimized kernel, the
+// cuBLAS-10.1-like baseline and every ablation (interleave spacing, shared
+// memory layout, prefetch) through HgemmConfig.
+//
+// Kernel contract:
+//  * params: [0] = A (m x k row-major), [1] = B^T (n x k row-major),
+//            [2] = C (m x n row-major), all 2-byte half elements;
+//  * grid: (n/bn) x (m/bm) CTAs; CTA (x, y) computes C block (y, x);
+//  * m % bm == 0, n % bn == 0, k % bk == 0, k >= 2*bk (the public API in
+//    hgemm.hpp pads arbitrary sizes to this contract).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "sass/program.hpp"
+
+namespace tc::core {
+
+/// GEMM scalars (Section II-A standard form C = alpha*A*B + beta*C). The
+/// paper evaluates alpha = 1, beta = 0; the general form adds an FP16x2
+/// scaling epilogue (HMUL2/HFMA2 + a C reload when beta != 0). Scalars are
+/// rounded to binary16 and baked into the kernel as immediates.
+struct Epilogue {
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  [[nodiscard]] bool is_default() const { return alpha == 1.0f && beta == 0.0f; }
+};
+
+[[nodiscard]] sass::Program hgemm_kernel(const HgemmConfig& cfg, const GemmShape& shape,
+                                         const Epilogue& epilogue = {});
+
+/// Naive WMMA-API-style kernel: each warp computes one 16x16 C tile, loading
+/// fragments straight from global memory (no shared memory staging, no
+/// prefetch) — the ~10%-of-peak baseline reported by Markidis et al. [5].
+/// Grid: (n/128) x (m/16); CTA = 8 warps side by side.
+[[nodiscard]] sass::Program wmma_naive_kernel(const GemmShape& shape);
+
+}  // namespace tc::core

@@ -1,0 +1,58 @@
+#include "device/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tc::device {
+
+int allocated_regs_per_thread(int regs_used) {
+  const int kGranule = 8;
+  const int rounded = ((std::max(regs_used, 1) + kGranule - 1) / kGranule) * kGranule;
+  return std::min(rounded, 256);
+}
+
+Occupancy occupancy(const DeviceSpec& spec, const sass::Program& prog) {
+  TC_CHECK(prog.cta_threads > 0, "kernel has no threads");
+  TC_CHECK(prog.num_regs <= spec.max_regs_per_thread,
+           "kernel exceeds per-thread register limit");
+  TC_CHECK(prog.smem_bytes <= spec.smem_per_sm, "kernel exceeds per-SM shared memory");
+
+  const int threads = static_cast<int>(prog.cta_threads);
+  const int regs_per_cta = allocated_regs_per_thread(prog.num_regs) * threads;
+
+  const int by_regs = spec.regs_per_sm / std::max(regs_per_cta, 1);
+  const int by_smem = prog.smem_bytes == 0
+                          ? spec.max_ctas_per_sm
+                          : static_cast<int>(spec.smem_per_sm / prog.smem_bytes);
+  const int by_threads = spec.max_threads_per_sm / threads;
+  const int by_slots = spec.max_ctas_per_sm;
+
+  Occupancy occ;
+  occ.ctas_per_sm = std::min({by_regs, by_smem, by_threads, by_slots});
+  TC_CHECK(occ.ctas_per_sm >= 1, "kernel '" + prog.name + "' does not fit on one SM");
+  occ.warps_per_sm = occ.ctas_per_sm * threads / 32;
+
+  if (occ.ctas_per_sm == by_regs) {
+    occ.limiter = Occupancy::Limiter::kRegisters;
+  } else if (occ.ctas_per_sm == by_smem) {
+    occ.limiter = Occupancy::Limiter::kSharedMem;
+  } else if (occ.ctas_per_sm == by_threads) {
+    occ.limiter = Occupancy::Limiter::kThreads;
+  } else {
+    occ.limiter = Occupancy::Limiter::kCtaSlots;
+  }
+  return occ;
+}
+
+const char* limiter_name(Occupancy::Limiter l) {
+  switch (l) {
+    case Occupancy::Limiter::kRegisters: return "registers";
+    case Occupancy::Limiter::kSharedMem: return "shared-memory";
+    case Occupancy::Limiter::kThreads: return "threads";
+    case Occupancy::Limiter::kCtaSlots: return "cta-slots";
+  }
+  return "?";
+}
+
+}  // namespace tc::device

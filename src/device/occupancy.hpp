@@ -1,0 +1,30 @@
+// Occupancy calculator: how many CTAs of a kernel fit on one SM.
+//
+// Reproduces the "Active CTAs/SM" and "Active warps/SM" rows of the paper's
+// Table VII for both our kernel and the cuBLAS 10.1 configuration.
+#pragma once
+
+#include "device/spec.hpp"
+#include "sass/program.hpp"
+
+namespace tc::device {
+
+struct Occupancy {
+  int ctas_per_sm = 0;
+  int warps_per_sm = 0;
+  /// Which resource capped the result (for diagnostics/tests).
+  enum class Limiter { kRegisters, kSharedMem, kThreads, kCtaSlots } limiter =
+      Limiter::kCtaSlots;
+};
+
+/// Registers are allocated per warp with the per-thread count rounded up to a
+/// multiple of 8, matching the hardware allocation granularity.
+[[nodiscard]] int allocated_regs_per_thread(int regs_used);
+
+/// Computes occupancy of `prog` on `spec`; throws if the kernel cannot run
+/// at all (zero CTAs fit).
+[[nodiscard]] Occupancy occupancy(const DeviceSpec& spec, const sass::Program& prog);
+
+[[nodiscard]] const char* limiter_name(Occupancy::Limiter l);
+
+}  // namespace tc::device

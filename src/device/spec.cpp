@@ -1,0 +1,37 @@
+#include "device/spec.hpp"
+
+#include "common/error.hpp"
+
+namespace tc::device {
+
+DeviceSpec rtx2070() {
+  DeviceSpec d;
+  d.name = "RTX2070";
+  d.num_sms = 36;
+  d.sm_clock_ghz = 1.62;  // boost clock; yields the paper's 59.7 TFLOPS peak
+  d.dram_bw_theoretical_gbps = 448.0;
+  d.dram_bw_gbps = 380.0;  // Table II measured
+  d.l2_bw_gbps = 750.0;    // Table II measured
+  d.l2_size_bytes = 4ull * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec t4() {
+  DeviceSpec d;
+  d.name = "T4";
+  d.num_sms = 40;
+  d.sm_clock_ghz = 1.59;  // paper locks the clock at 1590 MHz
+  d.dram_bw_theoretical_gbps = 320.0;
+  d.dram_bw_gbps = 238.0;  // Table II measured
+  d.l2_bw_gbps = 910.0;    // Table II measured
+  d.l2_size_bytes = 4ull * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec spec_by_name(const std::string& name) {
+  if (name == "rtx2070" || name == "RTX2070") return rtx2070();
+  if (name == "t4" || name == "T4") return t4();
+  throw Error("unknown device: " + name + " (expected rtx2070 or t4)");
+}
+
+}  // namespace tc::device

@@ -1,0 +1,235 @@
+#include "kernels/micro.hpp"
+
+#include "common/error.hpp"
+#include "sass/builder.hpp"
+
+namespace tc::kernels {
+
+using sass::CacheOp;
+using sass::CmpOp;
+using sass::KernelBuilder;
+using sass::MemWidth;
+using sass::Opcode;
+using sass::Pred;
+using sass::Reg;
+using sass::RZ;
+using sass::SpecialReg;
+
+namespace {
+
+/// Emits the common loop prologue: R60 = lane id, R61 = output base,
+/// R62 = out + lane*4, R63 = loop counter. Returns after clock start is in
+/// R58 and stored to out[lane].
+void emit_clocked_prologue(KernelBuilder& b, int iters) {
+  b.s2r(Reg{60}, SpecialReg::kLaneId).stall(1);
+  b.mov_param(Reg{61}, 0).stall(12);  // cover S2R/param latency before use
+  b.shl(Reg{59}, Reg{60}, 2).stall(6);
+  b.iadd3(Reg{62}, Reg{61}, Reg{59}).stall(6);
+  b.mov_imm(Reg{63}, iters).stall(6);
+  b.cs2r_clock(Reg{58}).stall(12);
+  b.stg(MemWidth::k32, Reg{62}, Reg{58}, 0).stall(1);
+}
+
+/// Emits end-clock store to out[32 + lane] and EXIT.
+void emit_clocked_epilogue(KernelBuilder& b) {
+  b.cs2r_clock(Reg{58}).stall(12);
+  b.stg(MemWidth::k32, Reg{62}, Reg{58}, 128).stall(1);
+  b.exit();
+}
+
+/// Emits the loop counter decrement + compare early in the body so the
+/// predicate is settled long before the closing BRA reads it.
+void emit_loop_header(KernelBuilder& b, const char* label) {
+  b.label(label);
+  // The ALU latency must elapse before the compare reads the decremented
+  // counter, or the loop runs one extra iteration (hazard-accurate model).
+  b.iadd_imm(Reg{63}, Reg{63}, -1).stall(6);
+  b.isetp_imm(Pred{0}, CmpOp::kGt, Reg{63}, 0).stall(1);
+}
+
+void emit_loop_close(KernelBuilder& b, const std::string& label) {
+  b.bra(label).pred(Pred{0}).stall(1);
+}
+
+}  // namespace
+
+sass::Program hmma_cpi_kernel(int unroll, int iters) {
+  TC_CHECK(unroll >= 8 && unroll % 8 == 0, "unroll must be a positive multiple of 8");
+  KernelBuilder b("micro_hmma_cpi");
+  b.threads(32);
+  emit_clocked_prologue(b, iters);
+
+  // Operands: A = R2:R3, B = R6, four rotating accumulators D/C = R8..R15 so
+  // the writeback latency (10/14) never races the next read (distance >= 32
+  // issue cycles at CPI 8).
+  for (int r = 2; r <= 15; ++r) b.mov_imm(Reg{static_cast<std::uint8_t>(r)}, 0).stall(1);
+  b.nop().stall(6);
+
+  emit_loop_header(b, "loop");
+  for (int i = 0; i < unroll; ++i) {
+    const auto d = static_cast<std::uint8_t>(8 + 2 * (i % 4));
+    b.hmma_1688_f16(Reg{d}, Reg{2}, Reg{6}, Reg{d}).stall(1);
+  }
+  emit_loop_close(b, "loop");
+
+  emit_clocked_epilogue(b);
+  return b.finalize();
+}
+
+sass::Program hmma_latency_kernel(int stall) {
+  TC_CHECK(stall >= 0 && stall <= 15, "stall must fit the 4-bit control field");
+  KernelBuilder b("micro_hmma_latency");
+  b.threads(32);
+
+  // R40 = input base, R41 = output base, R42 = lane*4.
+  b.s2r(Reg{44}, SpecialReg::kLaneId).stall(1);
+  b.mov_param(Reg{40}, 0).stall(1);
+  b.mov_param(Reg{41}, 1).stall(12);
+  b.shl(Reg{42}, Reg{44}, 2).stall(6);
+
+  // Load fragments: A0 A1 B C0 C1 at in + {0,128,256,384,512} + lane*4.
+  b.iadd3(Reg{43}, Reg{40}, Reg{42}).stall(6);
+  b.ldg(MemWidth::k32, Reg{2}, Reg{43}, 0);     // A0
+  b.write_bar(0).stall(1);
+  b.ldg(MemWidth::k32, Reg{3}, Reg{43}, 128);   // A1
+  b.write_bar(0).stall(1);
+  b.ldg(MemWidth::k32, Reg{6}, Reg{43}, 256);   // B
+  b.write_bar(0).stall(1);
+  b.ldg(MemWidth::k32, Reg{4}, Reg{43}, 384);   // C0
+  b.write_bar(0).stall(1);
+  b.ldg(MemWidth::k32, Reg{5}, Reg{43}, 512);   // C1
+  b.write_bar(0).stall(1);
+
+  // Poison D so stale reads are visible, and precompute the output address
+  // out + lane*8 (STG.64 stores both destination registers).
+  b.mov_imm(Reg{8}, 0x7E007E00).wait_on(0).stall(1);  // NaN|NaN
+  b.mov_imm(Reg{9}, 0x7E007E00).stall(1);
+  b.shl(Reg{46}, Reg{44}, 3).stall(6);
+  b.iadd3(Reg{45}, Reg{41}, Reg{46}).stall(6);
+
+  // The probe: HMMA, then store D after exactly `stall` cycles with no
+  // scoreboard protection (the paper's methodology). STG.64 reads both
+  // halves in one instruction, so the low half is correct iff
+  // stall >= 10 and the high half iff stall >= 14.
+  b.hmma_1688_f16(Reg{8}, Reg{2}, Reg{6}, Reg{4}).stall(stall == 0 ? 1 : stall);
+  b.stg(MemWidth::k64, Reg{45}, Reg{8}, 0).stall(1);
+  b.exit();
+  return b.finalize();
+}
+
+sass::Program smem_cpi_kernel(Opcode op, MemWidth width, int unroll, int iters) {
+  TC_CHECK(op == Opcode::kLds || op == Opcode::kSts, "op must be LDS or STS");
+  TC_CHECK(unroll > 0, "unroll must be positive");
+  KernelBuilder b("micro_smem_cpi");
+  b.threads(32);
+  b.smem(4096);
+  emit_clocked_prologue(b, iters);
+
+  // Conflict-free lane-linear shared address: lane * width_bytes.
+  const int bytes = sass::width_bytes(width);
+  b.imad_imm(Reg{50}, Reg{60}, bytes).stall(6);
+  for (int r = 8; r < 8 + sass::width_regs(width); ++r) {
+    b.mov_imm(Reg{static_cast<std::uint8_t>(r)}, 0x3C003C00).stall(1);  // 1.0|1.0
+  }
+  b.nop().stall(6);
+
+  emit_loop_header(b, "loop");
+  for (int i = 0; i < unroll; ++i) {
+    if (op == Opcode::kLds) {
+      b.lds(width, Reg{8}, Reg{50}, 0).stall(1);
+    } else {
+      b.sts(width, Reg{50}, Reg{8}, 0).stall(1);
+    }
+  }
+  emit_loop_close(b, "loop");
+
+  emit_clocked_epilogue(b);
+  return b.finalize();
+}
+
+sass::Program ldg_cpi_kernel(MemWidth width, CacheOp cache, int unroll, int iters,
+                             std::uint32_t window_bytes) {
+  TC_CHECK(unroll > 0, "unroll must be positive");
+  const auto bytes = static_cast<std::uint32_t>(sass::width_bytes(width));
+  TC_CHECK(window_bytes % (32u * bytes) == 0, "window must hold whole warp accesses");
+  KernelBuilder b("micro_ldg_cpi");
+  b.threads(32);
+  emit_clocked_prologue(b, iters);
+
+  // R50 = data base + lane*bytes.
+  b.mov_param(Reg{51}, 1).stall(12);
+  b.imad_imm(Reg{50}, Reg{60}, static_cast<std::int32_t>(bytes)).stall(6);
+  b.iadd3(Reg{50}, Reg{50}, Reg{51}).stall(6);
+
+  emit_loop_header(b, "loop");
+  for (int i = 0; i < unroll; ++i) {
+    const auto offset = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(i) * 32u * bytes) % window_bytes);
+    b.ldg(width, Reg{8}, Reg{50}, offset, cache).stall(1);
+  }
+  emit_loop_close(b, "loop");
+
+  emit_clocked_epilogue(b);
+  return b.finalize();
+}
+
+sass::Program stream_load_kernel(std::uint32_t bytes_per_cta, bool distinct_per_cta,
+                                 int passes) {
+  TC_CHECK(bytes_per_cta % (256 * 16) == 0, "bytes_per_cta must be a multiple of 4 KiB");
+  KernelBuilder b("micro_stream_load");
+  b.threads(256);
+  emit_clocked_prologue(b, passes);  // loop counter counts passes
+
+  // tid (not just lane) for addressing: R52 = tid.
+  b.s2r(Reg{52}, SpecialReg::kTidX).stall(1);
+  b.mov_param(Reg{51}, 1).stall(1);
+  b.s2r(Reg{53}, SpecialReg::kCtaIdX).stall(12);
+  // base = data + (distinct ? ctaid * bytes_per_cta : 0) + tid*16.
+  if (distinct_per_cta) {
+    b.imad_imm(Reg{54}, Reg{53}, static_cast<std::int32_t>(bytes_per_cta), Reg{51}).stall(6);
+  } else {
+    b.mov(Reg{54}, Reg{51}).stall(6);
+  }
+  b.shl(Reg{55}, Reg{52}, 4).stall(6);
+  b.iadd3(Reg{50}, Reg{54}, Reg{55}).stall(6);
+
+  // Each pass: stride over the CTA's range with 256 threads * 16 B chunks.
+  const std::uint32_t chunk = 256 * 16;
+  const auto chunks = static_cast<int>(bytes_per_cta / chunk);
+  emit_loop_header(b, "loop");
+  for (int i = 0; i < chunks; ++i) {
+    b.ldg(MemWidth::k128, Reg{8}, Reg{50}, static_cast<std::int32_t>(i * chunk), CacheOp::kCg)
+        .stall(1);
+  }
+  emit_loop_close(b, "loop");
+
+  emit_clocked_epilogue(b);
+  return b.finalize();
+}
+
+sass::Program lds_conflict_kernel(int stride_words, int unroll, int iters) {
+  TC_CHECK(stride_words >= 1, "stride must be >= 1");
+  KernelBuilder b("micro_lds_conflict");
+  b.threads(32);
+  b.smem(static_cast<std::uint32_t>(32 * stride_words * 4 + 4));
+  emit_clocked_prologue(b, iters);
+
+  b.imad_imm(Reg{50}, Reg{60}, 4 * stride_words).stall(6);
+
+  emit_loop_header(b, "loop");
+  for (int i = 0; i < unroll; ++i) {
+    b.lds(MemWidth::k32, Reg{8}, Reg{50}, 0).stall(1);
+  }
+  emit_loop_close(b, "loop");
+
+  emit_clocked_epilogue(b);
+  return b.finalize();
+}
+
+double cpi_from_clocks(std::uint32_t start, std::uint32_t end, int unroll, int iters) {
+  TC_CHECK(unroll > 0 && iters > 0, "bad loop dimensions");
+  const auto delta = static_cast<double>(end - start);  // wraps correctly in u32
+  return delta / (static_cast<double>(unroll) * iters);
+}
+
+}  // namespace tc::kernels

@@ -1,0 +1,67 @@
+// SASS microbenchmark kernel generators (paper Sections IV-C and V).
+//
+// Each generator reproduces one of the paper's measurement kernels:
+//
+//  * hmma_cpi_kernel      — a loop of back-to-back HMMA.1688.F16 with CS2R
+//                           clock reads around it (Table I CPI).
+//  * hmma_latency_kernel  — one HMMA followed after `stall` cycles by a
+//                           store of D; the paper finds the result is correct
+//                           only for stall >= 10 (low half) / 14 (high half).
+//  * smem_cpi_kernel      — 128-instruction LDS/STS loops per width with
+//                           conflict-free offsets (Tables IV/V).
+//  * ldg_cpi_kernel       — 128-instruction LDG loops per width, .CA within
+//                           an L1-resident window or .CG within an
+//                           L2-resident window (Table III).
+//  * stream_load_kernel   — 512 KB of LDG.128.CG per CTA at distinct or
+//                           shared locations (Table II DRAM/L2 bandwidth).
+//  * lds_conflict_kernel  — LDS.32 with a configurable word stride, to map
+//                           bank-conflict cost directly.
+//
+// All kernels write their CS2R clock samples to param-provided output
+// buffers: out[lane] = start, out[32+lane] = end.
+#pragma once
+
+#include <cstdint>
+
+#include "sass/program.hpp"
+
+namespace tc::kernels {
+
+/// Parameters: [0] = output buffer (2*32 u32: start/end clocks per lane).
+/// One warp; `unroll` HMMAs per loop body, `iters` loop iterations.
+[[nodiscard]] sass::Program hmma_cpi_kernel(int unroll, int iters);
+
+/// Parameters: [0] = input buffer (A,B,C fragments as prepared by the
+/// harness: 32 u32 A0, 32 u32 A1, 32 u32 B, 32 u32 C0, 32 u32 C1),
+/// [1] = output buffer (64 u32: D0, D1 per lane).
+/// Issues one HMMA.1688.F16 and stores D after `stall` cycles with NO
+/// scoreboard protection; with stall < the true latency the stored values
+/// are stale.
+[[nodiscard]] sass::Program hmma_latency_kernel(int stall);
+
+/// Parameters: [0] = output buffer. One warp; shared-memory op loop with
+/// conflict-free addresses (lane-linear).
+[[nodiscard]] sass::Program smem_cpi_kernel(sass::Opcode op, sass::MemWidth width, int unroll,
+                                            int iters);
+
+/// Parameters: [0] = output clocks, [1] = data buffer base. Loop of LDG
+/// instructions over a `window_bytes` window (wraps), lane-linear addresses.
+[[nodiscard]] sass::Program ldg_cpi_kernel(sass::MemWidth width, sass::CacheOp cache,
+                                           int unroll, int iters, std::uint32_t window_bytes);
+
+/// Parameters: [0] = output clocks, [1] = data base. Each CTA streams
+/// `bytes_per_cta` bytes with LDG.128.CG, `passes` times. When
+/// `distinct_per_cta`, CTA i reads at base + i*bytes_per_cta (DRAM test);
+/// otherwise all CTAs read the same range (L2 test).
+[[nodiscard]] sass::Program stream_load_kernel(std::uint32_t bytes_per_cta,
+                                               bool distinct_per_cta, int passes);
+
+/// Parameters: [0] = output clocks. LDS.32 where lane l reads word
+/// l*stride_words — stride 1 is conflict-free, stride 2 is 2-way, etc.
+[[nodiscard]] sass::Program lds_conflict_kernel(int stride_words, int unroll, int iters);
+
+/// Harness-side helper: CPI from the clock samples of a loop kernel.
+[[nodiscard]] double cpi_from_clocks(std::uint32_t start, std::uint32_t end, int unroll,
+                                     int iters);
+
+}  // namespace tc::kernels

@@ -1,0 +1,84 @@
+#include "mem/banked_smem.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace tc::mem {
+
+SmemAccessCost smem_access_cost(std::span<const std::uint32_t> addrs,
+                                std::span<const bool> active, sass::MemWidth width,
+                                bool is_store) {
+  TC_CHECK(addrs.size() == 32 && active.size() == 32, "warp access needs 32 lanes");
+  const int bytes = sass::width_bytes(width);
+  const int lanes_per_phase = 128 / bytes;  // 32, 16 or 8
+  const int num_phases = 32 / lanes_per_phase;
+
+  SmemAccessCost cost;
+  cost.phases = num_phases;
+
+  for (int phase = 0; phase < num_phases; ++phase) {
+    // Each lane in the phase touches `bytes/4` consecutive 4-byte words.
+    // Gather the distinct words per bank; same-word loads broadcast.
+    std::array<std::vector<std::uint32_t>, kNumBanks> words_per_bank;
+    bool any_active = false;
+    for (int l = 0; l < lanes_per_phase; ++l) {
+      const int lane = phase * lanes_per_phase + l;
+      if (!active[static_cast<std::size_t>(lane)]) continue;
+      any_active = true;
+      const std::uint32_t base = addrs[static_cast<std::size_t>(lane)];
+      TC_CHECK(base % static_cast<std::uint32_t>(bytes) == 0,
+               "misaligned shared memory access");
+      for (int wword = 0; wword < bytes / kBankWidthBytes; ++wword) {
+        const std::uint32_t word_addr = base / kBankWidthBytes + static_cast<std::uint32_t>(wword);
+        const auto bank = word_addr % kNumBanks;
+        auto& v = words_per_bank[bank];
+        if (is_store || std::find(v.begin(), v.end(), word_addr) == v.end()) {
+          v.push_back(word_addr);
+        }
+      }
+    }
+    if (!any_active) {
+      cost.beats += 1;  // the phase still occupies the pipe
+      continue;
+    }
+    int ways = 1;
+    for (const auto& v : words_per_bank) {
+      ways = std::max(ways, static_cast<int>(v.size()));
+    }
+    cost.beats += ways;
+  }
+  return cost;
+}
+
+SharedMemory::SharedMemory(std::uint32_t bytes) : data_(bytes) {}
+
+void SharedMemory::read(std::uint32_t addr, std::span<std::uint8_t> out) const {
+  TC_CHECK(static_cast<std::size_t>(addr) + out.size() <= data_.size(),
+           "shared memory read out of range: addr=" + std::to_string(addr) +
+               " size=" + std::to_string(out.size()) + " smem=" + std::to_string(data_.size()));
+  std::memcpy(out.data(), data_.data() + addr, out.size());
+}
+
+void SharedMemory::write(std::uint32_t addr, std::span<const std::uint8_t> in) {
+  TC_CHECK(static_cast<std::size_t>(addr) + in.size() <= data_.size(),
+           "shared memory write out of range: addr=" + std::to_string(addr) +
+               " size=" + std::to_string(in.size()) + " smem=" + std::to_string(data_.size()));
+  std::memcpy(data_.data() + addr, in.data(), in.size());
+}
+
+std::uint32_t SharedMemory::read_u32(std::uint32_t addr) const {
+  std::uint32_t v = 0;
+  read(addr, std::span(reinterpret_cast<std::uint8_t*>(&v), 4));
+  return v;
+}
+
+void SharedMemory::write_u32(std::uint32_t addr, std::uint32_t value) {
+  write(addr, std::span(reinterpret_cast<const std::uint8_t*>(&value), 4));
+}
+
+void SharedMemory::clear() { std::fill(data_.begin(), data_.end(), std::uint8_t{0}); }
+
+}  // namespace tc::mem

@@ -1,0 +1,64 @@
+// Shared memory: functional storage plus the 32-bank conflict model.
+//
+// Turing shared memory has 32 banks of 4 bytes with a 128 B/cycle load path.
+// A warp's LDS/STS is processed in phases (LDS.32: one phase of 32 lanes,
+// LDS.64: two phases of 16, LDS.128: four phases of 8). Within a phase, lanes
+// that touch distinct 4-byte words in the same bank serialize; lanes reading
+// the *same* word broadcast for free. The paper's Fig. 5 shows that a naive
+// A[256][32]/B[256][32] layout doubles HGEMM time through exactly these
+// conflicts; the padded layout (8 halves every other row) removes them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sass/isa.hpp"
+
+namespace tc::mem {
+
+inline constexpr int kNumBanks = 32;
+inline constexpr int kBankWidthBytes = 4;
+
+/// Result of arbitrating one warp-wide shared memory access.
+struct SmemAccessCost {
+  /// Total bank beats consumed (>= phases; == phases when conflict-free).
+  int beats = 0;
+  /// Minimum beats for this width (the conflict-free count of phases).
+  int phases = 0;
+
+  /// Multiplier the MIO pipe applies to the base CPI of this access.
+  [[nodiscard]] double conflict_factor() const {
+    return phases == 0 ? 1.0 : static_cast<double>(beats) / phases;
+  }
+  [[nodiscard]] bool conflict_free() const { return beats == phases; }
+};
+
+/// Computes bank-conflict cost for a warp access. `addrs[i]` is lane i's byte
+/// address; `active[i]` false lanes are ignored (predicated off).
+/// `is_store` disables the read-broadcast optimization.
+[[nodiscard]] SmemAccessCost smem_access_cost(std::span<const std::uint32_t> addrs,
+                                              std::span<const bool> active,
+                                              sass::MemWidth width, bool is_store);
+
+/// Functional shared memory array for one CTA.
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::uint32_t bytes);
+
+  [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(data_.size()); }
+
+  /// Reads `n` bytes at `addr` into `out`; throws on out-of-range access.
+  void read(std::uint32_t addr, std::span<std::uint8_t> out) const;
+  void write(std::uint32_t addr, std::span<const std::uint8_t> in);
+
+  std::uint32_t read_u32(std::uint32_t addr) const;
+  void write_u32(std::uint32_t addr, std::uint32_t value);
+
+  void clear();
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace tc::mem

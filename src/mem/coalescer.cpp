@@ -1,0 +1,29 @@
+#include "mem/coalescer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mem/sector_cache.hpp"
+
+namespace tc::mem {
+
+std::vector<std::uint64_t> coalesce_sectors(std::span<const std::uint32_t> lane_addrs,
+                                            std::span<const bool> active,
+                                            sass::MemWidth width) {
+  TC_CHECK(lane_addrs.size() == 32 && active.size() == 32, "warp access needs 32 lanes");
+  const auto bytes = static_cast<std::uint32_t>(sass::width_bytes(width));
+
+  std::vector<std::uint64_t> sectors;
+  sectors.reserve(32);
+  for (std::size_t lane = 0; lane < 32; ++lane) {
+    if (!active[lane]) continue;
+    const std::uint64_t lo = lane_addrs[lane] / kSectorBytes;
+    const std::uint64_t hi = (lane_addrs[lane] + bytes - 1) / kSectorBytes;
+    for (std::uint64_t s = lo; s <= hi; ++s) sectors.push_back(s * kSectorBytes);
+  }
+  std::sort(sectors.begin(), sectors.end());
+  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+  return sectors;
+}
+
+}  // namespace tc::mem

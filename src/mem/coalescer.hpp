@@ -1,0 +1,22 @@
+// Global-access coalescer: maps a warp's LDG/STG lane addresses onto the set
+// of distinct 32-byte sectors the memory system must move.
+//
+// Coalescing is what makes the paper's Eq. (4) work: a warp-wide LDG.128 of
+// consecutive lanes touches 512 bytes = 16 sectors, and the MIO/L2 cost is
+// proportional to sectors, not lanes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sass/isa.hpp"
+
+namespace tc::mem {
+
+/// Distinct 32B sector base addresses touched by one warp access, ascending.
+[[nodiscard]] std::vector<std::uint64_t> coalesce_sectors(
+    std::span<const std::uint32_t> lane_addrs, std::span<const bool> active,
+    sass::MemWidth width);
+
+}  // namespace tc::mem

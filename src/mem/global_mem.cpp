@@ -1,0 +1,84 @@
+#include "mem/global_mem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace tc::mem {
+
+GlobalMemory::GlobalMemory(std::uint64_t capacity) : capacity_(capacity) {
+  TC_CHECK(capacity_ <= (1ull << 32), "global memory window is 32-bit addressed");
+}
+
+std::uint32_t GlobalMemory::alloc(std::uint64_t bytes) {
+  TC_CHECK(bytes > 0, "zero-byte device allocation");
+  const std::uint64_t aligned = (next_ + 255) & ~std::uint64_t{255};
+  TC_CHECK(aligned + bytes <= capacity_,
+           "simulated device out of memory: need " + std::to_string(bytes) + " bytes, " +
+               std::to_string(capacity_ - aligned) + " free in the 4 GiB window");
+  next_ = aligned + bytes;
+  return static_cast<std::uint32_t>(aligned);
+}
+
+void GlobalMemory::reset() {
+  std::unique_lock lock(mutex_);
+  next_ = kBase;
+  pages_.clear();
+}
+
+// Raw Page pointers stay valid across map rehashes (the map owns unique_ptrs)
+// and pages are only destroyed in reset(), so returning them is safe.
+GlobalMemory::Page* GlobalMemory::page_for_write(std::uint64_t page_index) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = pages_.find(page_index);
+    if (it != pages_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = pages_[page_index];
+  if (!slot) slot = std::make_unique<Page>(kPageBytes, std::uint8_t{0});
+  return slot.get();
+}
+
+const GlobalMemory::Page* GlobalMemory::page_for_read(std::uint64_t page_index) const {
+  std::shared_lock lock(mutex_);
+  auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void GlobalMemory::read(std::uint32_t addr, std::span<std::uint8_t> out) const {
+  TC_CHECK(addr >= kBase, "read through simulated null pointer");
+  std::uint64_t a = addr;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t page = a / kPageBytes;
+    const std::uint64_t off = a % kPageBytes;
+    const std::size_t chunk =
+        std::min<std::size_t>(out.size() - done, kPageBytes - static_cast<std::size_t>(off));
+    if (const Page* p = page_for_read(page)) {
+      std::memcpy(out.data() + done, p->data() + off, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+    a += chunk;
+  }
+}
+
+void GlobalMemory::write(std::uint32_t addr, std::span<const std::uint8_t> in) {
+  TC_CHECK(addr >= kBase, "write through simulated null pointer");
+  std::uint64_t a = addr;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t page = a / kPageBytes;
+    const std::uint64_t off = a % kPageBytes;
+    const std::size_t chunk =
+        std::min<std::size_t>(in.size() - done, kPageBytes - static_cast<std::size_t>(off));
+    std::memcpy(page_for_write(page)->data() + off, in.data() + done, chunk);
+    done += chunk;
+    a += chunk;
+  }
+}
+
+}  // namespace tc::mem

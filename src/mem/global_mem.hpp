@@ -1,0 +1,64 @@
+// Simulated device global memory: sparse paged storage + arena allocator.
+//
+// The device exposes a 32-bit virtual address window (SASS address registers
+// are 32-bit in this model). Pages are allocated on first write, so timing
+// simulations of a few representative CTAs of an enormous GEMM touch only a
+// handful of pages even when the logical matrices would not fit in host RAM.
+// Reads of never-written memory return zeros, like freshly cudaMalloc'ed
+// memory in practice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace tc::mem {
+
+inline constexpr std::uint32_t kPageBytes = 1u << 14;  // 16 KiB pages
+
+/// Sparse global memory with bump allocation.
+class GlobalMemory {
+ public:
+  /// `capacity` caps the allocator (default: the full 4 GiB window minus a
+  /// guard page so addr+offset arithmetic cannot wrap).
+  explicit GlobalMemory(std::uint64_t capacity = (1ull << 32) - kPageBytes);
+
+  /// Allocates `bytes` aligned to 256 B; throws when the arena is exhausted.
+  std::uint32_t alloc(std::uint64_t bytes);
+
+  /// Releases everything allocated so far (arena-style reset).
+  void reset();
+
+  void read(std::uint32_t addr, std::span<std::uint8_t> out) const;
+  void write(std::uint32_t addr, std::span<const std::uint8_t> in);
+
+  /// Bytes currently allocated by `alloc`.
+  [[nodiscard]] std::uint64_t allocated() const { return next_ - kBase; }
+  /// Number of materialized pages (for tests / footprint checks).
+  [[nodiscard]] std::size_t resident_pages() const {
+    std::shared_lock lock(mutex_);
+    return pages_.size();
+  }
+
+ private:
+  // Address 0 is kept unmapped so that "null" device pointers fault loudly.
+  static constexpr std::uint64_t kBase = 256;
+
+  using Page = std::vector<std::uint8_t>;
+  Page* page_for_write(std::uint64_t page_index);
+  const Page* page_for_read(std::uint64_t page_index) const;
+
+  std::uint64_t capacity_;
+  std::uint64_t next_ = kBase;
+  // Functional execution runs CTAs on host threads; page-table mutation and
+  // lookup are guarded (CTAs write disjoint bytes, so page *contents* need no
+  // finer locking once the page exists).
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace tc::mem

@@ -1,0 +1,78 @@
+// Fractional byte-per-cycle bandwidth budget.
+//
+// DRAM and L2 are modeled as sustained-bandwidth pipes: each simulated cycle
+// deposits `rate` bytes of credit (capped at a small burst window), and a
+// memory request must withdraw its bytes before completing. When credit runs
+// dry the request's completion slips — this is how DRAM-boundness emerges in
+// the HGEMM timing runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace tc::mem {
+
+class TokenBucket {
+ public:
+  /// `bytes_per_cycle` may be fractional; `burst_cycles` bounds how much
+  /// unused credit can accumulate (keeps long idle periods from creating
+  /// unrealistic bursts). The cap never drops below one maximal warp request
+  /// (512 B) so low-rate buckets can still satisfy individual accesses.
+  explicit TokenBucket(double bytes_per_cycle, double burst_cycles = 64.0)
+      : rate_(bytes_per_cycle),
+        cap_(std::max(bytes_per_cycle * burst_cycles, 1024.0)),
+        credit_(cap_) {
+    TC_CHECK(bytes_per_cycle > 0.0, "bandwidth must be positive");
+  }
+
+  /// Advances time by `cycles`, accruing credit.
+  void tick(double cycles = 1.0) {
+    credit_ = std::min(cap_, credit_ + rate_ * cycles);
+  }
+
+  /// Attempts to withdraw `bytes`; returns true on success.
+  bool try_consume(double bytes) {
+    if (credit_ + 1e-9 < bytes) return false;
+    credit_ -= bytes;
+    total_ += bytes;
+    return true;
+  }
+
+  /// Returns credit taken by a try_consume that had to be rolled back
+  /// (e.g. a sibling bucket refused its share of the same request).
+  void refund(double bytes) {
+    credit_ = std::min(cap_, credit_ + bytes);
+    total_ -= bytes;
+  }
+
+  /// Cycles until `bytes` of credit will be available (0 if already there).
+  [[nodiscard]] double cycles_until(double bytes) const {
+    return credit_ >= bytes ? 0.0 : (bytes - credit_) / rate_;
+  }
+
+  /// Unconditionally withdraws `bytes`, letting credit go negative, and
+  /// returns how many cycles the requester's data is delayed until the debt
+  /// is repaid by refill. This models a memory system with outstanding-miss
+  /// queues: bandwidth shortage delays *completions* without blocking the
+  /// pipe that issued the request, while the sustained rate still converges
+  /// to `rate` because debt (and hence delay) grows with over-subscription.
+  double consume_with_debt(double bytes) {
+    credit_ -= bytes;
+    total_ += bytes;
+    return credit_ >= 0.0 ? 0.0 : -credit_ / rate_;
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double total_consumed() const { return total_; }
+  void reset_stats() { total_ = 0.0; }
+
+ private:
+  double rate_;
+  double cap_;
+  double credit_;
+  double total_ = 0.0;
+};
+
+}  // namespace tc::mem

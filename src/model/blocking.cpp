@@ -1,0 +1,58 @@
+#include "model/blocking.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tc::model {
+
+std::string BlockConfig::to_string() const {
+  return "(" + std::to_string(bm) + "x" + std::to_string(bn) + "x" + std::to_string(bk) +
+         ")/(" + std::to_string(wm) + "x" + std::to_string(wn) + "x" + std::to_string(wk) + ")";
+}
+
+double hmma_cycles(const BlockConfig& b, const CpiSet& cpi) {
+  const double flops = 2.0 * b.bm * b.bn * b.bk;
+  return flops / (2.0 * 16 * 8 * 8 * 4) * cpi.hmma;
+}
+
+double ldg_sts_cycles(const BlockConfig& b, const CpiSet& cpi) {
+  const double bytes = static_cast<double>(b.bm + b.bn) * b.bk * 2.0;
+  return bytes / (32.0 * 16.0) * (cpi.ldg128 + cpi.sts128);
+}
+
+double lds_cycles(const BlockConfig& b, const CpiSet& cpi) {
+  const double warp_tiles = static_cast<double>(b.bm) * b.bn / (static_cast<double>(b.wm) * b.wn);
+  const double fragments_per_step = static_cast<double>(b.wm) / 8.0 + static_cast<double>(b.wn) / 8.0;
+  const double k_steps = static_cast<double>(b.bk) / b.wk;
+  return warp_tiles * fragments_per_step * k_steps * cpi.lds32;
+}
+
+double memio_cycles(const BlockConfig& b, const CpiSet& cpi) {
+  return ldg_sts_cycles(b, cpi) + lds_cycles(b, cpi);
+}
+
+bool tensor_bound(const BlockConfig& b, const CpiSet& cpi) {
+  return hmma_cycles(b, cpi) >= memio_cycles(b, cpi);
+}
+
+int min_hmma_between_sts128(const CpiSet& cpi) {
+  TC_CHECK(cpi.hmma > 0.0, "HMMA CPI must be positive");
+  return static_cast<int>(std::ceil(4.0 * cpi.sts128 / cpi.hmma));
+}
+
+std::vector<TableVIRow> table_vi(const CpiSet& cpi) {
+  const std::vector<BlockConfig> configs = {
+      {128, 128, 32, 64, 64, 8},  {128, 128, 32, 128, 64, 8},
+      {256, 128, 32, 64, 64, 8},  {256, 128, 32, 128, 64, 8},
+      {256, 256, 32, 64, 64, 8},  {256, 256, 32, 128, 64, 8},
+  };
+  std::vector<TableVIRow> rows;
+  rows.reserve(configs.size());
+  for (const auto& c : configs) {
+    rows.push_back({c, hmma_cycles(c, cpi), memio_cycles(c, cpi)});
+  }
+  return rows;
+}
+
+}  // namespace tc::model

@@ -1,0 +1,62 @@
+// Blocking-size analysis (paper Section VI-A, Eqs. (3)-(5), Table VI) and
+// the instruction-interleaving rule (Section VI-C, Eq. (6)).
+//
+// The analysis compares, per main-loop iteration of the blocked HGEMM
+// (Algorithm 1), the cycles the Tensor Core pipe needs against the cycles
+// the (shared) memory-IO pipe needs. A configuration is usable only when the
+// HMMA cycles dominate — otherwise the MIO pipe throttles the Tensor Cores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tc::model {
+
+/// Measured CPI inputs of the analysis. Defaults are the paper's values
+/// (Tables I, III, IV); benches refill them from this repo's own simulator
+/// measurements to check consistency.
+struct CpiSet {
+  double hmma = 8.06;     // HMMA.1688.F16
+  double ldg128 = 15.95;  // LDG.128 served from L2
+  double sts128 = 10.00;
+  double lds32 = 2.11;
+};
+
+/// Two-level blocking configuration (thread block and warp tiles).
+struct BlockConfig {
+  int bm = 256, bn = 256, bk = 32;
+  int wm = 128, wn = 64, wk = 8;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Eq. (3): Tensor-Core cycles per thread-block iteration.
+/// 2*bm*bn*bk FLOP / (2*16*8*8 per HMMA * 4 partitions) * CPI.
+[[nodiscard]] double hmma_cycles(const BlockConfig& b, const CpiSet& cpi);
+
+/// Eq. (4): cycles to move the (bm+bn)*bk tile global->shared with 128-bit
+/// instructions through the MIO pipe.
+[[nodiscard]] double ldg_sts_cycles(const BlockConfig& b, const CpiSet& cpi);
+
+/// Eq. (5): cycles to read fragments from shared memory with LDS.32.
+[[nodiscard]] double lds_cycles(const BlockConfig& b, const CpiSet& cpi);
+
+/// Eq. (4) + Eq. (5).
+[[nodiscard]] double memio_cycles(const BlockConfig& b, const CpiSet& cpi);
+
+/// True when the config keeps the Tensor Cores (not the MIO pipe) busy.
+[[nodiscard]] bool tensor_bound(const BlockConfig& b, const CpiSet& cpi);
+
+/// Eq. (6): minimum number of HMMAs to interleave between consecutive
+/// STS.128 so the 4 partitions' compute covers the store's MIO occupancy.
+[[nodiscard]] int min_hmma_between_sts128(const CpiSet& cpi);
+
+/// The rows of Table VI.
+struct TableVIRow {
+  BlockConfig config;
+  double hmma = 0.0;
+  double memio = 0.0;
+};
+[[nodiscard]] std::vector<TableVIRow> table_vi(const CpiSet& cpi);
+
+}  // namespace tc::model

@@ -1,0 +1,74 @@
+#include "model/l2_reuse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tc::model {
+
+L2Reuse l2_reuse(const L2ReuseInput& in) {
+  TC_CHECK(in.wave_ctas > 0 && in.grid_x > 0 && in.grid_y > 0, "bad reuse input");
+  const double total_ctas = static_cast<double>(in.grid_x) * static_cast<double>(in.grid_y);
+  const double wave = std::min(static_cast<double>(in.wave_ctas), total_ctas);
+
+  const bool swizzle_intended = in.order == LaunchOrder::kSwizzled;
+  const bool swizzle_ok =
+      swizzle_intended && in.grid_x <= static_cast<std::uint64_t>(in.swizzle_max_grid_x);
+
+  double rows;
+  double cols;
+  if (swizzle_ok) {
+    // Rectangular patch minimizing rows*bm + cols*bn subject to rows*cols=W.
+    rows = std::sqrt(wave * in.bn / in.bm);
+    rows = std::clamp(rows, 1.0, static_cast<double>(in.grid_y));
+    cols = std::min(std::ceil(wave / rows), static_cast<double>(in.grid_x));
+    rows = std::min(std::ceil(wave / cols), static_cast<double>(in.grid_y));
+  } else {
+    cols = std::min(wave, static_cast<double>(in.grid_x));
+    rows = std::ceil(wave / static_cast<double>(in.grid_x));
+  }
+
+  // Drift-window footprint check: sharing degrades when the tiles a wave
+  // needs simultaneously do not fit in L2.
+  const double footprint =
+      (rows * in.bm + cols * in.bn) * in.bk * 2.0 * in.drift_window_iters;
+  double eta = in.sharing_efficiency;
+  if (footprint > static_cast<double>(in.l2_capacity)) {
+    eta *= static_cast<double>(in.l2_capacity) / footprint;
+  }
+  if (swizzle_intended && !swizzle_ok) {
+    // A *failed* swizzle is worse than plain row-major: the schedule's CTA
+    // rasterization is scattered, so concurrent CTAs rarely want the same
+    // tile at the same time. This models the cuBLAS 10.1 cliff at W=12032.
+    eta *= 0.3;
+  }
+
+  // Per k-slab: each distinct row's A tile is loaded once from DRAM and
+  // re-loaded by (sharers-1) peers, of which a fraction eta hit L2.
+  const double a_sharers = wave / rows;
+  const double b_sharers = wave / cols;
+  const double a_dram_slabs = rows * (1.0 + (a_sharers - 1.0) * (1.0 - eta));
+  const double b_dram_slabs = cols * (1.0 + (b_sharers - 1.0) * (1.0 - eta));
+
+  L2Reuse out;
+  out.wave_rows = rows;
+  out.wave_cols = cols;
+  out.effective_sharing = eta;
+  out.total_bytes_per_wave_iter = wave * (in.bm + in.bn) * in.bk * 2.0;
+  out.dram_bytes_per_wave_iter =
+      std::min((a_dram_slabs * in.bm + b_dram_slabs * in.bn) * in.bk * 2.0,
+               out.total_bytes_per_wave_iter);
+  out.ldg_l2_hit_rate = 1.0 - out.dram_bytes_per_wave_iter / out.total_bytes_per_wave_iter;
+  return out;
+}
+
+double dram_row_efficiency(double row_stride_bytes) {
+  constexpr double kFullLocality = 16.0 * 1024;
+  constexpr double kDroopPer16K = 0.15;
+  if (row_stride_bytes <= kFullLocality) return 1.0;
+  const double droop = kDroopPer16K * (row_stride_bytes - kFullLocality) / kFullLocality;
+  return std::max(0.80, 1.0 - droop);
+}
+
+}  // namespace tc::model

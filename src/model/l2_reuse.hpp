@@ -1,0 +1,59 @@
+// Inter-CTA L2 reuse model.
+//
+// A single simulated SM cannot observe the L2 hits produced by *other* SMs
+// fetching the same A-row / B-column tiles. This model computes, for one
+// wave of concurrently resident CTAs, how much of the per-iteration tile
+// traffic must come from DRAM versus L2, given:
+//
+//  * the CTA launch order: row-major (naive) or swizzled (an L2-friendly
+//    rectangular patch — the paper's future-work item, implemented here);
+//  * a sharing efficiency η < 1: CTAs drift out of lockstep, so a peer's
+//    tile is only sometimes still resident when a CTA needs it (η = 0.5
+//    calibrated against the paper's T4 plateau, documented in DESIGN.md);
+//  * the L2 capacity: when a wave's drift-window footprint exceeds it,
+//    sharing degrades proportionally;
+//  * a swizzle viability limit: the baseline's schedule degrades to
+//    row-major once the grid row exceeds `swizzle_max_grid_x`, modeling the
+//    cuBLAS 10.1 L2-blocking failure the paper observes at W = 12032.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tc::model {
+
+enum class LaunchOrder { kRowMajor, kSwizzled };
+
+struct L2ReuseInput {
+  int bm = 256, bn = 256, bk = 32;
+  std::uint64_t grid_x = 1;  // CTAs along n
+  std::uint64_t grid_y = 1;  // CTAs along m
+  int wave_ctas = 36;        // CTAs resident device-wide
+  LaunchOrder order = LaunchOrder::kSwizzled;
+  int swizzle_max_grid_x = std::numeric_limits<int>::max();
+  double sharing_efficiency = 0.5;
+  /// How many k-iterations of wave footprint must coexist in L2 for peers
+  /// to share (CTA drift window).
+  double drift_window_iters = 2.0;
+  std::uint64_t l2_capacity = 4ull << 20;
+};
+
+struct L2Reuse {
+  double wave_rows = 1.0;  // distinct C-block rows touched by the wave
+  double wave_cols = 1.0;  // distinct C-block columns
+  double effective_sharing = 0.0;
+  double dram_bytes_per_wave_iter = 0.0;   // A+B bytes from DRAM per k-slab
+  double total_bytes_per_wave_iter = 0.0;  // all A+B LDG bytes per k-slab
+  /// Fraction of tile-load sectors served from L2 (input for TimedSm's
+  /// forced_l2_hit_rate).
+  double ldg_l2_hit_rate = 0.0;
+};
+
+[[nodiscard]] L2Reuse l2_reuse(const L2ReuseInput& in);
+
+/// DRAM efficiency as a function of the row stride between consecutively
+/// fetched tile lines (GDDR6 loses row-buffer locality when k grows large).
+/// 1.0 up to 16 KiB, then a gentle linear droop, floored at 0.80.
+[[nodiscard]] double dram_row_efficiency(double row_stride_bytes);
+
+}  // namespace tc::model

@@ -1,0 +1,35 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tc::model {
+
+double block_intensity(int bm, int bn) {
+  TC_CHECK(bm > 0 && bn > 0, "blocking sizes must be positive");
+  // 2*bm*bn*bk FLOP per (bm+bn)*bk elements * 2 bytes each.
+  return static_cast<double>(bm) * bn / (static_cast<double>(bm) + bn);
+}
+
+double attainable_flops(double intensity, double bw_bytes_per_s, double peak_flops) {
+  return std::min(peak_flops, intensity * bw_bytes_per_s);
+}
+
+double ridge_intensity(double bw_bytes_per_s, double peak_flops) {
+  return peak_flops / bw_bytes_per_s;
+}
+
+std::vector<RooflinePoint> roofline_series(const device::DeviceSpec& spec,
+                                           const std::vector<double>& intensities) {
+  std::vector<RooflinePoint> out;
+  out.reserve(intensities.size());
+  const double bw = spec.dram_bw_gbps * 1e9;
+  for (const double i : intensities) {
+    out.push_back({i, attainable_flops(i, bw, spec.tensor_peak_flops()),
+                   attainable_flops(i, bw, spec.fp16_peak_flops())});
+  }
+  return out;
+}
+
+}  // namespace tc::model

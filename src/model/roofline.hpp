@@ -1,0 +1,37 @@
+// Roofline model (paper Fig. 3).
+//
+// Attainable FLOP/s = min(compute peak, arithmetic intensity x memory
+// bandwidth). The paper draws two roofs (Tensor Core and FP16 units) against
+// the *measured* DRAM bandwidth, and places the thread-block blocking sizes
+// at their computation intensities b_m*b_n/(b_m+b_n) FLOP/byte.
+#pragma once
+
+#include <vector>
+
+#include "device/spec.hpp"
+
+namespace tc::model {
+
+/// Computation intensity (FLOP per byte of DRAM traffic) of a b_m x b_n
+/// thread-block tile: 2*bm*bn*bk ops per (bm+bn)*bk half elements loaded.
+[[nodiscard]] double block_intensity(int bm, int bn);
+
+/// FLOP/s attainable at `intensity` under `bw_bytes_per_s` and `peak_flops`.
+[[nodiscard]] double attainable_flops(double intensity, double bw_bytes_per_s,
+                                      double peak_flops);
+
+/// Intensity at which the roofline ridges (memory-bound below, compute above).
+[[nodiscard]] double ridge_intensity(double bw_bytes_per_s, double peak_flops);
+
+struct RooflinePoint {
+  double intensity = 0.0;
+  double tensor_flops = 0.0;  // attainable with Tensor Cores
+  double fp16_flops = 0.0;    // attainable with FP16 units
+};
+
+/// Samples both roofs of `spec` (using measured DRAM bandwidth) at the given
+/// intensities, e.g. the blocking sizes of Section VI-A.
+[[nodiscard]] std::vector<RooflinePoint> roofline_series(const device::DeviceSpec& spec,
+                                                         const std::vector<double>& intensities);
+
+}  // namespace tc::model

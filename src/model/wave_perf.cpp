@@ -1,0 +1,31 @@
+#include "model/wave_perf.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tc::model {
+
+WaveResult compose(const WaveInput& in) {
+  TC_CHECK(in.steady.cycles_per_iter > 0.0, "steady-state cycles required");
+  TC_CHECK(in.shape.m > 0 && in.shape.n > 0 && in.shape.k > 0, "empty GEMM shape");
+
+  WaveResult out;
+  out.grid_x = (in.shape.n + static_cast<std::uint64_t>(in.bn) - 1) /
+               static_cast<std::uint64_t>(in.bn);
+  out.grid_y = (in.shape.m + static_cast<std::uint64_t>(in.bm) - 1) /
+               static_cast<std::uint64_t>(in.bm);
+  const double total_ctas = static_cast<double>(out.grid_x) * static_cast<double>(out.grid_y);
+  const double wave_ctas = static_cast<double>(in.spec.num_sms) * in.ctas_per_sm;
+  out.waves = std::ceil(total_ctas / wave_ctas);
+
+  const double iters =
+      std::ceil(static_cast<double>(in.shape.k) / static_cast<double>(in.bk));
+  const double wave_cycles = in.steady.overhead_cycles + iters * in.steady.cycles_per_iter;
+  out.kernel_cycles = out.waves * wave_cycles;
+  out.seconds = in.spec.cycles_to_seconds(out.kernel_cycles) + in.launch_overhead_us * 1e-6;
+  out.tflops = in.shape.flops() / out.seconds / 1e12;
+  return out;
+}
+
+}  // namespace tc::model

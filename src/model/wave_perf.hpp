@@ -1,0 +1,48 @@
+// Wave composition: full-device kernel time from single-SM steady state.
+//
+// A full HGEMM at W = 16384 is ~10^10 warp instructions — far beyond
+// cycle simulation. But every CTA executes the same schedule, so the device
+// time decomposes as
+//
+//   launch + ceil(grid / wave) * (overhead + iters * cycles_per_iter)
+//
+// where cycles_per_iter and overhead are *measured* on the cycle simulator
+// for one SM's resident CTA set under its fair bandwidth share. The
+// composition's arithmetic invariants (wave quantization, k-linearity,
+// launch-overhead behaviour) are covered by tests/test_model.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "device/spec.hpp"
+
+namespace tc::model {
+
+/// Steady-state measurement of one SM's resident CTA set.
+struct SteadyState {
+  double cycles_per_iter = 0.0;  // per bk-slab main-loop iteration
+  double overhead_cycles = 0.0;  // prologue + epilogue of the resident set
+};
+
+struct WaveInput {
+  device::DeviceSpec spec;
+  GemmShape shape;
+  int bm = 256, bn = 256, bk = 32;
+  int ctas_per_sm = 1;
+  SteadyState steady;
+  double launch_overhead_us = 3.0;
+};
+
+struct WaveResult {
+  std::uint64_t grid_x = 0;
+  std::uint64_t grid_y = 0;
+  double waves = 0.0;
+  double kernel_cycles = 0.0;
+  double seconds = 0.0;
+  double tflops = 0.0;
+};
+
+[[nodiscard]] WaveResult compose(const WaveInput& in);
+
+}  // namespace tc::model

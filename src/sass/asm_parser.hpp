@@ -1,0 +1,28 @@
+// Text-form SASS assembler: parses the same syntax the disassembler emits
+// (plus labels and resource directives), so kernels can be written or
+// patched as text — the workflow of maxas/turingas the paper's SASS kernel
+// was developed with. assemble(disassemble(p)) reproduces p exactly.
+//
+// Grammar (one instruction per line):
+//
+//   .kernel name          .threads N          .smem BYTES
+//   label:
+//   [@[!]Pn] OPCODE operands ; {S:n [Y] [WBk] [RBk] [W:digits] [RU:n]}
+//
+// Operands follow the disassembler: registers R0..R254/RZ, predicates
+// P0..P6/PT, immediates 0x.. or decimal, memory [Rn+0x..], parameters
+// c[0x0][i], special registers SR_*. Branch targets may be a label or an
+// absolute instruction index. `//` starts a comment.
+#pragma once
+
+#include <string>
+
+#include "sass/program.hpp"
+
+namespace tc::sass {
+
+/// Parses a whole kernel; throws tc::Error with a line number on syntax
+/// errors. The result is validated like KernelBuilder output.
+[[nodiscard]] Program assemble(const std::string& source);
+
+}  // namespace tc::sass

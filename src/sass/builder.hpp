@@ -1,0 +1,114 @@
+// KernelBuilder: the programmatic SASS assembler.
+//
+// Kernel generators (src/core, src/kernels) construct programs through this
+// fluent interface. The builder resolves labels, tracks register/parameter
+// usage, applies per-instruction control info, and runs the static validator
+// on finalize(). It plays the role of `turingas`/`maxas` in the paper's
+// workflow: the author controls instruction order, stall counts, and
+// scoreboard barriers precisely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sass/instruction.hpp"
+#include "sass/program.hpp"
+
+namespace tc::sass {
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // --- raw emission -------------------------------------------------------
+  /// Appends an instruction verbatim and returns its index.
+  int emit(Instruction inst);
+  /// Returns the last emitted instruction for control-info adjustment.
+  Instruction& last();
+  /// Number of instructions emitted so far.
+  [[nodiscard]] int size() const { return static_cast<int>(code_.size()); }
+
+  // --- control info on the last instruction -------------------------------
+  KernelBuilder& stall(int cycles);
+  KernelBuilder& yield();
+  KernelBuilder& write_bar(int idx);
+  KernelBuilder& read_bar(int idx);
+  KernelBuilder& wait(std::uint8_t mask);
+  KernelBuilder& wait_on(int idx);
+  KernelBuilder& reuse(std::uint8_t flags);
+  /// Guard the last instruction with predicate p (negated if neg).
+  KernelBuilder& pred(Pred p, bool neg = false);
+
+  // --- typed emitters ------------------------------------------------------
+  KernelBuilder& nop();
+  KernelBuilder& mov(Reg d, Reg s);
+  KernelBuilder& mov_imm(Reg d, std::int32_t imm);
+  KernelBuilder& mov_param(Reg d, int param_word);
+  KernelBuilder& s2r(Reg d, SpecialReg sr);
+  KernelBuilder& cs2r_clock(Reg d);
+  KernelBuilder& iadd3(Reg d, Reg a, Reg b, Reg c = RZ);
+  KernelBuilder& iadd_imm(Reg d, Reg a, std::int32_t imm);
+  KernelBuilder& imad(Reg d, Reg a, Reg b, Reg c = RZ);
+  KernelBuilder& imad_imm(Reg d, Reg a, std::int32_t imm, Reg c = RZ);
+  KernelBuilder& land(Reg d, Reg a, Reg b);
+  KernelBuilder& land_imm(Reg d, Reg a, std::int32_t imm);
+  KernelBuilder& lor(Reg d, Reg a, Reg b);
+  KernelBuilder& lxor(Reg d, Reg a, Reg b);
+  KernelBuilder& shl(Reg d, Reg a, int amount);
+  KernelBuilder& shr(Reg d, Reg a, int amount);
+  KernelBuilder& isetp(Pred p, CmpOp cmp, Reg a, Reg b);
+  KernelBuilder& isetp_imm(Pred p, CmpOp cmp, Reg a, std::int32_t imm);
+  KernelBuilder& sel(Reg d, Pred p, Reg a, Reg b);
+  KernelBuilder& fadd(Reg d, Reg a, Reg b);
+  KernelBuilder& fmul(Reg d, Reg a, Reg b);
+  KernelBuilder& ffma(Reg d, Reg a, Reg b, Reg c);
+  KernelBuilder& hfma2(Reg d, Reg a, Reg b, Reg c);
+  KernelBuilder& hadd2(Reg d, Reg a, Reg b);
+  KernelBuilder& hmul2(Reg d, Reg a, Reg b);
+  KernelBuilder& f2f_f16_f32(Reg d, Reg a);
+  KernelBuilder& f2f_f32_f16(Reg d, Reg a);
+
+  KernelBuilder& hmma_1688_f16(Reg d, Reg a, Reg b, Reg c);
+  KernelBuilder& hmma_1688_f32(Reg d, Reg a, Reg b, Reg c);
+  KernelBuilder& hmma_884_f16(Reg d, Reg a, Reg b, Reg c);
+  KernelBuilder& imma_8816_s8(Reg d, Reg a, Reg b, Reg c);
+
+  /// Global load: dst[0..w) <- mem[addr_reg + offset]. addr_reg holds a
+  /// 32-bit byte address into the simulated global space.
+  KernelBuilder& ldg(MemWidth w, Reg d, Reg addr, std::int32_t offset = 0,
+                     CacheOp cache = CacheOp::kCa);
+  KernelBuilder& stg(MemWidth w, Reg addr, Reg src, std::int32_t offset = 0);
+  KernelBuilder& lds(MemWidth w, Reg d, Reg addr, std::int32_t offset = 0);
+  KernelBuilder& sts(MemWidth w, Reg addr, Reg src, std::int32_t offset = 0);
+
+  KernelBuilder& bar_sync();
+  /// Branch to `label`, which may be defined before or after this point.
+  KernelBuilder& bra(const std::string& label);
+  KernelBuilder& exit();
+
+  /// Defines `label` at the current position.
+  KernelBuilder& label(const std::string& name);
+
+  // --- resources ----------------------------------------------------------
+  KernelBuilder& smem(std::uint32_t bytes);
+  KernelBuilder& threads(std::uint32_t n);
+
+  /// Resolves labels, computes register usage, validates, and returns the
+  /// finished program. The builder must not be reused afterwards.
+  Program finalize();
+
+ private:
+  Instruction& push(Opcode op);
+
+  std::string name_;
+  std::vector<Instruction> code_;
+  std::unordered_map<std::string, int> labels_;
+  std::vector<std::pair<int, std::string>> fixups_;  // (inst index, label)
+  std::uint32_t smem_bytes_ = 0;
+  std::uint32_t cta_threads_ = 32;
+  bool finalized_ = false;
+};
+
+}  // namespace tc::sass

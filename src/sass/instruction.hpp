@@ -1,0 +1,87 @@
+// Instruction word + Turing control information.
+//
+// On Volta/Turing every SASS instruction carries scheduling metadata encoded
+// by the assembler: a stall count, a yield hint, one write scoreboard
+// barrier, one read scoreboard barrier, a 6-bit wait mask and register reuse
+// flags. Correctness depends on this metadata — the hardware does NOT
+// interlock fixed-latency pipes — and tcgemm's executor honors that: reading
+// a result before its latency elapsed (and without a protecting stall/wait)
+// observes the stale register value, which is exactly how the paper measures
+// HMMA latency (Section IV-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sass/isa.hpp"
+
+namespace tc::sass {
+
+inline constexpr int kNumBarriers = 6;
+inline constexpr std::uint8_t kNoBarrier = 7;
+
+/// Turing-style per-instruction control word.
+struct ControlInfo {
+  /// Cycles the scheduler must wait after issuing this instruction before
+  /// issuing the next instruction of the same warp. 0..15.
+  std::uint8_t stall = 1;
+  /// Hint to switch to another warp after issue (no correctness effect).
+  bool yield = false;
+  /// Scoreboard barrier set when this instruction's writeback completes
+  /// (variable-latency ops only). 0..5, or kNoBarrier.
+  std::uint8_t write_barrier = kNoBarrier;
+  /// Scoreboard barrier released once this instruction has read its source
+  /// operands (used to protect registers consumed by stores). 0..5 or none.
+  std::uint8_t read_barrier = kNoBarrier;
+  /// Bitmask of barriers that must be clear before this instruction issues.
+  std::uint8_t wait_mask = 0;
+  /// Register reuse-cache flags for source operand slots. The paper reports
+  /// they have no performance effect on HMMA.1688; we model them as inert
+  /// but keep them representable so the finding is testable.
+  std::uint8_t reuse = 0;
+};
+
+/// One SASS instruction. A plain aggregate: the builder fills in only the
+/// fields an opcode uses; the validator rejects inconsistent combinations.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+
+  // Guard predicate: instruction is a no-op for lanes where it is false.
+  Pred guard = PT;
+  bool guard_negated = false;
+
+  // Register operands (meaning depends on opcode).
+  Reg dst = RZ;
+  Reg srca = RZ;
+  Reg srcb = RZ;
+  Reg srcc = RZ;
+
+  // Predicate destination (ISETP) / predicate source (SEL).
+  Pred pdst = PT;
+
+  // Immediate operand; for memory ops this is the address offset in bytes.
+  std::int32_t imm = 0;
+  bool has_imm = false;  // for IADD3/IMAD/ISETP/MOV: srcb is imm instead
+
+  // Memory attributes.
+  MemWidth width = MemWidth::k32;
+  CacheOp cache = CacheOp::kCa;
+
+  // ISETP comparison.
+  CmpOp cmp = CmpOp::kLt;
+
+  // S2R source.
+  SpecialReg sreg = SpecialReg::kTidX;
+
+  // MOV.PARAM source index (32-bit word within the parameter buffer).
+  std::uint16_t param_index = 0;
+
+  // Branch target as an instruction index (resolved by the builder).
+  std::int32_t target = -1;
+
+  ControlInfo ctrl;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace tc::sass

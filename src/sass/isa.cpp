@@ -1,0 +1,139 @@
+#include "sass/isa.hpp"
+
+#include "common/error.hpp"
+
+namespace tc::sass {
+
+PipeClass pipe_class(Opcode op) {
+  switch (op) {
+    case Opcode::kHmma1688F16:
+    case Opcode::kHmma1688F32:
+    case Opcode::kHmma884F16:
+    case Opcode::kImma8816S8:
+      return PipeClass::kTensor;
+    case Opcode::kFadd:
+    case Opcode::kFmul:
+    case Opcode::kFfma:
+      return PipeClass::kFma;
+    case Opcode::kLdg:
+    case Opcode::kStg:
+    case Opcode::kLds:
+    case Opcode::kSts:
+      return PipeClass::kMio;
+    case Opcode::kBar:
+    case Opcode::kBra:
+    case Opcode::kExit:
+    case Opcode::kNop:
+      return PipeClass::kControl;
+    case Opcode::kS2r:
+    case Opcode::kCs2rClock:
+    case Opcode::kMovParam:
+      return PipeClass::kSpecial;
+    default:
+      return PipeClass::kAlu;
+  }
+}
+
+bool is_variable_latency(Opcode op) {
+  switch (op) {
+    case Opcode::kLdg:
+    case Opcode::kStg:
+    case Opcode::kLds:
+    case Opcode::kSts:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mma(Opcode op) {
+  switch (op) {
+    case Opcode::kHmma1688F16:
+    case Opcode::kHmma1688F32:
+    case Opcode::kHmma884F16:
+    case Opcode::kImma8816S8:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MmaRegCounts mma_reg_counts(Opcode op) {
+  switch (op) {
+    case Opcode::kHmma1688F16:
+      return {2, 2, 1, 2};  // D 16x8 f16, A 16x8 f16, B 8x8 f16, C 16x8 f16
+    case Opcode::kHmma1688F32:
+      return {4, 2, 1, 4};  // D/C are FP32: 16x8 f32 = 4 warp registers
+    case Opcode::kHmma884F16:
+      return {1, 1, 1, 1};  // 8x8x8 compatibility form on single registers
+    case Opcode::kImma8816S8:
+      return {2, 1, 1, 2};  // A 8x16 s8, B 16x8 s8, D/C 8x8 s32
+    default:
+      TC_ASSERT(false, "mma_reg_counts on non-MMA opcode");
+  }
+}
+
+std::string opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "NOP";
+    case Opcode::kHmma1688F16: return "HMMA.1688.F16";
+    case Opcode::kHmma1688F32: return "HMMA.1688.F32";
+    case Opcode::kHmma884F16: return "HMMA.884.F16";
+    case Opcode::kImma8816S8: return "IMMA.8816.S8";
+    case Opcode::kLdg: return "LDG";
+    case Opcode::kStg: return "STG";
+    case Opcode::kLds: return "LDS";
+    case Opcode::kSts: return "STS";
+    case Opcode::kMov: return "MOV";
+    case Opcode::kIadd3: return "IADD3";
+    case Opcode::kImad: return "IMAD";
+    case Opcode::kLop3And: return "LOP3.AND";
+    case Opcode::kLop3Or: return "LOP3.OR";
+    case Opcode::kLop3Xor: return "LOP3.XOR";
+    case Opcode::kShfL: return "SHF.L";
+    case Opcode::kShfR: return "SHF.R";
+    case Opcode::kIsetp: return "ISETP";
+    case Opcode::kSel: return "SEL";
+    case Opcode::kFadd: return "FADD";
+    case Opcode::kFmul: return "FMUL";
+    case Opcode::kFfma: return "FFMA";
+    case Opcode::kHadd2: return "HADD2";
+    case Opcode::kHmul2: return "HMUL2";
+    case Opcode::kHfma2: return "HFMA2";
+    case Opcode::kF2fF32ToF16: return "F2F.F16.F32";
+    case Opcode::kF2fF16ToF32: return "F2F.F32.F16";
+    case Opcode::kS2r: return "S2R";
+    case Opcode::kCs2rClock: return "CS2R.CLOCK";
+    case Opcode::kMovParam: return "MOV.PARAM";
+    case Opcode::kBar: return "BAR.SYNC";
+    case Opcode::kBra: return "BRA";
+    case Opcode::kExit: return "EXIT";
+  }
+  return "UNKNOWN";
+}
+
+std::string cmp_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "LT";
+    case CmpOp::kLe: return "LE";
+    case CmpOp::kGt: return "GT";
+    case CmpOp::kGe: return "GE";
+    case CmpOp::kEq: return "EQ";
+    case CmpOp::kNe: return "NE";
+  }
+  return "??";
+}
+
+std::string special_name(SpecialReg sr) {
+  switch (sr) {
+    case SpecialReg::kLaneId: return "SR_LANEID";
+    case SpecialReg::kTidX: return "SR_TID.X";
+    case SpecialReg::kCtaIdX: return "SR_CTAID.X";
+    case SpecialReg::kCtaIdY: return "SR_CTAID.Y";
+    case SpecialReg::kNCtaIdX: return "SR_NCTAID.X";
+    case SpecialReg::kSmId: return "SR_SMID";
+  }
+  return "SR_??";
+}
+
+}  // namespace tc::sass

@@ -1,0 +1,135 @@
+// The SASS-level instruction set modeled by tcgemm.
+//
+// This is the subset of Turing SASS that the paper's kernels and
+// microbenchmarks use, plus the future-work extensions (HMMA.1688.F32,
+// HMMA.884, IMMA.8816). Instructions are classified into execution-pipe
+// classes; cycle costs live in src/sim (microarchitecture), not here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tc::sass {
+
+/// General-purpose register index. R0..R254 are ordinary registers; R255 is
+/// RZ, the hardwired zero register (writes are discarded, reads return 0).
+struct Reg {
+  std::uint8_t idx = 255;
+  constexpr Reg() = default;
+  constexpr explicit Reg(std::uint8_t i) : idx(i) {}
+  [[nodiscard]] constexpr bool is_rz() const { return idx == 255; }
+  friend constexpr bool operator==(Reg, Reg) = default;
+};
+inline constexpr Reg RZ{255};
+
+/// Predicate register index. P0..P6 are writable; P7 is PT (always true).
+struct Pred {
+  std::uint8_t idx = 7;
+  constexpr Pred() = default;
+  constexpr explicit Pred(std::uint8_t i) : idx(i) {}
+  [[nodiscard]] constexpr bool is_pt() const { return idx == 7; }
+  friend constexpr bool operator==(Pred, Pred) = default;
+};
+inline constexpr Pred PT{7};
+
+/// Opcodes. Name suffixes follow SASS conventions (width and type variants
+/// are carried in Instruction fields, not in the opcode, except for MMA
+/// shapes where the shape is the instruction).
+enum class Opcode : std::uint8_t {
+  kNop,
+  // --- Tensor Core ---
+  kHmma1688F16,  // D16x8(f16) = A16x8 * B8x8 + C16x8
+  kHmma1688F32,  // as above with FP32 accumulators (128-bit D/C)
+  kHmma884F16,   // Volta-style compatibility op: 8x8x8 on single registers
+  kImma8816S8,   // int8 inputs, int32 accumulators (future-work extension)
+  // --- Memory ---
+  kLdg,  // global load (width, cache-op)
+  kStg,  // global store
+  kLds,  // shared load
+  kSts,  // shared store
+  // --- Integer ALU ---
+  kMov,     // reg or immediate source
+  kIadd3,   // d = a + b + c  (b may be immediate)
+  kImad,    // d = a * b + c  (b may be immediate)
+  kLop3And, // d = a & b
+  kLop3Or,  // d = a | b
+  kLop3Xor, // d = a ^ b
+  kShfL,    // d = a << imm
+  kShfR,    // d = a >> imm (logical)
+  kIsetp,   // p = cmp(a, b) (b may be immediate)
+  kSel,     // d = p ? a : b
+  // --- FP32 / FP16 ALU ---
+  kFadd,
+  kFmul,
+  kFfma,
+  kHadd2,   // packed fp16x2
+  kHmul2,
+  kHfma2,
+  kF2fF32ToF16,  // narrow one fp32 reg into the low half of dst
+  kF2fF16ToF32,  // widen the low half of src
+  // --- Special / system ---
+  kS2r,       // read a special register (tid, ctaid, laneid)
+  kCs2rClock, // read the SM cycle counter
+  kMovParam,  // read 32-bit word i of the kernel parameter buffer
+  kBar,       // CTA-wide barrier (__syncthreads)
+  kBra,       // branch to label (warp-uniform, optionally predicated)
+  kExit,
+};
+
+/// Width of a memory access in bits. Determines the number of consecutive
+/// destination/source registers (1, 2 or 4).
+enum class MemWidth : std::uint8_t { k32 = 32, k64 = 64, k128 = 128 };
+
+[[nodiscard]] constexpr int width_bytes(MemWidth w) { return static_cast<int>(w) / 8; }
+[[nodiscard]] constexpr int width_regs(MemWidth w) { return static_cast<int>(w) / 32; }
+
+/// Cache operator on LDG: .CA caches at all levels (L1+L2); .CG bypasses L1
+/// and caches globally (L2 only). The paper's bandwidth benchmarks use .CG.
+enum class CacheOp : std::uint8_t { kCa, kCg };
+
+/// ISETP comparison (signed 32-bit).
+enum class CmpOp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Special registers readable via S2R.
+enum class SpecialReg : std::uint8_t {
+  kLaneId,
+  kTidX,
+  kCtaIdX,
+  kCtaIdY,
+  kNCtaIdX,  // grid dimension x
+  kSmId,
+};
+
+/// Execution-pipe class: which functional unit consumes the instruction.
+/// LDS/STS/LDG/STG all dispatch into the shared MIO pipe (Turing whitepaper),
+/// which is why the paper's Eq. (4)/(5) add their CPIs together.
+enum class PipeClass : std::uint8_t {
+  kTensor,   // HMMA / IMMA
+  kFma,      // FP32 math
+  kAlu,      // integer / logic / fp16x2 / conversions
+  kMio,      // shared+global memory instructions
+  kControl,  // branches, barriers, exit, nop
+  kSpecial,  // S2R / CS2R / param reads
+};
+
+[[nodiscard]] PipeClass pipe_class(Opcode op);
+
+/// True for instructions whose completion time is data-dependent (memory):
+/// they must signal completion through a scoreboard barrier, not stall counts.
+[[nodiscard]] bool is_variable_latency(Opcode op);
+
+/// True for tensor-core matrix instructions.
+[[nodiscard]] bool is_mma(Opcode op);
+
+/// Number of 32-bit registers in each MMA operand for the given opcode:
+/// returned as {d, a, b, c}.
+struct MmaRegCounts {
+  int d, a, b, c;
+};
+[[nodiscard]] MmaRegCounts mma_reg_counts(Opcode op);
+
+[[nodiscard]] std::string opcode_name(Opcode op);
+[[nodiscard]] std::string cmp_name(CmpOp op);
+[[nodiscard]] std::string special_name(SpecialReg sr);
+
+}  // namespace tc::sass

@@ -1,0 +1,31 @@
+// A compiled SASS program: the unit loaded onto the simulated device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sass/instruction.hpp"
+
+namespace tc::sass {
+
+/// Immutable kernel image: instruction stream plus launch resource needs.
+/// Produced by KernelBuilder::finalize(), consumed by the executor and the
+/// occupancy calculator.
+struct Program {
+  std::string name;
+  std::vector<Instruction> code;
+
+  /// Highest general-purpose register index used, +1 (occupancy input).
+  int num_regs = 0;
+  /// Static shared memory per CTA in bytes.
+  std::uint32_t smem_bytes = 0;
+  /// Threads per CTA the kernel was written for.
+  std::uint32_t cta_threads = 0;
+  /// Number of 32-bit parameter words the kernel reads via MOV.PARAM.
+  std::uint32_t num_param_words = 0;
+
+  [[nodiscard]] std::string disassemble() const;
+};
+
+}  // namespace tc::sass

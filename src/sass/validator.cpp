@@ -1,0 +1,123 @@
+#include "sass/validator.hpp"
+
+#include "common/error.hpp"
+
+namespace tc::sass {
+
+namespace {
+
+void check_operand_range(const Instruction& inst, Reg r, int count, const char* what, int pc) {
+  if (r.is_rz()) return;
+  TC_CHECK(static_cast<int>(r.idx) + count <= kMaxRegsPerThread - 1,
+           opcode_name(inst.op) + " at pc " + std::to_string(pc) + ": " + what +
+               " register range exceeds R254");
+  // Multi-register operands must be naturally aligned, as on hardware.
+  if (count == 2) {
+    TC_CHECK(r.idx % 2 == 0, opcode_name(inst.op) + " at pc " + std::to_string(pc) + ": " +
+                                 what + " must be an aligned register pair");
+  } else if (count == 4) {
+    TC_CHECK(r.idx % 4 == 0, opcode_name(inst.op) + " at pc " + std::to_string(pc) + ": " +
+                                 what + " must be an aligned register quad");
+  }
+}
+
+}  // namespace
+
+void validate(const Program& prog) {
+  TC_CHECK(!prog.code.empty(), "program '" + prog.name + "' is empty");
+  TC_CHECK(prog.num_regs <= kMaxRegsPerThread, "program uses more than 256 registers/thread");
+  TC_CHECK(prog.smem_bytes <= kMaxSmemPerCta,
+           "program requests more than 64KB shared memory per CTA");
+  TC_CHECK(prog.cta_threads >= 32 && prog.cta_threads % 32 == 0 && prog.cta_threads <= 1024,
+           "CTA size must be a multiple of 32 in [32,1024]");
+
+  bool has_exit = false;
+  const int n = static_cast<int>(prog.code.size());
+  for (int pc = 0; pc < n; ++pc) {
+    const auto& inst = prog.code[static_cast<std::size_t>(pc)];
+    TC_CHECK(inst.ctrl.stall <= 15, "stall count out of range");
+    TC_CHECK(inst.ctrl.write_barrier == kNoBarrier || inst.ctrl.write_barrier < kNumBarriers,
+             "bad write barrier index");
+    TC_CHECK(inst.ctrl.read_barrier == kNoBarrier || inst.ctrl.read_barrier < kNumBarriers,
+             "bad read barrier index");
+    TC_CHECK(inst.ctrl.wait_mask < (1u << kNumBarriers), "bad wait mask");
+    if (inst.ctrl.write_barrier != kNoBarrier || inst.ctrl.read_barrier != kNoBarrier) {
+      TC_CHECK(is_variable_latency(inst.op),
+               opcode_name(inst.op) + " at pc " + std::to_string(pc) +
+                   ": scoreboard barriers are only meaningful on memory instructions");
+    }
+
+    switch (inst.op) {
+      case Opcode::kExit:
+        has_exit = true;
+        break;
+      case Opcode::kBra:
+        TC_CHECK(inst.target >= 0 && inst.target < n,
+                 "unresolved/out-of-range branch target at pc " + std::to_string(pc));
+        break;
+      case Opcode::kLdg:
+      case Opcode::kLds:
+        check_operand_range(inst, inst.dst, width_regs(inst.width), "destination", pc);
+        check_operand_range(inst, inst.srca, 1, "address", pc);
+        TC_CHECK(!inst.srca.is_rz() || inst.imm >= 0, "load from RZ with negative offset");
+        break;
+      case Opcode::kStg:
+      case Opcode::kSts:
+        check_operand_range(inst, inst.srcb, width_regs(inst.width), "source", pc);
+        check_operand_range(inst, inst.srca, 1, "address", pc);
+        break;
+      default:
+        if (is_mma(inst.op)) {
+          const auto rc = mma_reg_counts(inst.op);
+          TC_CHECK(!inst.dst.is_rz() && !inst.srca.is_rz() && !inst.srcb.is_rz(),
+                   "MMA D/A/B operands must be real registers (C may be RZ)");
+          check_operand_range(inst, inst.dst, rc.d, "D", pc);
+          check_operand_range(inst, inst.srca, rc.a, "A", pc);
+          check_operand_range(inst, inst.srcb, rc.b, "B", pc);
+          check_operand_range(inst, inst.srcc, rc.c, "C", pc);
+        } else {
+          check_operand_range(inst, inst.dst, 1, "destination", pc);
+        }
+        break;
+    }
+  }
+  TC_CHECK(has_exit, "program '" + prog.name + "' has no EXIT");
+}
+
+std::vector<std::string> lint(const Program& prog) {
+  std::vector<std::string> warnings;
+  std::uint8_t barriers_set = 0;
+  std::uint8_t barriers_waited = 0;
+
+  const int n = static_cast<int>(prog.code.size());
+  for (int pc = 0; pc < n; ++pc) {
+    const auto& inst = prog.code[static_cast<std::size_t>(pc)];
+    if (inst.ctrl.write_barrier != kNoBarrier) {
+      barriers_set |= static_cast<std::uint8_t>(1u << inst.ctrl.write_barrier);
+    }
+    if (inst.ctrl.read_barrier != kNoBarrier) {
+      barriers_set |= static_cast<std::uint8_t>(1u << inst.ctrl.read_barrier);
+    }
+    barriers_waited |= inst.ctrl.wait_mask;
+
+    const bool is_load = inst.op == Opcode::kLdg || inst.op == Opcode::kLds;
+    if (is_load && !inst.dst.is_rz() && inst.ctrl.write_barrier == kNoBarrier) {
+      warnings.push_back("pc " + std::to_string(pc) + ": " + opcode_name(inst.op) +
+                         " writes R" + std::to_string(inst.dst.idx) +
+                         " without a write barrier; consumers cannot synchronize");
+    }
+  }
+
+  for (int b = 0; b < kNumBarriers; ++b) {
+    const auto bit = static_cast<std::uint8_t>(1u << b);
+    if ((barriers_waited & bit) && !(barriers_set & bit)) {
+      warnings.push_back("barrier B" + std::to_string(b) + " is waited on but never set");
+    }
+    if ((barriers_set & bit) && !(barriers_waited & bit)) {
+      warnings.push_back("barrier B" + std::to_string(b) + " is set but never waited on");
+    }
+  }
+  return warnings;
+}
+
+}  // namespace tc::sass

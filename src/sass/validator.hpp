@@ -1,0 +1,28 @@
+// Static validation of SASS programs.
+//
+// validate() enforces hard rules (register alignment and bounds, resolved
+// branch targets, resource limits) and throws tc::Error on violation.
+// lint() reports scheduling hazards that are legal but usually wrong —
+// e.g. a load whose write barrier nobody waits on — so kernel generators and
+// tests can assert clean schedules while microbenchmarks (which deliberately
+// do not wait) stay expressible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sass/program.hpp"
+
+namespace tc::sass {
+
+/// Hardware limits of the modeled Turing SM (per-thread / per-CTA).
+inline constexpr int kMaxRegsPerThread = 256;  // R0..R254 + RZ
+inline constexpr std::uint32_t kMaxSmemPerCta = 64 * 1024;
+
+/// Throws tc::Error on the first hard violation.
+void validate(const Program& prog);
+
+/// Returns human-readable scheduling warnings (empty = clean).
+std::vector<std::string> lint(const Program& prog);
+
+}  // namespace tc::sass

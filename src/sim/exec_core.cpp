@@ -1,0 +1,301 @@
+#include "sim/exec_core.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "sim/mma_exec.hpp"
+
+namespace tc::sim {
+
+namespace {
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+float bits_float(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+bool compare(sass::CmpOp op, std::int32_t a, std::int32_t b) {
+  switch (op) {
+    case sass::CmpOp::kLt: return a < b;
+    case sass::CmpOp::kLe: return a <= b;
+    case sass::CmpOp::kGt: return a > b;
+    case sass::CmpOp::kGe: return a >= b;
+    case sass::CmpOp::kEq: return a == b;
+    case sass::CmpOp::kNe: return a != b;
+  }
+  return false;
+}
+
+std::uint32_t special_value(const ExecContext& ctx, sass::SpecialReg sr, int lane) {
+  switch (sr) {
+    case sass::SpecialReg::kLaneId:
+      return static_cast<std::uint32_t>(lane);
+    case sass::SpecialReg::kTidX:
+      return static_cast<std::uint32_t>(ctx.warp_in_cta * kWarpSize + lane);
+    case sass::SpecialReg::kCtaIdX:
+      return ctx.cta_x;
+    case sass::SpecialReg::kCtaIdY:
+      return ctx.cta_y;
+    case sass::SpecialReg::kNCtaIdX:
+      return ctx.launch->grid_x;
+    case sass::SpecialReg::kSmId:
+      return static_cast<std::uint32_t>(ctx.sm_id);
+  }
+  return 0;
+}
+
+}  // namespace
+
+StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, WriteSink& sink) {
+  WarpRegs& regs = *ctx.regs;
+  StepResult result;
+
+  // Guard evaluation per lane.
+  std::array<bool, kWarpSize> active{};
+  bool any_active = false;
+  bool all_active = true;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    bool g = regs.read_pred(inst.guard, lane);
+    if (inst.guard_negated) g = !g;
+    active[static_cast<std::size_t>(lane)] = g;
+    any_active |= g;
+    all_active &= g;
+  }
+
+  using sass::Opcode;
+  switch (inst.op) {
+    case Opcode::kNop:
+      break;
+
+    case Opcode::kExit:
+      TC_CHECK(all_active || !any_active, "divergent EXIT is not supported");
+      if (any_active) result.kind = StepKind::kExit;
+      break;
+
+    case Opcode::kBra:
+      TC_CHECK(all_active || !any_active,
+               "divergent BRA is not supported (warp-uniform branches only)");
+      if (any_active) {
+        result.kind = StepKind::kBranch;
+        result.branch_target = inst.target;
+      }
+      break;
+
+    case Opcode::kBar:
+      result.kind = StepKind::kBarrier;
+      break;
+
+    case Opcode::kMov:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const std::uint32_t v =
+            inst.has_imm ? static_cast<std::uint32_t>(inst.imm) : regs.read(inst.srca, lane);
+        sink.gpr(inst.dst, lane, v);
+      }
+      break;
+
+    case Opcode::kMovParam:
+      TC_CHECK(inst.param_index < ctx.launch->params.size(),
+               "MOV.PARAM reads word " + std::to_string(inst.param_index) + " but only " +
+                   std::to_string(ctx.launch->params.size()) + " provided");
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (active[static_cast<std::size_t>(lane)]) {
+          sink.gpr(inst.dst, lane, ctx.launch->params[inst.param_index]);
+        }
+      }
+      break;
+
+    case Opcode::kS2r:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (active[static_cast<std::size_t>(lane)]) {
+          sink.gpr(inst.dst, lane, special_value(ctx, inst.sreg, lane));
+        }
+      }
+      break;
+
+    case Opcode::kCs2rClock:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (active[static_cast<std::size_t>(lane)]) {
+          sink.gpr(inst.dst, lane, static_cast<std::uint32_t>(ctx.clock & 0xFFFFFFFFull));
+        }
+      }
+      break;
+
+    case Opcode::kIadd3:
+    case Opcode::kImad:
+    case Opcode::kLop3And:
+    case Opcode::kLop3Or:
+    case Opcode::kLop3Xor:
+    case Opcode::kShfL:
+    case Opcode::kShfR:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const std::uint32_t a = regs.read(inst.srca, lane);
+        const std::uint32_t b =
+            inst.has_imm ? static_cast<std::uint32_t>(inst.imm) : regs.read(inst.srcb, lane);
+        const std::uint32_t c = regs.read(inst.srcc, lane);
+        std::uint32_t v = 0;
+        switch (inst.op) {
+          case Opcode::kIadd3: v = a + b + c; break;
+          case Opcode::kImad: v = a * b + c; break;
+          case Opcode::kLop3And: v = a & b; break;
+          case Opcode::kLop3Or: v = a | b; break;
+          case Opcode::kLop3Xor: v = a ^ b; break;
+          case Opcode::kShfL: v = a << (b & 31u); break;
+          case Opcode::kShfR: v = a >> (b & 31u); break;
+          default: break;
+        }
+        sink.gpr(inst.dst, lane, v);
+      }
+      break;
+
+    case Opcode::kIsetp:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const auto a = static_cast<std::int32_t>(regs.read(inst.srca, lane));
+        const auto b = inst.has_imm ? inst.imm
+                                    : static_cast<std::int32_t>(regs.read(inst.srcb, lane));
+        sink.pred(inst.pdst, lane, compare(inst.cmp, a, b));
+      }
+      break;
+
+    case Opcode::kSel:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const bool p = regs.read_pred(inst.pdst, lane);
+        sink.gpr(inst.dst, lane, p ? regs.read(inst.srca, lane) : regs.read(inst.srcb, lane));
+      }
+      break;
+
+    case Opcode::kFadd:
+    case Opcode::kFmul:
+    case Opcode::kFfma:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const float a = bits_float(regs.read(inst.srca, lane));
+        const float b = bits_float(regs.read(inst.srcb, lane));
+        const float c = bits_float(regs.read(inst.srcc, lane));
+        float v = 0.0f;
+        switch (inst.op) {
+          case Opcode::kFadd: v = a + b; break;
+          case Opcode::kFmul: v = a * b; break;
+          case Opcode::kFfma: v = a * b + c; break;
+          default: break;
+        }
+        sink.gpr(inst.dst, lane, float_bits(v));
+      }
+      break;
+
+    case Opcode::kHadd2:
+    case Opcode::kHmul2:
+    case Opcode::kHfma2:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const half2 a = half2::unpack(regs.read(inst.srca, lane));
+        const half2 b = half2::unpack(regs.read(inst.srcb, lane));
+        const half2 c = half2::unpack(regs.read(inst.srcc, lane));
+        half2 v;
+        switch (inst.op) {
+          case Opcode::kHadd2: v = {a.lo + b.lo, a.hi + b.hi}; break;
+          case Opcode::kHmul2: v = {a.lo * b.lo, a.hi * b.hi}; break;
+          case Opcode::kHfma2:
+            v = {fma_round_half(a.lo, b.lo, c.lo), fma_round_half(a.hi, b.hi, c.hi)};
+            break;
+          default: break;
+        }
+        sink.gpr(inst.dst, lane, v.pack());
+      }
+      break;
+
+    case Opcode::kF2fF32ToF16:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const float a = bits_float(regs.read(inst.srca, lane));
+        sink.gpr(inst.dst, lane, static_cast<std::uint32_t>(half(a).bits()));
+      }
+      break;
+
+    case Opcode::kF2fF16ToF32:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const half lo = half2::unpack(regs.read(inst.srca, lane)).lo;
+        sink.gpr(inst.dst, lane, float_bits(lo.to_float()));
+      }
+      break;
+
+    case Opcode::kHmma1688F16:
+    case Opcode::kHmma1688F32:
+    case Opcode::kHmma884F16:
+    case Opcode::kImma8816S8:
+      TC_CHECK(all_active, "predicated-off MMA lanes are not supported");
+      exec_mma(inst.op, regs, inst.dst, inst.srca, inst.srcb, inst.srcc, sink);
+      break;
+
+    case Opcode::kLdg:
+    case Opcode::kStg:
+    case Opcode::kLds:
+    case Opcode::kSts: {
+      const bool is_global = inst.op == Opcode::kLdg || inst.op == Opcode::kStg;
+      const bool is_store = inst.op == Opcode::kStg || inst.op == Opcode::kSts;
+      const int bytes = sass::width_bytes(inst.width);
+      const int nregs = sass::width_regs(inst.width);
+
+      result.mem.valid = true;
+      result.mem.is_global = is_global;
+      result.mem.is_store = is_store;
+      result.mem.width = inst.width;
+      result.mem.cache = inst.cache;
+      result.mem.active = active;
+
+      if (is_global) {
+        TC_CHECK(ctx.gmem != nullptr, "global access without global memory");
+      } else {
+        TC_CHECK(ctx.smem != nullptr, "shared access in a kernel with no shared memory");
+      }
+
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        const std::uint32_t addr =
+            regs.read(inst.srca, lane) + static_cast<std::uint32_t>(inst.imm);
+        result.mem.addrs[static_cast<std::size_t>(lane)] = addr;
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        TC_CHECK(addr % static_cast<std::uint32_t>(bytes) == 0,
+                 "misaligned memory access at address " + std::to_string(addr));
+
+        std::uint8_t buf[16];
+        if (is_store) {
+          for (int r = 0; r < nregs; ++r) {
+            const std::uint32_t w =
+                regs.read(sass::Reg{static_cast<std::uint8_t>(inst.srcb.idx + r)}, lane);
+            std::memcpy(buf + 4 * r, &w, 4);
+          }
+          if (is_global) {
+            ctx.gmem->write(addr, std::span(buf, static_cast<std::size_t>(bytes)));
+          } else {
+            ctx.smem->write(addr, std::span(buf, static_cast<std::size_t>(bytes)));
+          }
+        } else {
+          if (is_global) {
+            ctx.gmem->read(addr, std::span(buf, static_cast<std::size_t>(bytes)));
+          } else {
+            ctx.smem->read(addr, std::span(buf, static_cast<std::size_t>(bytes)));
+          }
+          for (int r = 0; r < nregs; ++r) {
+            std::uint32_t w;
+            std::memcpy(&w, buf + 4 * r, 4);
+            sink.gpr(sass::Reg{static_cast<std::uint8_t>(inst.dst.idx + r)}, lane, w);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tc::sim

@@ -1,0 +1,84 @@
+// Functional semantics of every SASS instruction, shared by the functional
+// executor and the timing engine.
+//
+// Execution is split from state commitment: exec_step() computes results and
+// routes register/predicate writes through a WriteSink. The functional
+// executor commits immediately; the timing engine schedules each write at
+// issue_cycle + latency, which is what makes under-scheduled programs
+// observably wrong (the paper's latency-probe methodology).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "mem/banked_smem.hpp"
+#include "mem/global_mem.hpp"
+#include "sass/instruction.hpp"
+#include "sim/launch.hpp"
+#include "sim/reg_file.hpp"
+
+namespace tc::sim {
+
+/// Receives the register/predicate writes produced by one instruction.
+class WriteSink {
+ public:
+  virtual ~WriteSink() = default;
+  virtual void gpr(sass::Reg r, int lane, std::uint32_t value) = 0;
+  virtual void pred(sass::Pred p, int lane, bool value) = 0;
+};
+
+/// Sink that commits directly into the warp's registers.
+class ImmediateSink final : public WriteSink {
+ public:
+  explicit ImmediateSink(WarpRegs& regs) : regs_(regs) {}
+  void gpr(sass::Reg r, int lane, std::uint32_t value) override {
+    regs_.write_now(r, lane, value);
+  }
+  void pred(sass::Pred p, int lane, bool value) override { regs_.write_pred(p, lane, value); }
+
+ private:
+  WarpRegs& regs_;
+};
+
+/// Description of a warp-wide memory access, produced at issue so the timing
+/// engine can coalesce / arbitrate banks.
+struct MemAccess {
+  bool valid = false;
+  bool is_global = false;
+  bool is_store = false;
+  sass::MemWidth width = sass::MemWidth::k32;
+  sass::CacheOp cache = sass::CacheOp::kCa;
+  std::array<std::uint32_t, kWarpSize> addrs{};
+  std::array<bool, kWarpSize> active{};
+};
+
+/// How control leaves an instruction.
+enum class StepKind { kNext, kBranch, kBarrier, kExit };
+
+struct StepResult {
+  StepKind kind = StepKind::kNext;
+  std::int32_t branch_target = -1;
+  MemAccess mem;  // filled for LDG/STG/LDS/STS
+};
+
+/// Everything an instruction can touch while executing for one warp.
+struct ExecContext {
+  WarpRegs* regs = nullptr;
+  mem::SharedMemory* smem = nullptr;   // may be null for kernels without smem
+  mem::GlobalMemory* gmem = nullptr;
+  const Launch* launch = nullptr;
+  std::uint32_t cta_x = 0;
+  std::uint32_t cta_y = 0;
+  int warp_in_cta = 0;
+  int sm_id = 0;
+  std::uint64_t clock = 0;  // value returned by CS2R
+};
+
+/// Executes one instruction for a full warp. Register state is read from
+/// ctx.regs (settled values only); all writes go to `sink`. Memory data moves
+/// immediately (global/shared contents update at issue); the *visibility* of
+/// loaded values in registers is the sink's concern.
+StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, WriteSink& sink);
+
+}  // namespace tc::sim

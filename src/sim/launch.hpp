@@ -1,0 +1,27 @@
+// Kernel launch description shared by the functional and timing engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sass/program.hpp"
+
+namespace tc::sim {
+
+/// Grid of CTAs (2D, matching the HGEMM tile grid) plus kernel parameters.
+/// Parameters are 32-bit words read by MOV.PARAM — device pointers, matrix
+/// dimensions, leading strides.
+struct Launch {
+  const sass::Program* program = nullptr;
+  std::uint32_t grid_x = 1;
+  std::uint32_t grid_y = 1;
+  std::vector<std::uint32_t> params;
+
+  [[nodiscard]] std::uint64_t num_ctas() const {
+    return static_cast<std::uint64_t>(grid_x) * grid_y;
+  }
+  [[nodiscard]] std::uint32_t cta_threads() const { return program->cta_threads; }
+  [[nodiscard]] std::uint32_t warps_per_cta() const { return program->cta_threads / 32; }
+};
+
+}  // namespace tc::sim

@@ -1,0 +1,228 @@
+#include "sim/mma_exec.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "sim/exec_core.hpp"
+
+namespace tc::sim {
+
+LanePos row_major_pos(int row, int col) {
+  TC_ASSERT(row >= 0 && row < 8 && col >= 0 && col < 8, "8x8 coordinate out of range");
+  return {row * 4 + col / 2, col % 2};
+}
+
+LanePos col_major_pos(int row, int col) {
+  TC_ASSERT(row >= 0 && row < 8 && col >= 0 && col < 8, "8x8 coordinate out of range");
+  return {col * 4 + row / 2, row % 2};
+}
+
+Coord row_major_coord(int lane, int part) {
+  TC_ASSERT(lane >= 0 && lane < 32 && (part == 0 || part == 1), "lane/part out of range");
+  return {lane / 4, (lane % 4) * 2 + part};
+}
+
+Coord col_major_coord(int lane, int part) {
+  TC_ASSERT(lane >= 0 && lane < 32 && (part == 0 || part == 1), "lane/part out of range");
+  return {(lane % 4) * 2 + part, lane / 4};
+}
+
+namespace {
+
+half reg_half(const WarpRegs& regs, sass::Reg r, LanePos p) {
+  const half2 pair = half2::unpack(regs.read(r, p.lane));
+  return p.part == 0 ? pair.lo : pair.hi;
+}
+
+sass::Reg offset(sass::Reg r, int delta) {
+  return sass::Reg{static_cast<std::uint8_t>(r.idx + delta)};
+}
+
+/// Packs a tile into the 32 per-lane words of one warp register.
+std::array<std::uint32_t, kWarpSize> pack_row_major(const Tile8x8& t) {
+  std::array<std::uint32_t, kWarpSize> words{};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const Coord lo = row_major_coord(lane, 0);
+    const Coord hi = row_major_coord(lane, 1);
+    words[static_cast<std::size_t>(lane)] =
+        half2{t.m[lo.row][lo.col], t.m[hi.row][hi.col]}.pack();
+  }
+  return words;
+}
+
+std::array<std::uint32_t, kWarpSize> pack_col_major(const Tile8x8& t) {
+  std::array<std::uint32_t, kWarpSize> words{};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const Coord lo = col_major_coord(lane, 0);
+    const Coord hi = col_major_coord(lane, 1);
+    words[static_cast<std::size_t>(lane)] =
+        half2{t.m[lo.row][lo.col], t.m[hi.row][hi.col]}.pack();
+  }
+  return words;
+}
+
+void emit_words(WriteSink& sink, sass::Reg r, const std::array<std::uint32_t, kWarpSize>& w) {
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    sink.gpr(r, lane, w[static_cast<std::size_t>(lane)]);
+  }
+}
+
+// D(16x8) = A(16x8) * B(8x8) + C, FP16 accumulators.
+void exec_hmma_1688_f16(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
+                        sass::Reg c, WriteSink& sink) {
+  const Tile8x8 a_lo = gather_row_major(regs, a);
+  const Tile8x8 a_hi = gather_row_major(regs, offset(a, 1));
+  const Tile8x8 bt = gather_col_major(regs, b);
+  const Tile8x8 c_lo = c.is_rz() ? Tile8x8{} : gather_row_major(regs, c);
+  const Tile8x8 c_hi = c.is_rz() ? Tile8x8{} : gather_row_major(regs, offset(c, 1));
+
+  for (int group = 0; group < 2; ++group) {
+    const Tile8x8& at = group == 0 ? a_lo : a_hi;
+    const Tile8x8& ct = group == 0 ? c_lo : c_hi;
+    Tile8x8 dt;
+    for (int i = 0; i < 8; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        float acc = ct.m[i][j].to_float();
+        for (int kk = 0; kk < 8; ++kk) {
+          acc += at.m[i][kk].to_float() * bt.m[kk][j].to_float();
+        }
+        dt.m[i][j] = half(acc);
+      }
+    }
+    emit_words(sink, offset(d, group), pack_row_major(dt));
+  }
+}
+
+// FP32 accumulator layout: reg 2g+p of lane l holds element
+// (l/4 + 8g, (l%4)*2 + p) of the 16x8 FP32 accumulator.
+float read_f32_acc(const WarpRegs& regs, sass::Reg base, int i, int j) {
+  const int g = i / 8;
+  const int p = j % 2;
+  const int lane = (i % 8) * 4 + j / 2;
+  const std::uint32_t bits = regs.read(offset(base, 2 * g + p), lane);
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+void exec_hmma_1688_f32(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
+                        sass::Reg c, WriteSink& sink) {
+  const Tile8x8 a_lo = gather_row_major(regs, a);
+  const Tile8x8 a_hi = gather_row_major(regs, offset(a, 1));
+  const Tile8x8 bt = gather_col_major(regs, b);
+
+  std::array<std::array<std::uint32_t, kWarpSize>, 4> out{};
+  for (int i = 0; i < 16; ++i) {
+    const Tile8x8& at = i < 8 ? a_lo : a_hi;
+    for (int j = 0; j < 8; ++j) {
+      float acc = c.is_rz() ? 0.0f : read_f32_acc(regs, c, i, j);
+      for (int kk = 0; kk < 8; ++kk) {
+        acc += at.m[i % 8][kk].to_float() * bt.m[kk][j].to_float();
+      }
+      const int g = i / 8;
+      const int p = j % 2;
+      const int lane = (i % 8) * 4 + j / 2;
+      std::uint32_t bits;
+      std::memcpy(&bits, &acc, 4);
+      out[static_cast<std::size_t>(2 * g + p)][static_cast<std::size_t>(lane)] = bits;
+    }
+  }
+  for (int r = 0; r < 4; ++r) emit_words(sink, offset(d, r), out[static_cast<std::size_t>(r)]);
+}
+
+// Volta-compatibility form: D(8x8) = A(8x8) * B(8x8) + C on single registers.
+void exec_hmma_884_f16(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
+                       sass::Reg c, WriteSink& sink) {
+  const Tile8x8 at = gather_row_major(regs, a);
+  const Tile8x8 bt = gather_col_major(regs, b);
+  const Tile8x8 ct = c.is_rz() ? Tile8x8{} : gather_row_major(regs, c);
+  Tile8x8 dt;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      float acc = ct.m[i][j].to_float();
+      for (int kk = 0; kk < 8; ++kk) acc += at.m[i][kk].to_float() * bt.m[kk][j].to_float();
+      dt.m[i][j] = half(acc);
+    }
+  }
+  emit_words(sink, d, pack_row_major(dt));
+}
+
+// Integer extension: D(8x8 s32) = A(8x16 s8) * B(16x8 s8) + C.
+void exec_imma_8816_s8(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
+                       sass::Reg c, WriteSink& sink) {
+  std::int8_t A[8][16];
+  std::int8_t B[16][8];
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const std::uint32_t aw = regs.read(a, lane);
+    const std::uint32_t bw = regs.read(b, lane);
+    for (int byte = 0; byte < 4; ++byte) {
+      A[lane / 4][(lane % 4) * 4 + byte] = static_cast<std::int8_t>((aw >> (8 * byte)) & 0xFF);
+      B[(lane % 4) * 4 + byte][lane / 4] = static_cast<std::int8_t>((bw >> (8 * byte)) & 0xFF);
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const int lane = i * 4 + j / 2;
+      const int g = j % 2;
+      std::int32_t acc = c.is_rz() ? 0 : static_cast<std::int32_t>(regs.read(offset(c, g), lane));
+      for (int kk = 0; kk < 16; ++kk) {
+        acc += static_cast<std::int32_t>(A[i][kk]) * static_cast<std::int32_t>(B[kk][j]);
+      }
+      sink.gpr(offset(d, g), lane, static_cast<std::uint32_t>(acc));
+    }
+  }
+}
+
+}  // namespace
+
+Tile8x8 gather_row_major(const WarpRegs& regs, sass::Reg r) {
+  Tile8x8 t;
+  for (int row = 0; row < 8; ++row) {
+    for (int col = 0; col < 8; ++col) t.m[row][col] = reg_half(regs, r, row_major_pos(row, col));
+  }
+  return t;
+}
+
+Tile8x8 gather_col_major(const WarpRegs& regs, sass::Reg r) {
+  Tile8x8 t;
+  for (int row = 0; row < 8; ++row) {
+    for (int col = 0; col < 8; ++col) t.m[row][col] = reg_half(regs, r, col_major_pos(row, col));
+  }
+  return t;
+}
+
+void scatter_row_major(WarpRegs& regs, sass::Reg r, const Tile8x8& t) {
+  const auto words = pack_row_major(t);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    regs.write_now(r, lane, words[static_cast<std::size_t>(lane)]);
+  }
+}
+
+void scatter_col_major(WarpRegs& regs, sass::Reg r, const Tile8x8& t) {
+  const auto words = pack_col_major(t);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    regs.write_now(r, lane, words[static_cast<std::size_t>(lane)]);
+  }
+}
+
+void exec_mma(sass::Opcode op, const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
+              sass::Reg c, WriteSink& sink) {
+  switch (op) {
+    case sass::Opcode::kHmma1688F16:
+      exec_hmma_1688_f16(regs, d, a, b, c, sink);
+      break;
+    case sass::Opcode::kHmma1688F32:
+      exec_hmma_1688_f32(regs, d, a, b, c, sink);
+      break;
+    case sass::Opcode::kHmma884F16:
+      exec_hmma_884_f16(regs, d, a, b, c, sink);
+      break;
+    case sass::Opcode::kImma8816S8:
+      exec_imma_8816_s8(regs, d, a, b, c, sink);
+      break;
+    default:
+      TC_ASSERT(false, "exec_mma on non-MMA opcode");
+  }
+}
+
+}  // namespace tc::sim

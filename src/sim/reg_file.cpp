@@ -1,0 +1,64 @@
+#include "sim/reg_file.hpp"
+
+#include <algorithm>
+
+namespace tc::sim {
+
+WarpRegs::WarpRegs() {
+  pred_[7] = 0xFFFFFFFFu;  // PT
+  pending_.reserve(64);
+}
+
+std::uint32_t WarpRegs::read(sass::Reg r, int lane) const {
+  if (r.is_rz()) return 0;
+  return gpr_[r.idx][static_cast<std::size_t>(lane)];
+}
+
+void WarpRegs::write_now(sass::Reg r, int lane, std::uint32_t value) {
+  if (r.is_rz()) return;
+  gpr_[r.idx][static_cast<std::size_t>(lane)] = value;
+}
+
+void WarpRegs::write_at(sass::Reg r, int lane, std::uint32_t value, std::uint64_t due_cycle) {
+  if (r.is_rz()) return;
+  pending_.push_back({due_cycle, r.idx, static_cast<std::uint8_t>(lane), value});
+}
+
+void WarpRegs::settle(std::uint64_t now) {
+  if (pending_.empty()) return;
+  auto keep = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->due <= now) {
+      gpr_[it->reg][it->lane] = it->value;
+    } else {
+      *keep++ = *it;
+    }
+  }
+  pending_.erase(keep, pending_.end());
+}
+
+void WarpRegs::settle_all() {
+  for (const auto& p : pending_) gpr_[p.reg][p.lane] = p.value;
+  pending_.clear();
+}
+
+bool WarpRegs::read_pred(sass::Pred p, int lane) const {
+  return (pred_[p.idx] >> lane) & 1u;
+}
+
+void WarpRegs::write_pred(sass::Pred p, int lane, bool value) {
+  if (p.is_pt()) return;  // PT is read-only
+  if (value) {
+    pred_[p.idx] |= (1u << lane);
+  } else {
+    pred_[p.idx] &= ~(1u << lane);
+  }
+}
+
+bool WarpRegs::has_pending(sass::Reg r) const {
+  if (r.is_rz()) return false;
+  return std::any_of(pending_.begin(), pending_.end(),
+                     [&](const Pending& p) { return p.reg == r.idx; });
+}
+
+}  // namespace tc::sim

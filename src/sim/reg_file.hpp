@@ -1,0 +1,62 @@
+// Per-warp register state with hazard-accurate delayed writeback.
+//
+// Fixed-latency pipes on Volta/Turing do not interlock: if a consumer issues
+// before the producer's latency has elapsed (and no stall count or scoreboard
+// wait protects it), it reads the *old* register value. WarpRegs models this
+// by buffering writes with a due-cycle; `settle(now)` commits everything due.
+// The functional executor simply settles immediately after each instruction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sass/isa.hpp"
+
+namespace tc::sim {
+
+inline constexpr int kWarpSize = 32;
+
+/// One warp's 255 GPRs x 32 lanes, 7 predicates x 32 lanes, and the pending
+/// writeback queue.
+class WarpRegs {
+ public:
+  WarpRegs();
+
+  /// Reads lane `lane` of register r (RZ reads as 0).
+  [[nodiscard]] std::uint32_t read(sass::Reg r, int lane) const;
+
+  /// Immediate write (functional mode / settled timing write).
+  void write_now(sass::Reg r, int lane, std::uint32_t value);
+
+  /// Schedules a write that becomes visible at `due_cycle`.
+  void write_at(sass::Reg r, int lane, std::uint32_t value, std::uint64_t due_cycle);
+
+  /// Commits all pending writes with due_cycle <= now.
+  void settle(std::uint64_t now);
+
+  /// Commits everything regardless of due time (end of functional step).
+  void settle_all();
+
+  [[nodiscard]] bool read_pred(sass::Pred p, int lane) const;
+  void write_pred(sass::Pred p, int lane, bool value);
+
+  /// True when a pending (not yet visible) write to r exists — used by the
+  /// timing engine to detect writeback-port reuse, and by tests.
+  [[nodiscard]] bool has_pending(sass::Reg r) const;
+
+ private:
+  struct Pending {
+    std::uint64_t due;
+    std::uint8_t reg;
+    std::uint8_t lane;
+    std::uint32_t value;
+  };
+
+  std::array<std::array<std::uint32_t, kWarpSize>, 255> gpr_{};
+  std::array<std::uint32_t, 8> pred_{};  // bitmask per predicate; P7 forced to all-ones
+  std::vector<Pending> pending_;
+};
+
+}  // namespace tc::sim

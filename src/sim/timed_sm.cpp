@@ -1,0 +1,500 @@
+#include "sim/timed_sm.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "common/error.hpp"
+#include "mem/banked_smem.hpp"
+#include "mem/coalescer.hpp"
+#include "mem/sector_cache.hpp"
+#include "mem/token_bucket.hpp"
+#include "sim/exec_core.hpp"
+#include "sim/pipes.hpp"
+
+namespace tc::sim {
+
+namespace {
+
+struct CapturedGpr {
+  sass::Reg reg;
+  std::uint8_t lane;
+  std::uint32_t value;
+};
+struct CapturedPred {
+  sass::Pred pred;
+  std::uint8_t lane;
+  bool value;
+};
+
+/// Buffers the writes of one instruction so the engine can retime them.
+class CaptureSink final : public WriteSink {
+ public:
+  void gpr(sass::Reg r, int lane, std::uint32_t value) override {
+    gprs.push_back({r, static_cast<std::uint8_t>(lane), value});
+  }
+  void pred(sass::Pred p, int lane, bool value) override {
+    preds.push_back({p, static_cast<std::uint8_t>(lane), value});
+  }
+  void clear() {
+    gprs.clear();
+    preds.clear();
+  }
+  std::vector<CapturedGpr> gprs;
+  std::vector<CapturedPred> preds;
+};
+
+struct PendingPred {
+  std::uint64_t due;
+  CapturedPred w;
+};
+
+struct TWarp {
+  WarpRegs regs;
+  std::int32_t pc = 0;
+  bool exited = false;
+  bool at_barrier = false;
+  std::uint64_t ready_cycle = 0;
+  std::array<int, sass::kNumBarriers> scoreboard{};
+  std::vector<PendingPred> pending_preds;
+  int cta_index = 0;
+  int warp_in_cta = 0;
+};
+
+struct TCta {
+  CtaCoord coord;
+  std::unique_ptr<mem::SharedMemory> smem;
+  int alive_warps = 0;
+  int arrived = 0;
+};
+
+struct MioOp {
+  int warp = 0;
+  MemAccess access;
+  std::vector<CapturedGpr> load_writes;  // applied at data arrival
+  std::uint8_t write_barrier = sass::kNoBarrier;
+  std::uint8_t read_barrier = sass::kNoBarrier;
+  // Classification (filled on first service attempt).
+  bool classified = false;
+  double cost = 0.0;           // MIO pipe occupancy (address/L1/smem path)
+  double port_bytes = 0.0;     // bytes crossing the L2-to-SM return port
+  double need_l2_tokens = 0.0;  // bytes charged to the device L2 budget
+  double need_dram_tokens = 0.0;  // bytes from DRAM
+  int latency = 0;
+};
+
+struct BarrierRelease {
+  std::uint64_t due;
+  int warp;
+  std::uint8_t barrier;
+};
+
+}  // namespace
+
+struct TimedSm::Impl {
+  TimedConfig cfg;
+  mem::GlobalMemory& gmem;
+  mem::SectorCache l1;
+  mem::SectorCache l2;
+  mem::TokenBucket dram_bw;
+  mem::TokenBucket l2_bw;
+  MemLatency lat;
+  double forced_l2_accum = 0.0;
+
+  Impl(TimedConfig c, mem::GlobalMemory& g)
+      : cfg(c),
+        gmem(g),
+        l1(c.spec.l1_size_bytes, c.spec.l1_ways),
+        l2(c.spec.l2_size_bytes, c.spec.l2_ways),
+        dram_bw(c.dram_bytes_per_cycle > 0 ? c.dram_bytes_per_cycle
+                                           : c.spec.dram_bytes_per_cycle()),
+        l2_bw(c.l2_bytes_per_cycle > 0 ? c.l2_bytes_per_cycle : c.spec.l2_bytes_per_cycle()),
+        lat(mem_latency(c.spec)) {}
+
+  /// Classifies one global access: which bytes come from L1/L2/DRAM, what
+  /// MIO cost and latency it has. Mutates cache tag state (done exactly once
+  /// per op).
+  void classify_global(MioOp& op, TimedStats& stats) {
+    const auto sectors =
+        mem::coalesce_sectors(std::span(op.access.addrs), std::span(op.access.active),
+                              op.access.width);
+    double l1_bytes = 0.0;
+    double l2_bytes = 0.0;
+    double dram_bytes = 0.0;
+    const bool use_l1 = cfg.model_l1 && op.access.cache == sass::CacheOp::kCa &&
+                        !op.access.is_store;
+    if (op.access.is_store) {
+      int active_lanes = 0;
+      for (bool a : op.access.active) active_lanes += a ? 1 : 0;
+      dram_bytes = static_cast<double>(active_lanes) * sass::width_bytes(op.access.width);
+    }
+    for (const auto s : sectors) {
+      if (use_l1 && l1.access(s) == mem::HitLevel::kHit) {
+        l1_bytes += mem::kSectorBytes;
+        continue;
+      }
+      if (op.access.is_store) {
+        // Writes drain through L2 to DRAM; adjacent lanes/instructions are
+        // write-combined downstream, so charge the bytes actually written
+        // (accumulated below from the lane footprint, not whole sectors).
+        continue;
+      }
+      bool l2_hit;
+      if (cfg.forced_l2_hit_rate >= 0.0) {
+        forced_l2_accum += cfg.forced_l2_hit_rate;
+        l2_hit = forced_l2_accum >= 1.0;
+        if (l2_hit) forced_l2_accum -= 1.0;
+      } else {
+        l2_hit = l2.access(s) == mem::HitLevel::kHit;
+      }
+      if (l2_hit) {
+        l2_bytes += mem::kSectorBytes;
+      } else {
+        dram_bytes += mem::kSectorBytes;
+      }
+    }
+    // The MIO pipe is occupied only for the address/tag/L1 phase; bytes that
+    // come from L2 or DRAM flow through the separate L2-to-SM return port.
+    op.cost = std::max(4.0, l1_bytes / 64.0);
+    op.port_bytes = l2_bytes + dram_bytes;
+    op.need_l2_tokens = l2_bytes + dram_bytes;
+    op.need_dram_tokens = dram_bytes;
+    op.latency = dram_bytes > 0 ? lat.dram : (l2_bytes > 0 ? lat.l2 : lat.l1);
+    stats.l1_bytes += l1_bytes;
+    stats.l2_bytes += l2_bytes;
+    stats.dram_bytes += dram_bytes;
+  }
+
+  void classify_smem(MioOp& op, TimedStats& stats) {
+    const auto cost = mem::smem_access_cost(std::span(op.access.addrs),
+                                            std::span(op.access.active), op.access.width,
+                                            op.access.is_store);
+    const sass::Opcode opc = op.access.is_store ? sass::Opcode::kSts : sass::Opcode::kLds;
+    op.cost = smem_base_cost(opc, op.access.width) * cost.conflict_factor();
+    op.latency = lat.smem;
+    stats.smem_beats += static_cast<std::uint64_t>(cost.beats);
+    stats.smem_phases += static_cast<std::uint64_t>(cost.phases);
+  }
+};
+
+TimedSm::TimedSm(TimedConfig cfg, mem::GlobalMemory& gmem)
+    : impl_(std::make_unique<Impl>(cfg, gmem)) {}
+
+TimedSm::~TimedSm() = default;
+
+TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
+  TC_CHECK(launch.program != nullptr, "launch without a program");
+  TC_CHECK(!ctas.empty(), "no CTAs to run");
+  const sass::Program& prog = *launch.program;
+  Impl& im = *impl_;
+  const int partitions = im.cfg.spec.processing_blocks_per_sm;
+
+  // --- build resident state ------------------------------------------------
+  std::vector<TCta> cta_state(ctas.size());
+  std::vector<std::unique_ptr<TWarp>> warps;
+  for (std::size_t c = 0; c < ctas.size(); ++c) {
+    cta_state[c].coord = ctas[c];
+    cta_state[c].smem = std::make_unique<mem::SharedMemory>(prog.smem_bytes);
+    cta_state[c].alive_warps = static_cast<int>(launch.warps_per_cta());
+    for (std::uint32_t w = 0; w < launch.warps_per_cta(); ++w) {
+      auto tw = std::make_unique<TWarp>();
+      tw->cta_index = static_cast<int>(c);
+      tw->warp_in_cta = static_cast<int>(w);
+      warps.push_back(std::move(tw));
+    }
+  }
+  const int num_warps = static_cast<int>(warps.size());
+  int alive = num_warps;
+
+  // Round-robin partition assignment by global warp index, as on hardware.
+  auto partition_of = [&](int w) { return w % partitions; };
+
+  // --- pipes ----------------------------------------------------------------
+  std::vector<std::uint64_t> tensor_free(static_cast<std::size_t>(partitions), 0);
+  std::vector<std::uint64_t> fma_free(static_cast<std::size_t>(partitions), 0);
+  std::vector<std::uint64_t> alu_free(static_cast<std::size_t>(partitions), 0);
+  std::vector<int> rr(static_cast<std::size_t>(partitions), 0);  // scheduler rotation
+
+  std::deque<MioOp> mio_queue;
+  std::uint64_t mio_free = 0;
+  double port_free = 0.0;        // L2-to-SM return port availability
+  int outstanding = 0;           // in-flight global requests (MSHR occupancy)
+  std::vector<std::uint64_t> mshr_release;
+  std::vector<BarrierRelease> releases;
+
+  TimedStats stats;
+  CaptureSink sink;
+  std::uint64_t now = 0;
+
+  auto settle_warp = [&](TWarp& w) {
+    w.regs.settle(now);
+    if (!w.pending_preds.empty()) {
+      auto keep = w.pending_preds.begin();
+      for (auto it = w.pending_preds.begin(); it != w.pending_preds.end(); ++it) {
+        if (it->due <= now) {
+          w.regs.write_pred(it->w.pred, it->w.lane, it->w.value);
+        } else {
+          *keep++ = *it;
+        }
+      }
+      w.pending_preds.erase(keep, w.pending_preds.end());
+    }
+  };
+
+  while (alive > 0) {
+    TC_CHECK(now < im.cfg.max_cycles, "timed simulation exceeded max_cycles (deadlock?)");
+    im.dram_bw.tick();
+    im.l2_bw.tick();
+
+    // --- scoreboard releases -----------------------------------------------
+    if (!releases.empty()) {
+      auto keep = releases.begin();
+      for (auto it = releases.begin(); it != releases.end(); ++it) {
+        if (it->due <= now) {
+          TWarp& w = *warps[static_cast<std::size_t>(it->warp)];
+          TC_ASSERT(w.scoreboard[it->barrier] > 0, "scoreboard underflow");
+          --w.scoreboard[it->barrier];
+        } else {
+          *keep++ = *it;
+        }
+      }
+      releases.erase(keep, releases.end());
+    }
+
+    // --- MSHR retirement -----------------------------------------------------
+    if (!mshr_release.empty()) {
+      auto keep = mshr_release.begin();
+      for (auto it = mshr_release.begin(); it != mshr_release.end(); ++it) {
+        if (*it <= now) {
+          --outstanding;
+        } else {
+          *keep++ = *it;
+        }
+      }
+      mshr_release.erase(keep, mshr_release.end());
+    }
+
+    // --- MIO service ---------------------------------------------------------
+    if (mio_free <= now && !mio_queue.empty()) {
+      MioOp& op = mio_queue.front();
+      if (!op.classified) {
+        if (op.access.is_global) {
+          im.classify_global(op, stats);
+        } else {
+          im.classify_smem(op, stats);
+        }
+        op.classified = true;
+      }
+      // Global requests occupy an MSHR until their data returns; when all
+      // MSHRs are busy the LSU stalls (this backpressure is what the paper's
+      // Table III LDG CPIs measure).
+      const bool mshr_ok = !op.access.is_global || op.access.is_store ||
+                           op.port_bytes == 0.0 || outstanding < im.cfg.spec.mshr_limit;
+      if (mshr_ok) {
+        const auto cost_cycles = static_cast<std::uint64_t>(op.cost + 0.999);
+        mio_free = now + cost_cycles;
+        stats.mio_busy += cost_cycles;
+
+        std::uint64_t arrive = mio_free + static_cast<std::uint64_t>(op.latency);
+        if (op.access.is_global && op.port_bytes > 0.0) {
+          // Serialize through the L2-to-SM return port, then apply device
+          // bandwidth debt (shortage delays completion, not the pipe).
+          const double port_busy = op.port_bytes / im.cfg.spec.l2_port_bytes_per_cycle;
+          const double data_ready = std::max(static_cast<double>(now), port_free) + port_busy;
+          port_free = data_ready;
+          const double bw_delay =
+              std::max(im.l2_bw.consume_with_debt(op.need_l2_tokens),
+                       im.dram_bw.consume_with_debt(op.need_dram_tokens));
+          stats.mio_bw_stall += static_cast<std::uint64_t>(bw_delay);
+          arrive = static_cast<std::uint64_t>(data_ready + bw_delay) +
+                   static_cast<std::uint64_t>(op.latency);
+          // Stores are fire-and-forget into L2 (write-back); only loads hold
+          // an MSHR until their data returns.
+          if (!op.access.is_store) {
+            ++outstanding;
+            mshr_release.push_back(arrive);
+          }
+        }
+
+        TWarp& w = *warps[static_cast<std::size_t>(op.warp)];
+        for (const auto& cw : op.load_writes) {
+          w.regs.write_at(cw.reg, cw.lane, cw.value, arrive);
+        }
+        if (op.write_barrier != sass::kNoBarrier) {
+          releases.push_back({arrive, op.warp, op.write_barrier});
+        }
+        if (op.read_barrier != sass::kNoBarrier) {
+          releases.push_back({mio_free, op.warp, op.read_barrier});
+        }
+        mio_queue.pop_front();
+      }
+    }
+
+    // --- issue: one instruction per partition per cycle ----------------------
+    for (int p = 0; p < partitions; ++p) {
+      // Collect this partition's warps in rotating order.
+      int issued_warp = -1;
+      for (int probe = 0; probe < num_warps; ++probe) {
+        const int wi = (rr[static_cast<std::size_t>(p)] + probe) % num_warps;
+        if (partition_of(wi) != p) continue;
+        TWarp& w = *warps[static_cast<std::size_t>(wi)];
+        if (w.exited || w.at_barrier || w.ready_cycle > now) continue;
+        settle_warp(w);
+        const auto& inst = prog.code[static_cast<std::size_t>(w.pc)];
+
+        // Scoreboard waits.
+        bool waiting = false;
+        for (int b = 0; b < sass::kNumBarriers; ++b) {
+          if ((inst.ctrl.wait_mask >> b) & 1) {
+            if (w.scoreboard[b] > 0) {
+              waiting = true;
+              break;
+            }
+          }
+        }
+        if (waiting) continue;
+
+        // Pipe availability.
+        const auto pclass = sass::pipe_class(inst.op);
+        switch (pclass) {
+          case sass::PipeClass::kTensor:
+            if (tensor_free[static_cast<std::size_t>(p)] > now) continue;
+            break;
+          case sass::PipeClass::kFma:
+            if (fma_free[static_cast<std::size_t>(p)] > now) continue;
+            break;
+          case sass::PipeClass::kAlu:
+          case sass::PipeClass::kSpecial:
+            if (alu_free[static_cast<std::size_t>(p)] > now) continue;
+            break;
+          case sass::PipeClass::kMio:
+            if (static_cast<int>(mio_queue.size()) >= im.cfg.mio_queue_depth) continue;
+            break;
+          case sass::PipeClass::kControl:
+            break;
+        }
+
+        // --- issue ----------------------------------------------------------
+        TCta& cta = cta_state[static_cast<std::size_t>(w.cta_index)];
+        ExecContext ctx;
+        ctx.regs = &w.regs;
+        ctx.smem = cta.smem.get();
+        ctx.gmem = &im.gmem;
+        ctx.launch = &launch;
+        ctx.cta_x = cta.coord.x;
+        ctx.cta_y = cta.coord.y;
+        ctx.warp_in_cta = w.warp_in_cta;
+        ctx.clock = now;
+        sink.clear();
+        StepResult r;
+        if (im.cfg.skip_mma_math && sass::is_mma(inst.op)) {
+          // Timing-only fast path: the tensor pipe is occupied and the
+          // destination writeback is scheduled below, but the math (and the
+          // cost of emulating it) is skipped.
+          sink.gpr(inst.dst, 0, 0);
+        } else {
+          r = exec_step(ctx, inst, sink);
+        }
+        ++stats.instructions;
+        if (sass::is_mma(inst.op)) ++stats.hmma_count;
+
+        // Occupy the pipe.
+        const int occ = pipe_occupancy(inst);
+        switch (pclass) {
+          case sass::PipeClass::kTensor:
+            tensor_free[static_cast<std::size_t>(p)] = now + static_cast<std::uint64_t>(occ);
+            stats.tensor_busy += static_cast<std::uint64_t>(occ);
+            break;
+          case sass::PipeClass::kFma:
+            fma_free[static_cast<std::size_t>(p)] = now + static_cast<std::uint64_t>(occ);
+            stats.fma_busy += static_cast<std::uint64_t>(occ);
+            break;
+          case sass::PipeClass::kAlu:
+          case sass::PipeClass::kSpecial:
+            alu_free[static_cast<std::size_t>(p)] = now + static_cast<std::uint64_t>(occ);
+            stats.alu_busy += static_cast<std::uint64_t>(occ);
+            break;
+          default:
+            break;
+        }
+
+        // Retire results.
+        if (r.mem.valid) {
+          MioOp op;
+          op.warp = wi;
+          op.access = r.mem;
+          op.load_writes = sink.gprs;  // loads buffered until arrival
+          op.write_barrier = inst.ctrl.write_barrier;
+          op.read_barrier = inst.ctrl.read_barrier;
+          if (op.write_barrier != sass::kNoBarrier) ++w.scoreboard[op.write_barrier];
+          if (op.read_barrier != sass::kNoBarrier) ++w.scoreboard[op.read_barrier];
+          mio_queue.push_back(std::move(op));
+        } else {
+          for (const auto& cw : sink.gprs) {
+            const int off = cw.reg.idx - inst.dst.idx;
+            w.regs.write_at(cw.reg, cw.lane, cw.value,
+                            now + static_cast<std::uint64_t>(fixed_latency(inst, off)));
+          }
+          for (const auto& cp : sink.preds) {
+            w.pending_preds.push_back({now + kAluLatency, cp});
+          }
+        }
+
+        // Control flow + stall.
+        const auto stall = static_cast<std::uint64_t>(std::max<int>(inst.ctrl.stall, 1));
+        w.ready_cycle = now + stall;
+        switch (r.kind) {
+          case StepKind::kNext:
+            ++w.pc;
+            break;
+          case StepKind::kBranch:
+            w.pc = r.branch_target;
+            w.ready_cycle = now + std::max<std::uint64_t>(stall, kBranchRedirectCycles);
+            break;
+          case StepKind::kBarrier:
+            ++w.pc;
+            w.at_barrier = true;
+            ++cta.arrived;
+            break;
+          case StepKind::kExit:
+            w.exited = true;
+            --cta.alive_warps;
+            --alive;
+            break;
+        }
+        issued_warp = wi;
+        break;
+      }
+      if (issued_warp >= 0) {
+        rr[static_cast<std::size_t>(p)] = (issued_warp + 1) % num_warps;
+      }
+    }
+
+    // --- CTA barrier release -------------------------------------------------
+    for (std::size_t ci = 0; ci < cta_state.size(); ++ci) {
+      TCta& cta = cta_state[ci];
+      if (cta.arrived > 0 && cta.arrived == cta.alive_warps) {
+        for (auto& wptr : warps) {
+          if (wptr->cta_index == static_cast<int>(ci) && wptr->at_barrier) {
+            wptr->at_barrier = false;
+          }
+        }
+        cta.arrived = 0;
+      }
+      TC_CHECK(!(cta.alive_warps == 0 && cta.arrived > 0),
+               "deadlock: warps wait at BAR.SYNC in an exited CTA");
+    }
+
+    ++now;
+  }
+
+  // Flush remaining writebacks so functional state is complete.
+  for (auto& w : warps) {
+    w->regs.settle_all();
+  }
+
+  stats.cycles = now;
+  return stats;
+}
+
+}  // namespace tc::sim

@@ -1,0 +1,104 @@
+// Cycle-approximate timing model of one Turing SM.
+//
+// Structure (Turing whitepaper + the paper's Section IV/V findings):
+//  * 4 processing blocks (partitions), each with its own warp scheduler
+//    issuing at most one instruction per cycle, a tensor pipe (2 tensor
+//    cores -> HMMA.1688 CPI 8), an FP32 pipe and an integer/ALU pipe.
+//  * One SM-wide MIO unit serving LDS/STS/LDG/STG in order from a bounded
+//    queue; shared-memory costs follow Table IV (x bank-conflict factor),
+//    global costs follow Table III (64 B/cy L1 path, 32 B/cy L2 port).
+//  * DRAM and L2 bandwidth are token buckets; the caller chooses the budget
+//    (full device for single-SM microbenchmarks, a 1/num_SMs share for
+//    steady-state HGEMM runs under full occupancy).
+//  * Scheduling is hazard-accurate: fixed-latency results commit
+//    `latency` cycles after issue; stall counts and scoreboard barriers are
+//    the only protections, exactly as on silicon. Under-scheduled kernels
+//    produce wrong results here while passing the functional engine — that
+//    contrast is itself one of the paper's measurement tools.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/spec.hpp"
+#include "mem/global_mem.hpp"
+#include "sim/launch.hpp"
+
+namespace tc::sim {
+
+/// CTA coordinates resident on the simulated SM.
+struct CtaCoord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+};
+
+struct TimedConfig {
+  device::DeviceSpec spec;
+
+  /// Bandwidth budget visible to this simulation scope (bytes per cycle).
+  /// Defaults (<0) resolve to the full device budget from `spec`.
+  double dram_bytes_per_cycle = -1.0;
+  double l2_bytes_per_cycle = -1.0;
+
+  /// If >= 0, replace the L2 tag array by a deterministic hit fraction for
+  /// L1-missing sectors. Used by the wave model, which computes inter-CTA
+  /// reuse analytically (a single simulated SM cannot observe it).
+  double forced_l2_hit_rate = -1.0;
+
+  /// Disable the L1 tag array (every .CA load probes L2 directly).
+  bool model_l1 = true;
+
+  /// Skip the FP16 arithmetic of MMA instructions (pipe occupancy, latency
+  /// and writeback scheduling are unchanged). Register values become
+  /// meaningless, so this is only for pure timing measurements — kernels
+  /// with no data-dependent control flow, which is all of them here.
+  bool skip_mma_math = false;
+
+  int mio_queue_depth = 12;
+  std::uint64_t max_cycles = 4'000'000'000ull;
+};
+
+struct TimedStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t hmma_count = 0;
+  /// Partition-cycles each pipe was busy (sum over the 4 partitions).
+  std::uint64_t tensor_busy = 0;
+  std::uint64_t fma_busy = 0;
+  std::uint64_t alu_busy = 0;
+  /// Cycles the MIO unit was serving an operation / blocked on bandwidth.
+  std::uint64_t mio_busy = 0;
+  std::uint64_t mio_bw_stall = 0;
+  /// Bytes moved by serving level.
+  double l1_bytes = 0.0;
+  double l2_bytes = 0.0;
+  double dram_bytes = 0.0;
+  /// Shared-memory conflict accounting: beats/phases ratio > 1 = conflicts.
+  std::uint64_t smem_beats = 0;
+  std::uint64_t smem_phases = 0;
+
+  [[nodiscard]] double smem_conflict_factor() const {
+    return smem_phases == 0 ? 1.0
+                            : static_cast<double>(smem_beats) / static_cast<double>(smem_phases);
+  }
+};
+
+class TimedSm {
+ public:
+  TimedSm(TimedConfig cfg, mem::GlobalMemory& gmem);
+  ~TimedSm();
+  TimedSm(const TimedSm&) = delete;
+  TimedSm& operator=(const TimedSm&) = delete;
+
+  /// Runs the given resident CTAs of `launch` to completion and returns
+  /// cycle-level statistics. Functional side effects (global stores) are
+  /// applied to the bound GlobalMemory.
+  TimedStats run(const Launch& launch, std::span<const CtaCoord> ctas);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tc::sim

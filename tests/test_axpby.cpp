@@ -1,0 +1,109 @@
+// Tests of the general GEMM form C = alpha*A*B + beta*C (paper Section II-A
+// defines it; the evaluation fixes alpha=1, beta=0 — this library implements
+// the full form with an FP16x2 scaling epilogue).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/hgemm.hpp"
+#include "core/reference.hpp"
+#include "driver/device.hpp"
+
+namespace tc {
+namespace {
+
+struct AxpbyCase {
+  float alpha;
+  float beta;
+};
+
+class HgemmAxpby : public ::testing::TestWithParam<AxpbyCase> {};
+
+TEST_P(HgemmAxpby, MatchesScaledReference) {
+  const auto [alpha, beta] = GetParam();
+  Rng rng(404);
+  HalfMatrix a(256, 64), bt(256, 64), c0(256, 256);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  c0.randomize(rng, -2.0f, 2.0f);
+
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix c = core::run_hgemm_axpby(dev, a, bt, c0, alpha, beta);
+  const HalfMatrix ref = core::gemm_ref_tc_axpby(a, bt, c0, alpha, beta);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scalars, HgemmAxpby,
+                         ::testing::Values(AxpbyCase{1.0f, 0.0f}, AxpbyCase{2.0f, 0.0f},
+                                           AxpbyCase{1.0f, 1.0f}, AxpbyCase{0.5f, -1.5f},
+                                           AxpbyCase{-1.0f, 0.25f}, AxpbyCase{0.0f, 1.0f}),
+                         [](const auto& info) {
+                           auto fmt = [](float v) {
+                             std::string s = std::to_string(v);
+                             for (auto& ch : s) {
+                               if (ch == '.' || ch == '-') ch = '_';
+                             }
+                             return s;
+                           };
+                           return "a" + fmt(info.param.alpha) + "_b" + fmt(info.param.beta);
+                         });
+
+TEST(HgemmAxpby, DefaultScalarsMatchPlainPath) {
+  Rng rng(405);
+  HalfMatrix a(256, 64), bt(256, 64), c0(256, 256);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  c0.randomize(rng, -1.0f, 1.0f);  // must be ignored: beta = 0
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix plain = core::run_hgemm(dev, a, bt);
+  const HalfMatrix scaled = core::run_hgemm_axpby(dev, a, bt, c0, 1.0f, 0.0f);
+  EXPECT_EQ(core::mismatch_count(scaled, plain), 0u);
+}
+
+TEST(HgemmAxpby, BetaOneAccumulates) {
+  Rng rng(406);
+  HalfMatrix a(256, 64), bt(256, 64);
+  a.randomize(rng, -0.3f, 0.3f);
+  bt.randomize(rng, -0.3f, 0.3f);
+  HalfMatrix zero(256, 256);
+
+  driver::Device dev(device::rtx2070());
+  // Two accumulation passes: C = AB; C = AB + C.
+  const HalfMatrix once = core::run_hgemm_axpby(dev, a, bt, zero, 1.0f, 1.0f);
+  const HalfMatrix twice = core::run_hgemm_axpby(dev, a, bt, once, 1.0f, 1.0f);
+  // Element check against the epilogue semantics.
+  const HalfMatrix ref = core::gemm_ref_tc_axpby(a, bt, once, 1.0f, 1.0f);
+  EXPECT_EQ(core::mismatch_count(twice, ref), 0u);
+  // And magnitudes roughly doubled.
+  EXPECT_NEAR(twice.at(0, 0).to_float(), 2.0f * once.at(0, 0).to_float(),
+              0.05f + std::abs(once.at(0, 0).to_float()) * 0.05f);
+}
+
+TEST(HgemmAxpby, AlphaZeroScalesOutC) {
+  Rng rng(407);
+  HalfMatrix a(256, 64), bt(256, 64), c0(256, 256);
+  a.randomize(rng, -1.0f, 1.0f);
+  bt.randomize(rng, -1.0f, 1.0f);
+  c0.randomize(rng, -1.0f, 1.0f);
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix c = core::run_hgemm_axpby(dev, a, bt, c0, 0.0f, 3.0f);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(c.at(i, j).bits(), (half(3.0f) * c0.at(i, j)).bits());
+    }
+  }
+}
+
+TEST(HgemmAxpby, RaggedShapesWithScaling) {
+  Rng rng(408);
+  HalfMatrix a(100, 70), bt(90, 70), c0(100, 90);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  c0.randomize(rng, -1.0f, 1.0f);
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix c = core::run_hgemm_axpby(dev, a, bt, c0, 1.5f, 0.5f);
+  const HalfMatrix ref = core::gemm_ref_tc_axpby(a, bt, c0, 1.5f, 0.5f);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,107 @@
+// Tests for the remaining common utilities and the HgemmConfig contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/table.hpp"
+#include "core/config.hpp"
+
+namespace tc {
+namespace {
+
+TEST(Matrix, RowAndColMajorIndexing) {
+  HostMatrix<int> rm(3, 4, Layout::kRowMajor);
+  HostMatrix<int> cm(3, 4, Layout::kColMajor);
+  EXPECT_EQ(rm.index(1, 2), 6u);
+  EXPECT_EQ(cm.index(1, 2), 7u);
+  rm.at(2, 3) = 42;
+  EXPECT_EQ(rm.data()[11], 42);
+  cm.at(2, 3) = 42;
+  EXPECT_EQ(cm.data()[11], 42);
+  EXPECT_THROW(rm.at(3, 0), Error);
+  EXPECT_THROW(rm.at(0, 4), Error);
+}
+
+TEST(Matrix, SizeBytes) {
+  HalfMatrix m(10, 20);
+  EXPECT_EQ(m.size(), 200u);
+  EXPECT_EQ(m.size_bytes(), 400u);
+}
+
+TEST(GemmShape, Flops) {
+  const GemmShape s{100, 200, 300};
+  EXPECT_DOUBLE_EQ(s.flops(), 2.0 * 100 * 200 * 300);
+  EXPECT_EQ(s, (GemmShape{100, 200, 300}));
+  EXPECT_NE(s, (GemmShape{100, 200, 301}));
+}
+
+TEST(TablePrinter, AlignsAndRendersCsv) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("name    value"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nx,1\nlonger,22\n");
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(FmtFixed, Rounds) {
+  EXPECT_EQ(fmt_fixed(8.057, 2), "8.06");
+  EXPECT_EQ(fmt_fixed(59.7, 1), "59.7");
+  EXPECT_EQ(fmt_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(HgemmConfig, PresetsAreValid) {
+  EXPECT_NO_THROW(core::HgemmConfig::optimized().check());
+  EXPECT_NO_THROW(core::HgemmConfig::cublas_like().check());
+  EXPECT_EQ(core::HgemmConfig::optimized().warps(), 8);
+  EXPECT_EQ(core::HgemmConfig::optimized().threads(), 256);
+  EXPECT_EQ(core::HgemmConfig::cublas_like().warps(), 4);
+}
+
+TEST(HgemmConfig, RejectsBadShapes) {
+  auto c = core::HgemmConfig::optimized();
+  c.wk = 16;  // HMMA.1688 depth is 8
+  EXPECT_THROW(c.check(), Error);
+
+  c = core::HgemmConfig::optimized();
+  c.wm = 100;  // not HMMA-shaped
+  EXPECT_THROW(c.check(), Error);
+
+  c = core::HgemmConfig::optimized();
+  c.bm = 192;  // 24 row groups don't divide among 8 warps... (192/128 not integral)
+  EXPECT_THROW(c.check(), Error);
+
+  c = core::HgemmConfig::optimized();
+  c.sts_interleave = 0;
+  EXPECT_THROW(c.check(), Error);
+}
+
+TEST(HgemmConfig, SmemFootprints) {
+  // Table VII: 36 KB padded, 32 KB tile-major for 256x256x32; 32 KB for the
+  // cuBLAS config.
+  auto opt = core::HgemmConfig::optimized();
+  EXPECT_EQ(opt.smem_bytes(), 36u * 1024);
+  opt.layout = core::SmemLayout::kTileMajor;
+  EXPECT_EQ(opt.smem_bytes(), 32u * 1024);
+  opt.layout = core::SmemLayout::kNaiveRowMajor;
+  EXPECT_EQ(opt.smem_bytes(), 32u * 1024);
+  EXPECT_EQ(core::HgemmConfig::cublas_like().smem_bytes(), 32u * 1024);
+}
+
+TEST(HgemmConfig, NamesEncodeTheConfig) {
+  EXPECT_EQ(core::HgemmConfig::optimized().name(), "hgemm_256x256x32_w128x64_i5_pad");
+  EXPECT_EQ(core::HgemmConfig::cublas_like().name(), "hgemm_128x128x64_w64x64_i2_tile");
+}
+
+}  // namespace
+}  // namespace tc

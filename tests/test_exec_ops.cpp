@@ -1,0 +1,225 @@
+// Direct coverage of the remaining instruction semantics in exec_core:
+// FP32 math, packed FP16 math, conversions, logic, shifts, SEL, and the
+// guard/predication machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/half.hpp"
+#include "sim/exec_core.hpp"
+
+namespace tc::sim {
+namespace {
+
+std::uint32_t fbits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+float bitsf(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+struct ExecFixture : ::testing::Test {
+  WarpRegs regs;
+  Launch launch;
+  ExecContext ctx;
+  ImmediateSink sink{regs};
+
+  ExecFixture() {
+    ctx.regs = &regs;
+    ctx.launch = &launch;
+  }
+
+  StepResult run(const sass::Instruction& inst) { return exec_step(ctx, inst, sink); }
+
+  sass::Instruction alu(sass::Opcode op, int d, int a, int b, int c = 255) {
+    sass::Instruction i;
+    i.op = op;
+    i.dst = sass::Reg{static_cast<std::uint8_t>(d)};
+    i.srca = sass::Reg{static_cast<std::uint8_t>(a)};
+    i.srcb = sass::Reg{static_cast<std::uint8_t>(b)};
+    i.srcc = sass::Reg{static_cast<std::uint8_t>(c)};
+    return i;
+  }
+};
+
+TEST_F(ExecFixture, FloatMath) {
+  regs.write_now(sass::Reg{1}, 0, fbits(3.5f));
+  regs.write_now(sass::Reg{2}, 0, fbits(-1.25f));
+  regs.write_now(sass::Reg{3}, 0, fbits(10.0f));
+
+  run(alu(sass::Opcode::kFadd, 4, 1, 2));
+  EXPECT_FLOAT_EQ(bitsf(regs.read(sass::Reg{4}, 0)), 2.25f);
+  run(alu(sass::Opcode::kFmul, 4, 1, 2));
+  EXPECT_FLOAT_EQ(bitsf(regs.read(sass::Reg{4}, 0)), -4.375f);
+  run(alu(sass::Opcode::kFfma, 4, 1, 2, 3));
+  EXPECT_FLOAT_EQ(bitsf(regs.read(sass::Reg{4}, 0)), 5.625f);
+}
+
+TEST_F(ExecFixture, PackedHalfMath) {
+  regs.write_now(sass::Reg{1}, 5, half2{half(1.5f), half(-2.0f)}.pack());
+  regs.write_now(sass::Reg{2}, 5, half2{half(2.0f), half(0.5f)}.pack());
+  regs.write_now(sass::Reg{3}, 5, half2{half(1.0f), half(1.0f)}.pack());
+
+  run(alu(sass::Opcode::kHadd2, 4, 1, 2));
+  auto v = half2::unpack(regs.read(sass::Reg{4}, 5));
+  EXPECT_FLOAT_EQ(v.lo.to_float(), 3.5f);
+  EXPECT_FLOAT_EQ(v.hi.to_float(), -1.5f);
+
+  run(alu(sass::Opcode::kHmul2, 4, 1, 2));
+  v = half2::unpack(regs.read(sass::Reg{4}, 5));
+  EXPECT_FLOAT_EQ(v.lo.to_float(), 3.0f);
+  EXPECT_FLOAT_EQ(v.hi.to_float(), -1.0f);
+
+  run(alu(sass::Opcode::kHfma2, 4, 1, 2, 3));
+  v = half2::unpack(regs.read(sass::Reg{4}, 5));
+  EXPECT_FLOAT_EQ(v.lo.to_float(), 4.0f);
+  EXPECT_FLOAT_EQ(v.hi.to_float(), 0.0f);
+}
+
+TEST_F(ExecFixture, Conversions) {
+  regs.write_now(sass::Reg{1}, 0, fbits(1.5f));
+  run(alu(sass::Opcode::kF2fF32ToF16, 2, 1, 255));
+  EXPECT_EQ(regs.read(sass::Reg{2}, 0) & 0xFFFF, half(1.5f).bits());
+
+  regs.write_now(sass::Reg{3}, 0, half2{half(-0.75f), half(9.0f)}.pack());
+  run(alu(sass::Opcode::kF2fF16ToF32, 4, 3, 255));
+  EXPECT_FLOAT_EQ(bitsf(regs.read(sass::Reg{4}, 0)), -0.75f);  // low half widened
+}
+
+TEST_F(ExecFixture, LogicAndShifts) {
+  regs.write_now(sass::Reg{1}, 0, 0xF0F0F0F0u);
+  regs.write_now(sass::Reg{2}, 0, 0x0FF00FF0u);
+  run(alu(sass::Opcode::kLop3And, 3, 1, 2));
+  EXPECT_EQ(regs.read(sass::Reg{3}, 0), 0x00F000F0u);
+  run(alu(sass::Opcode::kLop3Or, 3, 1, 2));
+  EXPECT_EQ(regs.read(sass::Reg{3}, 0), 0xFFF0FFF0u);
+  run(alu(sass::Opcode::kLop3Xor, 3, 1, 2));
+  EXPECT_EQ(regs.read(sass::Reg{3}, 0), 0xFF00FF00u);
+
+  auto shl = alu(sass::Opcode::kShfL, 3, 1, 0);
+  shl.has_imm = true;
+  shl.imm = 4;
+  run(shl);
+  EXPECT_EQ(regs.read(sass::Reg{3}, 0), 0x0F0F0F00u);
+  auto shr = alu(sass::Opcode::kShfR, 3, 1, 0);
+  shr.has_imm = true;
+  shr.imm = 8;
+  run(shr);
+  EXPECT_EQ(regs.read(sass::Reg{3}, 0), 0x00F0F0F0u);
+}
+
+TEST_F(ExecFixture, SelPicksBySourcePredicate) {
+  regs.write_now(sass::Reg{1}, 0, 111);
+  regs.write_now(sass::Reg{2}, 0, 222);
+  regs.write_pred(sass::Pred{3}, 0, true);
+  regs.write_pred(sass::Pred{3}, 1, false);
+  regs.write_now(sass::Reg{1}, 1, 111);
+  regs.write_now(sass::Reg{2}, 1, 222);
+
+  auto sel = alu(sass::Opcode::kSel, 4, 1, 2);
+  sel.pdst = sass::Pred{3};
+  run(sel);
+  EXPECT_EQ(regs.read(sass::Reg{4}, 0), 111u);
+  EXPECT_EQ(regs.read(sass::Reg{4}, 1), 222u);
+}
+
+TEST_F(ExecFixture, IsetpAllComparisons) {
+  regs.write_now(sass::Reg{1}, 0, static_cast<std::uint32_t>(-5));
+  const struct {
+    sass::CmpOp op;
+    std::int32_t rhs;
+    bool expect;
+  } cases[] = {
+      {sass::CmpOp::kLt, 0, true},  {sass::CmpOp::kLe, -5, true}, {sass::CmpOp::kGt, -6, true},
+      {sass::CmpOp::kGe, -4, false}, {sass::CmpOp::kEq, -5, true}, {sass::CmpOp::kNe, -5, false},
+  };
+  for (const auto& c : cases) {
+    sass::Instruction i;
+    i.op = sass::Opcode::kIsetp;
+    i.pdst = sass::Pred{0};
+    i.cmp = c.op;
+    i.srca = sass::Reg{1};
+    i.has_imm = true;
+    i.imm = c.rhs;
+    run(i);
+    EXPECT_EQ(regs.read_pred(sass::Pred{0}, 0), c.expect)
+        << sass::cmp_name(c.op) << " " << c.rhs;
+  }
+}
+
+TEST_F(ExecFixture, GuardSuppressesInactiveLanes) {
+  regs.write_pred(sass::Pred{1}, 3, true);  // only lane 3 active
+  for (int lane = 0; lane < 32; ++lane) regs.write_now(sass::Reg{2}, lane, 7);
+
+  auto mov = alu(sass::Opcode::kMov, 5, 2, 255);
+  mov.guard = sass::Pred{1};
+  run(mov);
+  EXPECT_EQ(regs.read(sass::Reg{5}, 3), 7u);
+  EXPECT_EQ(regs.read(sass::Reg{5}, 4), 0u);  // untouched
+
+  // Negated guard: everyone except lane 3.
+  mov.dst = sass::Reg{6};
+  mov.guard_negated = true;
+  run(mov);
+  EXPECT_EQ(regs.read(sass::Reg{6}, 3), 0u);
+  EXPECT_EQ(regs.read(sass::Reg{6}, 4), 7u);
+}
+
+TEST_F(ExecFixture, SpecialRegisters) {
+  launch.grid_x = 9;
+  ctx.cta_x = 4;
+  ctx.cta_y = 2;
+  ctx.warp_in_cta = 3;
+
+  sass::Instruction s2r;
+  s2r.op = sass::Opcode::kS2r;
+  s2r.dst = sass::Reg{1};
+  s2r.sreg = sass::SpecialReg::kTidX;
+  run(s2r);
+  EXPECT_EQ(regs.read(sass::Reg{1}, 0), 96u);  // warp 3, lane 0
+  EXPECT_EQ(regs.read(sass::Reg{1}, 31), 127u);
+
+  s2r.sreg = sass::SpecialReg::kCtaIdX;
+  run(s2r);
+  EXPECT_EQ(regs.read(sass::Reg{1}, 0), 4u);
+  s2r.sreg = sass::SpecialReg::kCtaIdY;
+  run(s2r);
+  EXPECT_EQ(regs.read(sass::Reg{1}, 0), 2u);
+  s2r.sreg = sass::SpecialReg::kNCtaIdX;
+  run(s2r);
+  EXPECT_EQ(regs.read(sass::Reg{1}, 0), 9u);
+  s2r.sreg = sass::SpecialReg::kLaneId;
+  run(s2r);
+  EXPECT_EQ(regs.read(sass::Reg{1}, 17), 17u);
+}
+
+TEST_F(ExecFixture, ClockReadsContextCycle) {
+  ctx.clock = 0x1234'5678'9ABCull;
+  sass::Instruction cs2r;
+  cs2r.op = sass::Opcode::kCs2rClock;
+  cs2r.dst = sass::Reg{1};
+  run(cs2r);
+  EXPECT_EQ(regs.read(sass::Reg{1}, 0), 0x5678'9ABCu);  // low 32 bits
+}
+
+TEST_F(ExecFixture, MisalignedMemoryAccessThrows) {
+  mem::GlobalMemory gmem;
+  ctx.gmem = &gmem;
+  const auto base = gmem.alloc(256);
+  for (int lane = 0; lane < 32; ++lane) regs.write_now(sass::Reg{1}, lane, base + 2);
+
+  sass::Instruction ld;
+  ld.op = sass::Opcode::kLdg;
+  ld.width = sass::MemWidth::k32;
+  ld.dst = sass::Reg{4};
+  ld.srca = sass::Reg{1};
+  EXPECT_THROW(run(ld), Error);
+}
+
+}  // namespace
+}  // namespace tc::sim

@@ -1,0 +1,235 @@
+// Tests of the future-work extensions (paper Section VIII): FP32
+// accumulators (HMMA.1688.F32), the Volta-style HMMA.884, the INT8
+// IMMA.8816, and the L2-friendly launch order — each exercised through real
+// SASS programs on the executor, not just the layout helpers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "driver/device.hpp"
+#include "sass/builder.hpp"
+#include "sim/exec_core.hpp"
+#include "sim/mma_exec.hpp"
+#include "sim/pipes.hpp"
+
+namespace tc {
+namespace {
+
+using sass::KernelBuilder;
+using sass::MemWidth;
+using sass::Reg;
+using sass::RZ;
+using sass::SpecialReg;
+
+/// Builds a one-warp kernel: load A(2 regs), B(1 reg) fragments from
+/// param[0], run `op`, store the D registers to param[1].
+sass::Program single_mma_kernel(sass::Opcode op) {
+  const auto counts = sass::mma_reg_counts(op);
+  KernelBuilder b("ext_mma");
+  b.threads(32);
+  b.s2r(Reg{40}, SpecialReg::kLaneId).stall(1);
+  b.mov_param(Reg{41}, 0).stall(1);
+  b.mov_param(Reg{42}, 1).stall(13);
+  b.shl(Reg{43}, Reg{40}, 2).stall(6);
+  b.iadd3(Reg{44}, Reg{41}, Reg{43}).stall(6);  // in + lane*4
+  b.iadd3(Reg{45}, Reg{42}, Reg{43}).stall(6);  // out + lane*4
+  int offset = 0;
+  for (int r = 0; r < counts.a; ++r, offset += 128) {
+    b.ldg(MemWidth::k32, Reg{static_cast<std::uint8_t>(4 + r)}, Reg{44}, offset).write_bar(0).stall(1);
+  }
+  for (int r = 0; r < counts.b; ++r, offset += 128) {
+    b.ldg(MemWidth::k32, Reg{static_cast<std::uint8_t>(8 + r)}, Reg{44}, offset).write_bar(0).stall(1);
+  }
+  sass::Instruction inst;
+  inst.op = op;
+  inst.dst = Reg{16};
+  inst.srca = Reg{4};
+  inst.srcb = Reg{8};
+  inst.srcc = RZ;
+  inst.ctrl.stall = 15;
+  inst.ctrl.wait_mask = 1;  // wait barrier 0
+  b.emit(inst);
+  for (int r = 0; r < counts.d; ++r) {
+    b.stg(MemWidth::k32, Reg{45}, Reg{static_cast<std::uint8_t>(16 + r)}, r * 128).stall(1);
+  }
+  b.exit();
+  return b.finalize();
+}
+
+struct MmaIo {
+  std::vector<std::uint32_t> input;   // A regs then B regs, 32 words each
+  std::vector<std::uint32_t> output;  // D regs, 32 words each
+};
+
+MmaIo run_mma(sass::Opcode op, const std::vector<std::uint32_t>& input) {
+  const auto counts = sass::mma_reg_counts(op);
+  driver::Device dev(device::rtx2070());
+  auto din = dev.alloc<std::uint32_t>(input.size());
+  auto dout = dev.alloc<std::uint32_t>(static_cast<std::size_t>(counts.d) * 32);
+  dev.upload(din, std::span<const std::uint32_t>(input));
+  const auto prog = single_mma_kernel(op);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {din.addr, dout.addr};
+  dev.launch(launch);
+  MmaIo io;
+  io.input = input;
+  io.output.resize(static_cast<std::size_t>(counts.d) * 32);
+  dev.download(std::span<std::uint32_t>(io.output), dout);
+  return io;
+}
+
+TEST(Extensions, Hmma1688F32ThroughProgram) {
+  Rng rng(5);
+  sim::WarpRegs staging;
+  sim::Tile8x8 a_lo, a_hi, bt;
+  for (auto* t : {&a_lo, &a_hi, &bt}) {
+    for (auto& row : t->m) {
+      for (auto& v : row) v = rng.next_half();
+    }
+  }
+  scatter_row_major(staging, sass::Reg{0}, a_lo);
+  scatter_row_major(staging, sass::Reg{1}, a_hi);
+  scatter_col_major(staging, sass::Reg{2}, bt);
+  std::vector<std::uint32_t> input(3 * 32);
+  for (int r = 0; r < 3; ++r) {
+    for (int lane = 0; lane < 32; ++lane) {
+      input[static_cast<std::size_t>(r * 32 + lane)] =
+          staging.read(sass::Reg{static_cast<std::uint8_t>(r)}, lane);
+    }
+  }
+
+  const auto io = run_mma(sass::Opcode::kHmma1688F32, input);
+
+  // Check every element in full FP32 precision.
+  for (int i = 0; i < 16; ++i) {
+    const sim::Tile8x8& at = i < 8 ? a_lo : a_hi;
+    for (int j = 0; j < 8; ++j) {
+      float want = 0.0f;
+      for (int kk = 0; kk < 8; ++kk) {
+        want += at.m[i % 8][kk].to_float() * bt.m[kk][j].to_float();
+      }
+      const int g = i / 8;
+      const int p = j % 2;
+      const int lane = (i % 8) * 4 + j / 2;
+      float got;
+      std::memcpy(&got, &io.output[static_cast<std::size_t>((2 * g + p) * 32 + lane)], 4);
+      EXPECT_FLOAT_EQ(got, want) << "D(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Extensions, F32AccumulatorBeatsF16OnCancellation) {
+  // The reason for FP32 accumulators: accumulate many small contributions
+  // onto a large value; FP16 accumulation loses them entirely.
+  sim::WarpRegs regs;
+  sim::Tile8x8 a_lo, a_hi, bt;
+  a_lo.m[0][0] = half(1.0f);
+  bt.m[0][0] = half(2048.0f);   // first product: 2048
+  for (int kk = 1; kk < 8; ++kk) {
+    a_lo.m[0][kk] = half(1.0f);
+    bt.m[kk][0] = half(0.5f);   // seven small contributions
+  }
+  scatter_row_major(regs, sass::Reg{0}, a_lo);
+  scatter_row_major(regs, sass::Reg{1}, a_hi);
+  scatter_col_major(regs, sass::Reg{2}, bt);
+  sim::ImmediateSink sink(regs);
+
+  // F32 path keeps 2051.5 exactly.
+  sim::exec_mma(sass::Opcode::kHmma1688F32, regs, sass::Reg{8}, sass::Reg{0}, sass::Reg{2},
+                sass::RZ, sink);
+  float f32;
+  std::uint32_t bits = regs.read(sass::Reg{8}, 0);
+  std::memcpy(&f32, &bits, 4);
+  EXPECT_FLOAT_EQ(f32, 2051.5f);
+
+  // F16 result rounds to the binary16 grid at 2048 (step 2.0 there): 2052.
+  sim::exec_mma(sass::Opcode::kHmma1688F16, regs, sass::Reg{12}, sass::Reg{0}, sass::Reg{2},
+                sass::RZ, sink);
+  const half f16 = half2::unpack(regs.read(sass::Reg{12}, 0)).lo;
+  EXPECT_EQ(f16.to_float(), 2052.0f);
+}
+
+TEST(Extensions, Hmma884ThroughProgram) {
+  Rng rng(6);
+  sim::WarpRegs staging;
+  sim::Tile8x8 at, bt;
+  for (auto* t : {&at, &bt}) {
+    for (auto& row : t->m) {
+      for (auto& v : row) v = rng.next_half();
+    }
+  }
+  scatter_row_major(staging, sass::Reg{0}, at);
+  scatter_col_major(staging, sass::Reg{1}, bt);
+  std::vector<std::uint32_t> input(2 * 32);
+  for (int r = 0; r < 2; ++r) {
+    for (int lane = 0; lane < 32; ++lane) {
+      input[static_cast<std::size_t>(r * 32 + lane)] =
+          staging.read(sass::Reg{static_cast<std::uint8_t>(r)}, lane);
+    }
+  }
+  const auto io = run_mma(sass::Opcode::kHmma884F16, input);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < 8; ++kk) acc += at.m[i][kk].to_float() * bt.m[kk][j].to_float();
+      const auto pos = sim::row_major_pos(i, j);
+      const half got =
+          pos.part == 0
+              ? half2::unpack(io.output[static_cast<std::size_t>(pos.lane)]).lo
+              : half2::unpack(io.output[static_cast<std::size_t>(pos.lane)]).hi;
+      EXPECT_EQ(got.bits(), half(acc).bits());
+    }
+  }
+}
+
+TEST(Extensions, Imma8816ThroughProgram) {
+  Rng rng(7);
+  std::int8_t A[8][16];
+  std::int8_t B[16][8];
+  for (auto& row : A) {
+    for (auto& v : row) v = static_cast<std::int8_t>(rng.next_int(-128, 127));
+  }
+  for (auto& row : B) {
+    for (auto& v : row) v = static_cast<std::int8_t>(rng.next_int(-128, 127));
+  }
+  std::vector<std::uint32_t> input(2 * 32);
+  for (int lane = 0; lane < 32; ++lane) {
+    std::uint32_t aw = 0;
+    std::uint32_t bw = 0;
+    for (int byte = 0; byte < 4; ++byte) {
+      aw |= static_cast<std::uint32_t>(
+                static_cast<std::uint8_t>(A[lane / 4][(lane % 4) * 4 + byte]))
+            << (8 * byte);
+      bw |= static_cast<std::uint32_t>(
+                static_cast<std::uint8_t>(B[(lane % 4) * 4 + byte][lane / 4]))
+            << (8 * byte);
+    }
+    input[static_cast<std::size_t>(lane)] = aw;
+    input[static_cast<std::size_t>(32 + lane)] = bw;
+  }
+  const auto io = run_mma(sass::Opcode::kImma8816S8, input);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::int32_t want = 0;
+      for (int kk = 0; kk < 16; ++kk) want += A[i][kk] * B[kk][j];
+      const int lane = i * 4 + j / 2;
+      const auto got = static_cast<std::int32_t>(
+          io.output[static_cast<std::size_t>((j % 2) * 32 + lane)]);
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(Extensions, Hmma884TimingIsHalfOf1688) {
+  // CPI 4 vs 8: .884 does half the MACs of .1688 per instruction.
+  sass::Instruction i884;
+  i884.op = sass::Opcode::kHmma884F16;
+  sass::Instruction i1688;
+  i1688.op = sass::Opcode::kHmma1688F16;
+  EXPECT_EQ(sim::pipe_occupancy(i884) * 2, sim::pipe_occupancy(i1688));
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,239 @@
+// Functional-executor tests: small hand-written SASS programs, then the full
+// HGEMM kernels against the bit-exact Tensor Core reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/hgemm.hpp"
+#include "core/kernel_gen.hpp"
+#include "core/reference.hpp"
+#include "driver/device.hpp"
+#include "sass/builder.hpp"
+#include "sim/functional.hpp"
+
+namespace tc {
+namespace {
+
+using sass::CmpOp;
+using sass::KernelBuilder;
+using sass::MemWidth;
+using sass::Pred;
+using sass::Reg;
+using sass::SpecialReg;
+
+driver::Device make_device() { return driver::Device(device::rtx2070()); }
+
+TEST(Functional, TidAndParamPlumbing) {
+  // out[tid] = tid * 3 + param.
+  KernelBuilder b("plumb");
+  b.threads(64);
+  b.s2r(Reg{0}, SpecialReg::kTidX);
+  b.mov_param(Reg{1}, 0);  // out base
+  b.mov_param(Reg{2}, 1);  // addend
+  b.imad_imm(Reg{3}, Reg{0}, 3, Reg{2});
+  b.shl(Reg{4}, Reg{0}, 2);
+  b.iadd3(Reg{4}, Reg{4}, Reg{1});
+  b.stg(MemWidth::k32, Reg{4}, Reg{3});
+  b.exit();
+  const auto prog = b.finalize();
+
+  auto dev = make_device();
+  auto out = dev.alloc<std::uint32_t>(64);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {out.addr, 1000};
+  dev.launch(launch);
+
+  std::vector<std::uint32_t> host(64);
+  dev.download(std::span(host.data(), host.size()), out);
+  for (std::uint32_t t = 0; t < 64; ++t) EXPECT_EQ(host[t], t * 3 + 1000);
+}
+
+TEST(Functional, LoopAndPredication) {
+  // out[tid] = sum over i<10 of (tid + i); even tids only.
+  KernelBuilder b("loop");
+  b.threads(32);
+  b.s2r(Reg{0}, SpecialReg::kTidX);
+  b.mov_param(Reg{1}, 0);
+  b.mov_imm(Reg{2}, 0);   // acc
+  b.mov_imm(Reg{3}, 0);   // i
+  b.label("top");
+  b.iadd3(Reg{4}, Reg{0}, Reg{3});
+  b.iadd3(Reg{2}, Reg{2}, Reg{4});
+  b.iadd_imm(Reg{3}, Reg{3}, 1);
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{3}, 10);
+  b.bra("top").pred(Pred{0});
+  b.land_imm(Reg{5}, Reg{0}, 1);
+  b.isetp_imm(Pred{1}, CmpOp::kEq, Reg{5}, 0);
+  b.shl(Reg{6}, Reg{0}, 2);
+  b.iadd3(Reg{6}, Reg{6}, Reg{1});
+  b.stg(MemWidth::k32, Reg{6}, Reg{2}).pred(Pred{1});
+  b.exit();
+  const auto prog = b.finalize();
+
+  auto dev = make_device();
+  auto out = dev.alloc<std::uint32_t>(32);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {out.addr};
+  dev.launch(launch);
+
+  std::vector<std::uint32_t> host(32);
+  dev.download(std::span(host.data(), host.size()), out);
+  for (std::uint32_t t = 0; t < 32; ++t) {
+    const std::uint32_t want = t % 2 == 0 ? 10 * t + 45 : 0;
+    EXPECT_EQ(host[t], want) << "tid " << t;
+  }
+}
+
+TEST(Functional, SharedMemoryBarrierAcrossWarps) {
+  // Warp 0 stores tid*7 to smem; after BAR.SYNC warp 1 reads it back out.
+  KernelBuilder b("smem_bar");
+  b.threads(64);
+  b.smem(256);
+  b.s2r(Reg{0}, SpecialReg::kTidX);
+  b.mov_param(Reg{1}, 0);
+  b.land_imm(Reg{2}, Reg{0}, 31);  // lane
+  b.shl(Reg{3}, Reg{2}, 2);        // lane*4
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{0}, 32);  // warp 0
+  b.imad_imm(Reg{4}, Reg{0}, 7, sass::RZ);
+  b.sts(MemWidth::k32, Reg{3}, Reg{4}).pred(Pred{0});
+  b.bar_sync();
+  b.isetp_imm(Pred{1}, CmpOp::kGe, Reg{0}, 32);  // warp 1
+  b.lds(MemWidth::k32, Reg{5}, Reg{3});
+  b.write_bar(0).stall(1);
+  b.shl(Reg{6}, Reg{2}, 2).wait_on(0);
+  b.iadd3(Reg{6}, Reg{6}, Reg{1});
+  b.stg(MemWidth::k32, Reg{6}, Reg{5}).pred(Pred{1});
+  b.exit();
+  const auto prog = b.finalize();
+
+  auto dev = make_device();
+  auto out = dev.alloc<std::uint32_t>(32);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {out.addr};
+  dev.launch(launch);
+
+  std::vector<std::uint32_t> host(32);
+  dev.download(std::span(host.data(), host.size()), out);
+  for (std::uint32_t l = 0; l < 32; ++l) EXPECT_EQ(host[l], l * 7);
+}
+
+TEST(Functional, DivergentBranchRejected) {
+  KernelBuilder b("diverge");
+  b.threads(32);
+  b.s2r(Reg{0}, SpecialReg::kTidX);
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{0}, 16);
+  b.label("x");
+  b.bra("x").pred(Pred{0});  // half the warp branches: unsupported
+  b.exit();
+  const auto prog = b.finalize();
+  auto dev = make_device();
+  sim::Launch launch;
+  launch.program = &prog;
+  EXPECT_THROW(dev.launch(launch), Error);
+}
+
+TEST(Functional, RunawayLoopGuard) {
+  KernelBuilder b("forever");
+  b.threads(32);
+  b.label("x");
+  b.bra("x");
+  b.exit();
+  const auto prog = b.finalize();
+  auto dev = make_device();
+  sim::Launch launch;
+  launch.program = &prog;
+  sim::FunctionalExecutor exec(dev.gmem());
+  EXPECT_THROW(exec.run(launch, /*max_warp_instructions=*/10000), Error);
+}
+
+// --- full kernels -------------------------------------------------------------
+
+class HgemmFunctional : public ::testing::TestWithParam<core::HgemmConfig> {};
+
+TEST_P(HgemmFunctional, MatchesTensorCoreReference) {
+  const core::HgemmConfig cfg = GetParam();
+  Rng rng(99);
+  const std::size_t m = static_cast<std::size_t>(cfg.bm);
+  const std::size_t n = static_cast<std::size_t>(cfg.bn);
+  const std::size_t k = static_cast<std::size_t>(cfg.bk) * 3;
+
+  HalfMatrix a(m, k), bt(n, k);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+
+  auto dev = make_device();
+  const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
+  const HalfMatrix ref = core::gemm_ref_tc(a, bt);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+
+  const FloatMatrix ref32 = core::gemm_ref_f32(a, bt);
+  EXPECT_LT(core::max_abs_diff(c, ref32), 0.25);  // fp16 accumulation tolerance
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HgemmFunctional,
+    ::testing::Values(core::HgemmConfig::optimized(), core::HgemmConfig::cublas_like(),
+                      [] {
+                        auto c = core::HgemmConfig::optimized();
+                        c.layout = core::SmemLayout::kNaiveRowMajor;
+                        return c;
+                      }(),
+                      [] {
+                        auto c = core::HgemmConfig::optimized();
+                        c.prefetch = false;
+                        return c;
+                      }(),
+                      [] {
+                        auto c = core::HgemmConfig::optimized();
+                        c.sts_interleave = 2;
+                        return c;
+                      }()),
+    [](const auto& info) {
+      std::string n = info.param.name();
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n + "_" + std::to_string(info.index);
+    });
+
+TEST(HgemmFunctional, MultiBlockGrid) {
+  auto cfg = core::HgemmConfig::optimized();
+  Rng rng(5);
+  HalfMatrix a(512, 64), bt(512, 64);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  auto dev = make_device();
+  const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
+  const HalfMatrix ref = core::gemm_ref_tc(a, bt);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+}
+
+TEST(HgemmFunctional, RaggedSizesArePadded) {
+  auto cfg = core::HgemmConfig::optimized();
+  Rng rng(6);
+  HalfMatrix a(100, 72), bt(130, 72);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  auto dev = make_device();
+  const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
+  ASSERT_EQ(c.rows(), 100u);
+  ASSERT_EQ(c.cols(), 130u);
+  const HalfMatrix ref = core::gemm_ref_tc(a, bt);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+}
+
+TEST(WmmaNaive, MatchesReference) {
+  Rng rng(11);
+  HalfMatrix a(64, 64), bt(256, 64);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  auto dev = make_device();
+  const HalfMatrix c = core::run_wmma_naive(dev, a, bt);
+  const HalfMatrix ref = core::gemm_ref_tc(a, bt);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+}
+
+}  // namespace
+}  // namespace tc

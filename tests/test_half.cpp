@@ -1,0 +1,141 @@
+// Unit tests for IEEE binary16 arithmetic (src/common/half.*).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace tc {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const half h(static_cast<float>(i));
+    EXPECT_EQ(h.to_float(), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(half(-2.0f).bits(), 0xC000);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7BFF);  // max normal
+  EXPECT_EQ(half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(half(6.103515625e-05f).bits(), 0x0400);  // min normal 2^-14
+  EXPECT_EQ(half(5.960464477539063e-08f).bits(), 0x0001);  // min subnormal 2^-24
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(half(65520.0f).is_inf());  // rounds up past max normal
+  EXPECT_TRUE(half(1e30f).is_inf());
+  EXPECT_TRUE(half(-1e30f).is_inf());
+  EXPECT_TRUE(half(-1e30f).signbit());
+  EXPECT_EQ(half(65519.0f).bits(), 0x7BFF);  // rounds down to max
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_TRUE(half(1e-10f).is_zero());
+  EXPECT_TRUE(half(-1e-10f).is_zero());
+  EXPECT_TRUE(half(-1e-10f).signbit());  // signed zero preserved
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: rounds to even (1.0).
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f).bits(), half(1.0f).bits());
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+  EXPECT_EQ(half(1.0f + 3 * 0x1.0p-11f).bits(), half(1.0f + 0x1.0p-9f).bits());
+  // Slightly above the halfway point rounds up.
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f + 0x1.0p-20f).bits(), half(1.0f + 0x1.0p-10f).bits());
+}
+
+TEST(Half, NanPropagation) {
+  const half n(std::nanf(""));
+  EXPECT_TRUE(n.is_nan());
+  EXPECT_FALSE(n == n);  // NaN != NaN
+  EXPECT_TRUE(std::isnan(n.to_float()));
+}
+
+TEST(Half, RoundTripAllBitPatterns) {
+  // Every half value must convert to float and back without change.
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    const half back(h.to_float());
+    if (h.is_nan()) {
+      EXPECT_TRUE(back.is_nan()) << "bits=" << b;
+    } else {
+      EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+    }
+  }
+}
+
+TEST(Half, SubnormalRoundTrip) {
+  for (std::uint16_t b = 1; b < 0x0400; ++b) {  // all positive subnormals
+    const half h = half::from_bits(b);
+    EXPECT_EQ(half(h.to_float()).bits(), b);
+    EXPECT_GT(h.to_float(), 0.0f);
+  }
+}
+
+TEST(Half, Arithmetic) {
+  EXPECT_EQ((half(1.5f) + half(2.5f)).to_float(), 4.0f);
+  EXPECT_EQ((half(3.0f) * half(0.5f)).to_float(), 1.5f);
+  EXPECT_EQ((half(1.0f) / half(4.0f)).to_float(), 0.25f);
+  EXPECT_EQ((-half(2.0f)).to_float(), -2.0f);
+  // FP16 addition loses low bits: 2048 + 1 == 2048 in binary16.
+  EXPECT_EQ((half(2048.0f) + half(1.0f)).to_float(), 2048.0f);
+}
+
+TEST(Half, ComparisonsAndZeroEquality) {
+  EXPECT_TRUE(half(0.0f) == half(-0.0f));
+  EXPECT_TRUE(half(1.0f) < half(2.0f));
+  EXPECT_TRUE(half(-1.0f) < half(1.0f));
+  EXPECT_TRUE(half(3.0f) >= half(3.0f));
+}
+
+TEST(Half2, PackUnpack) {
+  const half2 v{half(1.5f), half(-2.0f)};
+  const auto word = v.pack();
+  EXPECT_EQ(word & 0xFFFF, half(1.5f).bits());
+  EXPECT_EQ(word >> 16, half(-2.0f).bits());
+  const half2 u = half2::unpack(word);
+  EXPECT_EQ(u.lo.bits(), v.lo.bits());
+  EXPECT_EQ(u.hi.bits(), v.hi.bits());
+}
+
+TEST(Half, FmaRoundsOnce) {
+  // fma_round_half must use a single rounding: pick values where
+  // round(round(a*b) + c) != round(a*b + c).
+  const half a(1.0f + 0x1.0p-10f);
+  const half b(1.0f - 0x1.0p-10f);
+  const half c(-1.0f);
+  // a*b = 1 - 2^-20 exactly. Fused: -2^-20 (a subnormal half).
+  // Split: a*b rounds to 1.0 in fp16, so the sum is exactly 0.
+  const half fused = fma_round_half(a, b, c);
+  const half split = a * b + c;
+  EXPECT_EQ(split.to_float(), 0.0f);
+  EXPECT_LT(fused.to_float(), 0.0f);
+  EXPECT_NE(fused.bits(), split.bits());
+}
+
+TEST(Rng, Deterministic) {
+  Rng r1(42), r2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const float f = r.next_float(1.0f, 2.0f);
+    EXPECT_GE(f, 1.0f);
+    EXPECT_LT(f, 2.0f);
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,195 @@
+// Unit tests for the analytical models: roofline (Fig. 3), blocking analysis
+// (Table VI, Eqs. 3-6), L2 reuse, DRAM row efficiency and wave composition.
+#include <gtest/gtest.h>
+
+#include "device/spec.hpp"
+#include "model/blocking.hpp"
+#include "model/l2_reuse.hpp"
+#include "model/roofline.hpp"
+#include "model/wave_perf.hpp"
+
+namespace tc::model {
+namespace {
+
+TEST(Roofline, BlockIntensities) {
+  // Computation intensity bm*bn/(bm+bn) FLOP/byte (Section VI-A).
+  EXPECT_DOUBLE_EQ(block_intensity(128, 128), 64.0);
+  EXPECT_DOUBLE_EQ(block_intensity(256, 256), 128.0);
+  EXPECT_NEAR(block_intensity(256, 128), 85.33, 0.01);
+  EXPECT_DOUBLE_EQ(block_intensity(64, 64), 32.0);
+}
+
+TEST(Roofline, AttainableClampsAtPeak) {
+  EXPECT_DOUBLE_EQ(attainable_flops(10.0, 100e9, 50e12), 1e12);
+  EXPECT_DOUBLE_EQ(attainable_flops(1000.0, 100e9, 50e12), 50e12);
+}
+
+TEST(Roofline, PaperFig3Claims) {
+  // With FP16 units, 128x128 blocking keeps the pipe busy; with Tensor Cores
+  // even 256x256 stays below the DRAM roofline on RTX2070.
+  const auto spec = device::rtx2070();
+  const double bw = spec.dram_bw_gbps * 1e9;
+  EXPECT_GE(attainable_flops(block_intensity(128, 128), bw, spec.fp16_peak_flops()),
+            spec.fp16_peak_flops());
+  EXPECT_LT(attainable_flops(block_intensity(128, 128), bw, spec.tensor_peak_flops()),
+            spec.tensor_peak_flops());
+  EXPECT_LT(attainable_flops(block_intensity(256, 256), bw, spec.tensor_peak_flops()),
+            spec.tensor_peak_flops());
+}
+
+TEST(Roofline, RidgeOrdering) {
+  const auto spec = device::t4();
+  EXPECT_GT(ridge_intensity(spec.dram_bw_gbps * 1e9, spec.tensor_peak_flops()),
+            ridge_intensity(spec.dram_bw_gbps * 1e9, spec.fp16_peak_flops()));
+}
+
+TEST(Blocking, TableVIReproducesPaperNumbers) {
+  // Paper Table VI values with the paper's measured CPIs, within rounding.
+  const auto rows = table_vi(CpiSet{});
+  ASSERT_EQ(rows.size(), 6u);
+  const double expect_hmma[] = {1031, 1031, 2063, 2063, 4126, 4126};
+  const double expect_memio[] = {1370, 1235, 2325, 2055, 3821, 3281};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].hmma, expect_hmma[i], 2.0) << "row " << i;
+    EXPECT_NEAR(rows[i].memio, expect_memio[i], 2.0) << "row " << i;
+  }
+  // Only (256x128)/(128x64) and the two 256x256 rows are Tensor-bound.
+  EXPECT_FALSE(tensor_bound(rows[0].config, CpiSet{}));
+  EXPECT_FALSE(tensor_bound(rows[1].config, CpiSet{}));
+  EXPECT_FALSE(tensor_bound(rows[2].config, CpiSet{}));
+  EXPECT_TRUE(tensor_bound(rows[3].config, CpiSet{}));
+  EXPECT_TRUE(tensor_bound(rows[4].config, CpiSet{}));
+  EXPECT_TRUE(tensor_bound(rows[5].config, CpiSet{}));
+}
+
+TEST(Blocking, Eq6InterleaveRule) {
+  EXPECT_EQ(min_hmma_between_sts128(CpiSet{}), 5);  // paper Section VI-C
+  CpiSet fast;
+  fast.sts128 = 4.0;
+  fast.hmma = 8.0;
+  EXPECT_EQ(min_hmma_between_sts128(fast), 2);
+}
+
+TEST(Blocking, LargerWarpTileLowersLdsCycles) {
+  CpiSet cpi;
+  BlockConfig small{256, 256, 32, 64, 64, 8};
+  BlockConfig large{256, 256, 32, 128, 64, 8};
+  EXPECT_GT(lds_cycles(small, cpi), lds_cycles(large, cpi));
+  // LDG/STS cycles are warp-tile independent.
+  EXPECT_DOUBLE_EQ(ldg_sts_cycles(small, cpi), ldg_sts_cycles(large, cpi));
+}
+
+TEST(L2Reuse, SwizzledWaveSharesMoreThanRowMajor) {
+  L2ReuseInput in;
+  in.grid_x = 64;
+  in.grid_y = 64;
+  in.wave_ctas = 36;
+  in.order = LaunchOrder::kSwizzled;
+  const auto swizzled = l2_reuse(in);
+  in.order = LaunchOrder::kRowMajor;
+  const auto row_major = l2_reuse(in);
+  EXPECT_GT(swizzled.ldg_l2_hit_rate, row_major.ldg_l2_hit_rate);
+}
+
+TEST(L2Reuse, FailedSwizzleIsWorseThanRowMajor) {
+  // The cuBLAS-cliff model: past swizzle_max_grid_x a swizzled schedule
+  // scatters and shares less than even a plain row-major launch.
+  L2ReuseInput in;
+  in.bm = 128;
+  in.bn = 128;
+  in.grid_x = 100;
+  in.grid_y = 100;
+  in.wave_ctas = 72;
+  in.order = LaunchOrder::kSwizzled;
+  in.swizzle_max_grid_x = 94;
+  const auto failed = l2_reuse(in);
+  in.order = LaunchOrder::kRowMajor;
+  const auto row_major = l2_reuse(in);
+  EXPECT_LT(failed.ldg_l2_hit_rate, row_major.ldg_l2_hit_rate);
+
+  in.order = LaunchOrder::kSwizzled;
+  in.grid_x = 90;  // below the limit the swizzle still works
+  const auto ok = l2_reuse(in);
+  EXPECT_GT(ok.ldg_l2_hit_rate, failed.ldg_l2_hit_rate + 0.1);
+}
+
+TEST(L2Reuse, HitRateBounds) {
+  L2ReuseInput in;
+  in.grid_x = 8;
+  in.grid_y = 8;
+  in.wave_ctas = 36;
+  const auto r = l2_reuse(in);
+  EXPECT_GE(r.ldg_l2_hit_rate, 0.0);
+  EXPECT_LT(r.ldg_l2_hit_rate, 1.0);
+  EXPECT_LE(r.dram_bytes_per_wave_iter, r.total_bytes_per_wave_iter);
+}
+
+TEST(L2Reuse, SingleCtaHasNoSharing) {
+  L2ReuseInput in;
+  in.grid_x = 1;
+  in.grid_y = 1;
+  in.wave_ctas = 36;
+  const auto r = l2_reuse(in);
+  EXPECT_DOUBLE_EQ(r.ldg_l2_hit_rate, 0.0);
+}
+
+TEST(L2Reuse, CapacityOverflowDegradesSharing) {
+  L2ReuseInput big;
+  big.grid_x = 256;
+  big.grid_y = 256;
+  big.wave_ctas = 72;
+  big.bk = 64;
+  big.bm = big.bn = 256;
+  big.l2_capacity = 256 * 1024;  // tiny L2
+  const auto constrained = l2_reuse(big);
+  big.l2_capacity = 64ull << 20;  // huge L2
+  const auto roomy = l2_reuse(big);
+  EXPECT_LT(constrained.effective_sharing, roomy.effective_sharing);
+}
+
+TEST(DramRowEfficiency, DroopsWithStride) {
+  EXPECT_DOUBLE_EQ(dram_row_efficiency(8 * 1024), 1.0);
+  EXPECT_DOUBLE_EQ(dram_row_efficiency(16 * 1024), 1.0);
+  EXPECT_LT(dram_row_efficiency(32 * 1024), 1.0);
+  EXPECT_GE(dram_row_efficiency(1e9), 0.80);  // floored
+  EXPECT_GT(dram_row_efficiency(24 * 1024), dram_row_efficiency(32 * 1024));
+}
+
+TEST(WavePerf, ComposesWaves) {
+  WaveInput in;
+  in.spec = device::rtx2070();
+  in.shape = {2048, 2048, 2048};
+  in.steady = {4126.0, 10000.0};
+  const auto r = compose(in);
+  EXPECT_EQ(r.grid_x, 8u);
+  EXPECT_EQ(r.grid_y, 8u);
+  EXPECT_DOUBLE_EQ(r.waves, 2.0);  // 64 CTAs / 36 per wave
+  const double expect_cycles = 2.0 * (10000.0 + 64.0 * 4126.0);
+  EXPECT_DOUBLE_EQ(r.kernel_cycles, expect_cycles);
+  EXPECT_GT(r.tflops, 0.0);
+}
+
+TEST(WavePerf, WaveQuantizationSawtooth) {
+  // 37 CTA columns need 2 waves where 36 need 1: throughput dips.
+  WaveInput in;
+  in.spec = device::rtx2070();
+  in.steady = {4126.0, 10000.0};
+  in.shape = {256, 256 * 36, 4096};
+  const auto full = compose(in);
+  in.shape = {256, 256 * 37, 4096};
+  const auto spill = compose(in);
+  EXPECT_GT(full.tflops, spill.tflops);
+}
+
+TEST(WavePerf, LaunchOverheadDominatesTinyGemms) {
+  WaveInput in;
+  in.spec = device::rtx2070();
+  in.steady = {4126.0, 10000.0};
+  in.shape = {256, 256, 64};
+  in.launch_overhead_us = 3.0;
+  const auto r = compose(in);
+  EXPECT_LT(r.tflops, 1.0);  // tiny problem cannot amortize 3us
+}
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,161 @@
+// Property-based sweeps: the kernels must agree with the bit-exact Tensor
+// Core reference for randomized shapes, seeds and configurations, and the
+// performance model must obey basic monotonicity/sanity invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/hgemm.hpp"
+#include "core/reference.hpp"
+#include "driver/device.hpp"
+
+namespace tc {
+namespace {
+
+// --- randomized functional correctness ---------------------------------------
+
+struct ShapeSeed {
+  std::size_t m, n, k;
+  std::uint64_t seed;
+};
+
+class HgemmRandomShapes : public ::testing::TestWithParam<ShapeSeed> {};
+
+TEST_P(HgemmRandomShapes, KernelEqualsReference) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  HalfMatrix a(p.m, p.k), bt(p.n, p.k);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix c = core::run_hgemm(dev, a, bt);
+  const HalfMatrix ref = core::gemm_ref_tc(a, bt);
+  EXPECT_EQ(core::mismatch_count(c, ref), 0u);
+}
+
+std::vector<ShapeSeed> random_shapes() {
+  // Deterministic "random" shape set exercising ragged edges, 1-row/1-col
+  // extremes and k padding.
+  Rng rng(0xC0FFEE);
+  std::vector<ShapeSeed> shapes = {
+      {1, 1, 1, 1},        // degenerate
+      {8, 8, 8, 2},        // single HMMA tile
+      {17, 33, 9, 3},      // fully ragged
+      {256, 256, 32, 4},   // exactly one block, minimum k (padded to 64)
+      {300, 260, 70, 5},   // slightly over one block
+  };
+  for (std::uint64_t s = 10; s < 18; ++s) {
+    shapes.push_back({static_cast<std::size_t>(rng.next_int(1, 400)),
+                      static_cast<std::size_t>(rng.next_int(1, 400)),
+                      static_cast<std::size_t>(rng.next_int(1, 150)), s});
+  }
+  return shapes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HgemmRandomShapes, ::testing::ValuesIn(random_shapes()),
+                         [](const auto& info) {
+                           const auto& p = info.param;
+                           return "m" + std::to_string(p.m) + "_n" + std::to_string(p.n) +
+                                  "_k" + std::to_string(p.k) + "_s" + std::to_string(p.seed);
+                         });
+
+TEST(HgemmProperty, AllConfigsAgreeWithEachOther) {
+  // Every kernel configuration computes the same function (identical
+  // accumulation order), so outputs must match bit for bit.
+  Rng rng(77);
+  HalfMatrix a(256, 96), bt(256, 96);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix base = core::run_hgemm(dev, a, bt, core::HgemmConfig::optimized());
+  for (core::SmemLayout layout :
+       {core::SmemLayout::kTileMajor, core::SmemLayout::kNaiveRowMajor}) {
+    auto cfg = core::HgemmConfig::optimized();
+    cfg.layout = layout;
+    const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
+    EXPECT_EQ(core::mismatch_count(c, base), 0u);
+  }
+  for (int interleave : {1, 2, 3, 8}) {
+    auto cfg = core::HgemmConfig::optimized();
+    cfg.sts_interleave = interleave;
+    const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
+    EXPECT_EQ(core::mismatch_count(c, base), 0u);
+  }
+}
+
+TEST(HgemmProperty, ZeroInputsGiveZeroOutput) {
+  HalfMatrix a(256, 64), bt(256, 64);  // all zeros
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix c = core::run_hgemm(dev, a, bt);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) EXPECT_TRUE(c.at(i, j).is_zero());
+  }
+}
+
+TEST(HgemmProperty, IdentityMatrixActsAsIdentity) {
+  const std::size_t n = 256;
+  Rng rng(31);
+  HalfMatrix a(n, n);
+  a.randomize(rng, -1.0f, 1.0f);
+  HalfMatrix identity_t(n, n);  // I^T == I
+  for (std::size_t i = 0; i < n; ++i) identity_t.at(i, i) = half(1.0f);
+
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix c = core::run_hgemm(dev, a, identity_t);
+  // A * I: every element passes through one FP16 rounding chain (exact:
+  // products are a*1 and additions accumulate one nonzero term).
+  EXPECT_EQ(core::mismatch_count(c, a), 0u);
+}
+
+// --- performance model invariants --------------------------------------------
+
+TEST(PerfProperty, ThroughputGrowsThenPlateausWithSize) {
+  core::PerfEstimator est(device::rtx2070(), core::HgemmConfig::optimized());
+  const double t1k = est.estimate({1024, 1024, 1024}).tflops;
+  const double t4k = est.estimate({4096, 4096, 4096}).tflops;
+  const double t8k = est.estimate({8192, 8192, 8192}).tflops;
+  EXPECT_LT(t1k, t4k);
+  EXPECT_LE(t4k, t8k * 1.15);  // roughly flat after 4096
+  EXPECT_LE(t8k, device::rtx2070().tensor_peak_flops() / 1e12 * 1.02);
+}
+
+TEST(PerfProperty, TimeScalesLinearlyInK) {
+  core::PerfEstimator est(device::rtx2070(), core::HgemmConfig::optimized());
+  const double s1 = est.estimate({8192, 8192, 4096}).seconds;
+  const double s2 = est.estimate({8192, 8192, 8192}).seconds;
+  EXPECT_NEAR(s2 / s1, 2.0, 0.25);
+}
+
+TEST(PerfProperty, StsInterleaveFiveBeatsTwo) {
+  auto five = core::HgemmConfig::optimized();
+  auto two = core::HgemmConfig::optimized();
+  two.sts_interleave = 2;
+  core::PerfEstimator e5(device::rtx2070(), five);
+  core::PerfEstimator e2(device::rtx2070(), two);
+  const GemmShape s{8192, 8192, 8192};
+  EXPECT_GE(e5.estimate(s).tflops, e2.estimate(s).tflops);
+}
+
+TEST(PerfProperty, PaddedLayoutBeatsNaive) {
+  auto padded = core::HgemmConfig::optimized();
+  auto naive = core::HgemmConfig::optimized();
+  naive.layout = core::SmemLayout::kNaiveRowMajor;
+  core::PerfEstimator ep(device::rtx2070(), padded);
+  core::PerfEstimator en(device::rtx2070(), naive);
+  const GemmShape s{8192, 8192, 8192};
+  const double tp = ep.estimate(s).tflops;
+  const double tn = en.estimate(s).tflops;
+  EXPECT_GT(tp, 1.5 * tn);  // Fig. 5: roughly 2x
+}
+
+TEST(PerfProperty, Rtx2070BeatsT4DespiteLowerPeak) {
+  // Paper Section VII-C: RTX2070's higher DRAM bandwidth wins even though
+  // T4 has the higher compute peak.
+  core::PerfEstimator e2070(device::rtx2070(), core::HgemmConfig::optimized());
+  core::PerfEstimator et4(device::t4(), core::HgemmConfig::optimized());
+  const GemmShape s{8192, 8192, 8192};
+  EXPECT_GT(e2070.estimate(s).tflops, et4.estimate(s).tflops);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,196 @@
+// Unit tests for the SASS ISA model: builder, validator, lint, disassembly.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sass/builder.hpp"
+#include "sass/validator.hpp"
+
+namespace tc::sass {
+namespace {
+
+KernelBuilder minimal(const std::string& name = "k") {
+  KernelBuilder b(name);
+  return b;
+}
+
+TEST(Builder, TracksRegisterUsage) {
+  KernelBuilder b("regs");
+  b.mov_imm(Reg{10}, 1);
+  b.ldg(MemWidth::k128, Reg{20}, Reg{10});  // uses R20..R23
+  b.exit();
+  const Program p = b.finalize();
+  EXPECT_EQ(p.num_regs, 24);
+}
+
+TEST(Builder, TracksParamWords) {
+  KernelBuilder b("params");
+  b.mov_param(Reg{0}, 5);
+  b.exit();
+  EXPECT_EQ(b.finalize().num_param_words, 6u);
+}
+
+TEST(Builder, ResolvesForwardAndBackwardLabels) {
+  KernelBuilder b("labels");
+  b.label("top");
+  b.mov_imm(Reg{0}, 1);
+  b.bra("bottom");
+  b.bra("top");
+  b.label("bottom");
+  b.exit();
+  const Program p = b.finalize();
+  EXPECT_EQ(p.code[1].target, 3);  // "bottom"
+  EXPECT_EQ(p.code[2].target, 0);  // "top"
+}
+
+TEST(Builder, UndefinedLabelThrows) {
+  KernelBuilder b("bad");
+  b.bra("nowhere");
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  KernelBuilder b("dup");
+  b.label("x");
+  EXPECT_THROW(b.label("x"), Error);
+}
+
+TEST(Builder, StallRangeChecked) {
+  KernelBuilder b("stall");
+  b.nop();
+  EXPECT_THROW(b.stall(16), Error);
+  EXPECT_THROW(b.stall(-1), Error);
+  b.stall(15);  // ok
+}
+
+TEST(Validator, RejectsMissingExit) {
+  KernelBuilder b("noexit");
+  b.nop();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, RejectsMisalignedPair) {
+  KernelBuilder b("mis");
+  b.ldg(MemWidth::k64, Reg{3}, Reg{0});  // odd destination pair
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, RejectsMisalignedQuad) {
+  KernelBuilder b("mis4");
+  b.ldg(MemWidth::k128, Reg{6}, Reg{0});  // not 4-aligned
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, RejectsMmaRegisterOverflow) {
+  KernelBuilder b("over");
+  // HMMA.1688.F32 D is a quad: R252..R255 overlaps RZ.
+  b.hmma_1688_f32(Reg{252}, Reg{0}, Reg{2}, Reg{4});
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, RejectsBarrierOnFixedLatencyOp) {
+  KernelBuilder b("bar");
+  b.mov_imm(Reg{0}, 1);
+  EXPECT_NO_THROW(b.stall(1));
+  b.last().ctrl.write_barrier = 0;  // MOV cannot signal a scoreboard barrier
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, AcceptsRzAccumulator) {
+  KernelBuilder b("rzc");
+  b.hmma_1688_f16(Reg{8}, Reg{0}, Reg{2}, RZ);
+  b.exit();
+  EXPECT_NO_THROW(b.finalize());
+}
+
+TEST(Validator, RejectsRzMmaInputs) {
+  KernelBuilder b("rza");
+  b.hmma_1688_f16(Reg{8}, RZ, Reg{2}, Reg{4});
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, SmemLimitEnforced) {
+  KernelBuilder b("smem");
+  b.smem(65 * 1024);
+  b.exit();
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Lint, WarnsOnUnsynchronizedLoad) {
+  KernelBuilder b("lint1");
+  b.ldg(MemWidth::k32, Reg{0}, Reg{4});
+  b.exit();
+  const auto warnings = lint(b.finalize());
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find("without a write barrier"), std::string::npos);
+}
+
+TEST(Lint, WarnsOnWaitWithoutSet) {
+  KernelBuilder b("lint2");
+  b.nop().wait_on(3);
+  b.exit();
+  const auto warnings = lint(b.finalize());
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find("never set"), std::string::npos);
+}
+
+TEST(Lint, CleanScheduleHasNoWarnings) {
+  KernelBuilder b("lint3");
+  b.ldg(MemWidth::k32, Reg{0}, Reg{4});
+  b.write_bar(0).stall(1);
+  b.mov(Reg{8}, Reg{0}).wait_on(0);
+  b.exit();
+  EXPECT_TRUE(lint(b.finalize()).empty());
+}
+
+TEST(Lint, LoadToRzNeedsNoBarrier) {
+  KernelBuilder b("lint4");
+  b.ldg(MemWidth::k32, RZ, Reg{4});
+  b.exit();
+  EXPECT_TRUE(lint(b.finalize()).empty());
+}
+
+TEST(Disasm, RendersKeyFields) {
+  KernelBuilder b("disasm");
+  b.ldg(MemWidth::k128, Reg{8}, Reg{2}, 0x40, CacheOp::kCg).write_bar(1).stall(2);
+  b.hmma_1688_f16(Reg{8}, Reg{2}, Reg{6}, Reg{4});
+  b.exit();
+  const Program p = b.finalize();
+  const std::string text = p.disassemble();
+  EXPECT_NE(text.find("LDG.128.CG R8, [R2+0x40]"), std::string::npos);
+  EXPECT_NE(text.find("WB1"), std::string::npos);
+  EXPECT_NE(text.find("HMMA.1688.F16 R8, R2, R6, R4"), std::string::npos);
+  EXPECT_NE(text.find("EXIT"), std::string::npos);
+}
+
+TEST(Isa, PipeClasses) {
+  EXPECT_EQ(pipe_class(Opcode::kHmma1688F16), PipeClass::kTensor);
+  EXPECT_EQ(pipe_class(Opcode::kLds), PipeClass::kMio);
+  EXPECT_EQ(pipe_class(Opcode::kLdg), PipeClass::kMio);
+  EXPECT_EQ(pipe_class(Opcode::kFfma), PipeClass::kFma);
+  EXPECT_EQ(pipe_class(Opcode::kIadd3), PipeClass::kAlu);
+  EXPECT_EQ(pipe_class(Opcode::kBra), PipeClass::kControl);
+}
+
+TEST(Isa, MmaRegCounts) {
+  const auto f16 = mma_reg_counts(Opcode::kHmma1688F16);
+  EXPECT_EQ(f16.d, 2);
+  EXPECT_EQ(f16.b, 1);
+  const auto f32 = mma_reg_counts(Opcode::kHmma1688F32);
+  EXPECT_EQ(f32.d, 4);
+  EXPECT_EQ(f32.c, 4);
+}
+
+TEST(Isa, WidthHelpers) {
+  EXPECT_EQ(width_bytes(MemWidth::k32), 4);
+  EXPECT_EQ(width_bytes(MemWidth::k128), 16);
+  EXPECT_EQ(width_regs(MemWidth::k64), 2);
+}
+
+}  // namespace
+}  // namespace tc::sass
