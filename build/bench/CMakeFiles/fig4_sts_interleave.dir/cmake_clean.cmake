@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sts_interleave.dir/fig4_sts_interleave.cpp.o"
+  "CMakeFiles/fig4_sts_interleave.dir/fig4_sts_interleave.cpp.o.d"
+  "fig4_sts_interleave"
+  "fig4_sts_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sts_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

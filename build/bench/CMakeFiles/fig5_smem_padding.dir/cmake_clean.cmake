@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_smem_padding.dir/fig5_smem_padding.cpp.o"
+  "CMakeFiles/fig5_smem_padding.dir/fig5_smem_padding.cpp.o.d"
+  "fig5_smem_padding"
+  "fig5_smem_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_smem_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

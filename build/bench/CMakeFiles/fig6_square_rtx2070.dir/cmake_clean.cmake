@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_square_rtx2070.dir/fig6_square_rtx2070.cpp.o"
+  "CMakeFiles/fig6_square_rtx2070.dir/fig6_square_rtx2070.cpp.o.d"
+  "fig6_square_rtx2070"
+  "fig6_square_rtx2070.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_square_rtx2070.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_square_rtx2070.
+# This may be replaced when dependencies are built.

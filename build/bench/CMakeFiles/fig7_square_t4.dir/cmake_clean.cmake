@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_square_t4.dir/fig7_square_t4.cpp.o"
+  "CMakeFiles/fig7_square_t4.dir/fig7_square_t4.cpp.o.d"
+  "fig7_square_t4"
+  "fig7_square_t4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_square_t4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rect_rtx2070.dir/fig8_rect_rtx2070.cpp.o"
+  "CMakeFiles/fig8_rect_rtx2070.dir/fig8_rect_rtx2070.cpp.o.d"
+  "fig8_rect_rtx2070"
+  "fig8_rect_rtx2070.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rect_rtx2070.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

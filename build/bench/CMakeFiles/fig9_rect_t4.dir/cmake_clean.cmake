@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rect_t4.dir/fig9_rect_t4.cpp.o"
+  "CMakeFiles/fig9_rect_t4.dir/fig9_rect_t4.cpp.o.d"
+  "fig9_rect_t4"
+  "fig9_rect_t4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rect_t4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lib_microbench.dir/lib_microbench.cpp.o"
+  "CMakeFiles/lib_microbench.dir/lib_microbench.cpp.o.d"
+  "lib_microbench"
+  "lib_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lib_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hmma.dir/table1_hmma.cpp.o"
+  "CMakeFiles/table1_hmma.dir/table1_hmma.cpp.o.d"
+  "table1_hmma"
+  "table1_hmma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hmma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

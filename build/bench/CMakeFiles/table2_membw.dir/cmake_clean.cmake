@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_membw.dir/table2_membw.cpp.o"
+  "CMakeFiles/table2_membw.dir/table2_membw.cpp.o.d"
+  "table2_membw"
+  "table2_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ldg_cpi.dir/table3_ldg_cpi.cpp.o"
+  "CMakeFiles/table3_ldg_cpi.dir/table3_ldg_cpi.cpp.o.d"
+  "table3_ldg_cpi"
+  "table3_ldg_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ldg_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_ldg_cpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_smem.dir/table4_smem.cpp.o"
+  "CMakeFiles/table4_smem.dir/table4_smem.cpp.o.d"
+  "table4_smem"
+  "table4_smem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_smem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_blocking.cpp" "bench/CMakeFiles/table6_blocking.dir/table6_blocking.cpp.o" "gcc" "bench/CMakeFiles/table6_blocking.dir/table6_blocking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/tc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/tc_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_blocking.dir/table6_blocking.cpp.o"
+  "CMakeFiles/table6_blocking.dir/table6_blocking.cpp.o.d"
+  "table6_blocking"
+  "table6_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

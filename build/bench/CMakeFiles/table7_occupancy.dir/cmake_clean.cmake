@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_occupancy.dir/table7_occupancy.cpp.o"
+  "CMakeFiles/table7_occupancy.dir/table7_occupancy.cpp.o.d"
+  "table7_occupancy"
+  "table7_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

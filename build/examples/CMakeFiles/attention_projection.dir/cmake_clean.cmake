@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_projection.dir/attention_projection.cpp.o"
+  "CMakeFiles/attention_projection.dir/attention_projection.cpp.o.d"
+  "attention_projection"
+  "attention_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

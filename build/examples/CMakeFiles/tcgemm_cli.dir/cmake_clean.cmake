@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcgemm_cli.dir/tcgemm_cli.cpp.o"
+  "CMakeFiles/tcgemm_cli.dir/tcgemm_cli.cpp.o.d"
+  "tcgemm_cli"
+  "tcgemm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcgemm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

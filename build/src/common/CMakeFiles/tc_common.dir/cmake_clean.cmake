@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_common.dir/half.cpp.o"
+  "CMakeFiles/tc_common.dir/half.cpp.o.d"
+  "CMakeFiles/tc_common.dir/rng.cpp.o"
+  "CMakeFiles/tc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tc_common.dir/table.cpp.o"
+  "CMakeFiles/tc_common.dir/table.cpp.o.d"
+  "libtc_common.a"
+  "libtc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

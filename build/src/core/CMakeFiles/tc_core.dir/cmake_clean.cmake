@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_core.dir/hgemm.cpp.o"
+  "CMakeFiles/tc_core.dir/hgemm.cpp.o.d"
+  "CMakeFiles/tc_core.dir/kernel_gen.cpp.o"
+  "CMakeFiles/tc_core.dir/kernel_gen.cpp.o.d"
+  "CMakeFiles/tc_core.dir/reference.cpp.o"
+  "CMakeFiles/tc_core.dir/reference.cpp.o.d"
+  "libtc_core.a"
+  "libtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

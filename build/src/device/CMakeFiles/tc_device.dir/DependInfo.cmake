@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/occupancy.cpp" "src/device/CMakeFiles/tc_device.dir/occupancy.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/occupancy.cpp.o.d"
+  "/root/repo/src/device/spec.cpp" "src/device/CMakeFiles/tc_device.dir/spec.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/tc_sass.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

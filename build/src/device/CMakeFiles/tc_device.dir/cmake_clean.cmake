@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_device.dir/occupancy.cpp.o"
+  "CMakeFiles/tc_device.dir/occupancy.cpp.o.d"
+  "CMakeFiles/tc_device.dir/spec.cpp.o"
+  "CMakeFiles/tc_device.dir/spec.cpp.o.d"
+  "libtc_device.a"
+  "libtc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

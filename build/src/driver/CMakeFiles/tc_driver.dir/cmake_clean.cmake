@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_driver.dir/device.cpp.o"
+  "CMakeFiles/tc_driver.dir/device.cpp.o.d"
+  "libtc_driver.a"
+  "libtc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_kernels.dir/micro.cpp.o"
+  "CMakeFiles/tc_kernels.dir/micro.cpp.o.d"
+  "libtc_kernels.a"
+  "libtc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/banked_smem.cpp" "src/mem/CMakeFiles/tc_mem.dir/banked_smem.cpp.o" "gcc" "src/mem/CMakeFiles/tc_mem.dir/banked_smem.cpp.o.d"
+  "/root/repo/src/mem/coalescer.cpp" "src/mem/CMakeFiles/tc_mem.dir/coalescer.cpp.o" "gcc" "src/mem/CMakeFiles/tc_mem.dir/coalescer.cpp.o.d"
+  "/root/repo/src/mem/global_mem.cpp" "src/mem/CMakeFiles/tc_mem.dir/global_mem.cpp.o" "gcc" "src/mem/CMakeFiles/tc_mem.dir/global_mem.cpp.o.d"
+  "/root/repo/src/mem/sector_cache.cpp" "src/mem/CMakeFiles/tc_mem.dir/sector_cache.cpp.o" "gcc" "src/mem/CMakeFiles/tc_mem.dir/sector_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/tc_sass.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_mem.dir/banked_smem.cpp.o"
+  "CMakeFiles/tc_mem.dir/banked_smem.cpp.o.d"
+  "CMakeFiles/tc_mem.dir/coalescer.cpp.o"
+  "CMakeFiles/tc_mem.dir/coalescer.cpp.o.d"
+  "CMakeFiles/tc_mem.dir/global_mem.cpp.o"
+  "CMakeFiles/tc_mem.dir/global_mem.cpp.o.d"
+  "CMakeFiles/tc_mem.dir/sector_cache.cpp.o"
+  "CMakeFiles/tc_mem.dir/sector_cache.cpp.o.d"
+  "libtc_mem.a"
+  "libtc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

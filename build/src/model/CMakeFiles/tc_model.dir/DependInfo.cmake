@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/blocking.cpp" "src/model/CMakeFiles/tc_model.dir/blocking.cpp.o" "gcc" "src/model/CMakeFiles/tc_model.dir/blocking.cpp.o.d"
+  "/root/repo/src/model/l2_reuse.cpp" "src/model/CMakeFiles/tc_model.dir/l2_reuse.cpp.o" "gcc" "src/model/CMakeFiles/tc_model.dir/l2_reuse.cpp.o.d"
+  "/root/repo/src/model/roofline.cpp" "src/model/CMakeFiles/tc_model.dir/roofline.cpp.o" "gcc" "src/model/CMakeFiles/tc_model.dir/roofline.cpp.o.d"
+  "/root/repo/src/model/wave_perf.cpp" "src/model/CMakeFiles/tc_model.dir/wave_perf.cpp.o" "gcc" "src/model/CMakeFiles/tc_model.dir/wave_perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/tc_sass.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

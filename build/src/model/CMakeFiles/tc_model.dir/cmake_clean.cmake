@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_model.dir/blocking.cpp.o"
+  "CMakeFiles/tc_model.dir/blocking.cpp.o.d"
+  "CMakeFiles/tc_model.dir/l2_reuse.cpp.o"
+  "CMakeFiles/tc_model.dir/l2_reuse.cpp.o.d"
+  "CMakeFiles/tc_model.dir/roofline.cpp.o"
+  "CMakeFiles/tc_model.dir/roofline.cpp.o.d"
+  "CMakeFiles/tc_model.dir/wave_perf.cpp.o"
+  "CMakeFiles/tc_model.dir/wave_perf.cpp.o.d"
+  "libtc_model.a"
+  "libtc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sass/asm_parser.cpp" "src/sass/CMakeFiles/tc_sass.dir/asm_parser.cpp.o" "gcc" "src/sass/CMakeFiles/tc_sass.dir/asm_parser.cpp.o.d"
+  "/root/repo/src/sass/builder.cpp" "src/sass/CMakeFiles/tc_sass.dir/builder.cpp.o" "gcc" "src/sass/CMakeFiles/tc_sass.dir/builder.cpp.o.d"
+  "/root/repo/src/sass/disasm.cpp" "src/sass/CMakeFiles/tc_sass.dir/disasm.cpp.o" "gcc" "src/sass/CMakeFiles/tc_sass.dir/disasm.cpp.o.d"
+  "/root/repo/src/sass/isa.cpp" "src/sass/CMakeFiles/tc_sass.dir/isa.cpp.o" "gcc" "src/sass/CMakeFiles/tc_sass.dir/isa.cpp.o.d"
+  "/root/repo/src/sass/validator.cpp" "src/sass/CMakeFiles/tc_sass.dir/validator.cpp.o" "gcc" "src/sass/CMakeFiles/tc_sass.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

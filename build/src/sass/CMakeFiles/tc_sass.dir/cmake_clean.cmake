@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sass.dir/asm_parser.cpp.o"
+  "CMakeFiles/tc_sass.dir/asm_parser.cpp.o.d"
+  "CMakeFiles/tc_sass.dir/builder.cpp.o"
+  "CMakeFiles/tc_sass.dir/builder.cpp.o.d"
+  "CMakeFiles/tc_sass.dir/disasm.cpp.o"
+  "CMakeFiles/tc_sass.dir/disasm.cpp.o.d"
+  "CMakeFiles/tc_sass.dir/isa.cpp.o"
+  "CMakeFiles/tc_sass.dir/isa.cpp.o.d"
+  "CMakeFiles/tc_sass.dir/validator.cpp.o"
+  "CMakeFiles/tc_sass.dir/validator.cpp.o.d"
+  "libtc_sass.a"
+  "libtc_sass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

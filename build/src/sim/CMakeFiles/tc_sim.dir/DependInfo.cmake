@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exec_core.cpp" "src/sim/CMakeFiles/tc_sim.dir/exec_core.cpp.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/exec_core.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/sim/CMakeFiles/tc_sim.dir/functional.cpp.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/functional.cpp.o.d"
+  "/root/repo/src/sim/mma_exec.cpp" "src/sim/CMakeFiles/tc_sim.dir/mma_exec.cpp.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/mma_exec.cpp.o.d"
+  "/root/repo/src/sim/pipes.cpp" "src/sim/CMakeFiles/tc_sim.dir/pipes.cpp.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/pipes.cpp.o.d"
+  "/root/repo/src/sim/reg_file.cpp" "src/sim/CMakeFiles/tc_sim.dir/reg_file.cpp.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/reg_file.cpp.o.d"
+  "/root/repo/src/sim/timed_sm.cpp" "src/sim/CMakeFiles/tc_sim.dir/timed_sm.cpp.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/timed_sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/tc_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

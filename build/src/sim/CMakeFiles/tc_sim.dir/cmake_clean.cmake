@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sim.dir/exec_core.cpp.o"
+  "CMakeFiles/tc_sim.dir/exec_core.cpp.o.d"
+  "CMakeFiles/tc_sim.dir/functional.cpp.o"
+  "CMakeFiles/tc_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/tc_sim.dir/mma_exec.cpp.o"
+  "CMakeFiles/tc_sim.dir/mma_exec.cpp.o.d"
+  "CMakeFiles/tc_sim.dir/pipes.cpp.o"
+  "CMakeFiles/tc_sim.dir/pipes.cpp.o.d"
+  "CMakeFiles/tc_sim.dir/reg_file.cpp.o"
+  "CMakeFiles/tc_sim.dir/reg_file.cpp.o.d"
+  "CMakeFiles/tc_sim.dir/timed_sm.cpp.o"
+  "CMakeFiles/tc_sim.dir/timed_sm.cpp.o.d"
+  "libtc_sim.a"
+  "libtc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

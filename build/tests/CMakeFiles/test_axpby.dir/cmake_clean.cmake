@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axpby.dir/test_axpby.cpp.o"
+  "CMakeFiles/test_axpby.dir/test_axpby.cpp.o.d"
+  "test_axpby"
+  "test_axpby.pdb"
+  "test_axpby[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axpby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

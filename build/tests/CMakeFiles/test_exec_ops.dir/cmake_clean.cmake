@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_ops.dir/test_exec_ops.cpp.o"
+  "CMakeFiles/test_exec_ops.dir/test_exec_ops.cpp.o.d"
+  "test_exec_ops"
+  "test_exec_ops.pdb"
+  "test_exec_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

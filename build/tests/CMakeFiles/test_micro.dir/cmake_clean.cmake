@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro.dir/test_micro.cpp.o"
+  "CMakeFiles/test_micro.dir/test_micro.cpp.o.d"
+  "test_micro"
+  "test_micro.pdb"
+  "test_micro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mma_layout.dir/test_mma_layout.cpp.o"
+  "CMakeFiles/test_mma_layout.dir/test_mma_layout.cpp.o.d"
+  "test_mma_layout"
+  "test_mma_layout.pdb"
+  "test_mma_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mma_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

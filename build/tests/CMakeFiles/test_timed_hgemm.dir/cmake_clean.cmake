@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_hgemm.dir/test_timed_hgemm.cpp.o"
+  "CMakeFiles/test_timed_hgemm.dir/test_timed_hgemm.cpp.o.d"
+  "test_timed_hgemm"
+  "test_timed_hgemm.pdb"
+  "test_timed_hgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_hgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_half[1]_include.cmake")
+include("/root/repo/build/tests/test_sass[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_mma_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_micro[1]_include.cmake")
+include("/root/repo/build/tests/test_timed_hgemm[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_axpby[1]_include.cmake")
+include("/root/repo/build/tests/test_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_exec_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduling[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth[1]_include.cmake")
