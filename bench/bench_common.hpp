@@ -5,16 +5,105 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/matrix.hpp"
 #include "common/table.hpp"
 #include "core/hgemm.hpp"
 #include "device/spec.hpp"
 
 namespace tc::bench {
+
+/// Machine-readable output shared by every bench binary (and mirrored by
+/// tcgemm_cli --json): one document per run, one series per printed
+/// table/figure line set.
+///
+///   { "schema": "tc-bench-v1", "bench": "<binary>", "device": "<name>",
+///     "series": [ { "name": ..., "columns": [...],
+///                   "rows": [[num, ...], ...], "summary": {k: num} } ] }
+class BenchJson {
+ public:
+  BenchJson(std::string bench, std::string device = "")
+      : bench_(std::move(bench)), device_(std::move(device)) {}
+
+  /// Starts a new series; subsequent row()/summary() calls append to it.
+  void begin_series(std::string name, std::vector<std::string> columns) {
+    series_.push_back({std::move(name), std::move(columns), {}, {}});
+  }
+  void row(std::vector<double> values) {
+    TC_CHECK(!series_.empty(), "BenchJson::row before begin_series");
+    TC_CHECK(values.size() == series_.back().columns.size(), "BenchJson row arity mismatch");
+    series_.back().rows.push_back(std::move(values));
+  }
+  void summary(std::string key, double value) {
+    TC_CHECK(!series_.empty(), "BenchJson::summary before begin_series");
+    series_.back().summary.emplace_back(std::move(key), value);
+  }
+
+  void write(std::ostream& os) const {
+    JsonWriter j(os);
+    j.begin_object();
+    j.field("schema", "tc-bench-v1");
+    j.field("bench", bench_);
+    j.field("device", device_);
+    j.key("series");
+    j.begin_array();
+    for (const auto& s : series_) {
+      j.begin_object();
+      j.field("name", s.name);
+      j.key("columns");
+      j.begin_array();
+      for (const auto& c : s.columns) j.value(c);
+      j.end_array();
+      j.key("rows");
+      j.begin_array();
+      for (const auto& r : s.rows) {
+        j.begin_array();
+        for (const double v : r) j.value(v);
+        j.end_array();
+      }
+      j.end_array();
+      j.key("summary");
+      j.begin_object();
+      for (const auto& [k, v] : s.summary) j.field(k, v);
+      j.end_object();
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    os << "\n";
+  }
+
+  void write_file(const std::string& path) const {
+    std::ofstream os(path);
+    TC_CHECK(os.good(), "cannot open " + path + " for writing");
+    write(os);
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+    std::vector<std::pair<std::string, double>> summary;
+  };
+  std::string bench_;
+  std::string device_;
+  std::vector<Series> series_;
+};
+
+/// Parses an optional "--json <path>" argument shared by all benches.
+inline std::optional<std::string> json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
 
 /// The paper's evaluation sweep: W = 1024 .. 16384 step 256 (Section VII).
 /// `step` can be raised from the command line to make quick passes cheap.
@@ -42,12 +131,17 @@ struct SweepStats {
 };
 
 /// Runs one series of shapes through two estimators and prints
-/// W, ours TFLOPS, baseline TFLOPS, speedup rows.
+/// W, ours TFLOPS, baseline TFLOPS, speedup rows. When `json` is given the
+/// same rows are appended to it as a series named `title`.
 inline SweepStats run_versus_sweep(const std::string& title, core::PerfEstimator& ours,
                                    core::PerfEstimator& baseline,
                                    const std::vector<GemmShape>& shapes,
-                                   const std::vector<std::size_t>& labels) {
+                                   const std::vector<std::size_t>& labels,
+                                   BenchJson* json = nullptr) {
   TablePrinter table({"W", "ours_TFLOPS", "cublas_like_TFLOPS", "speedup"});
+  if (json != nullptr) {
+    json->begin_series(title, {"W", "ours_tflops", "cublas_like_tflops", "speedup"});
+  }
   SweepStats st;
   double sum = 0.0;
   for (std::size_t i = 0; i < shapes.size(); ++i) {
@@ -65,8 +159,17 @@ inline SweepStats run_versus_sweep(const std::string& title, core::PerfEstimator
     }
     table.add_row({std::to_string(labels[i]), fmt_fixed(po.tflops, 2), fmt_fixed(pb.tflops, 2),
                    fmt_fixed(speedup, 2)});
+    if (json != nullptr) {
+      json->row({static_cast<double>(labels[i]), po.tflops, pb.tflops, speedup});
+    }
   }
   st.avg_speedup = sum / static_cast<double>(shapes.size());
+  if (json != nullptr) {
+    json->summary("avg_speedup", st.avg_speedup);
+    json->summary("max_speedup", st.max_speedup);
+    json->summary("max_at", static_cast<double>(st.max_at));
+    json->summary("best_tflops", st.best_tflops);
+  }
 
   std::cout << "== " << title << " ==\n";
   table.print(std::cout);

@@ -1,12 +1,18 @@
 // Reproduces paper Fig. 4: our HGEMM's throughput on RTX2070 when STS.128
 // is interleaved with 2 HMMAs (STS2, cuBLAS's spacing) versus 5 HMMAs (STS5,
 // the Eq. (6) minimum). Paper: average speedup 1.13x, maximum 1.26x.
+// The trailing table shows the profiler's counter-derived pipe utilizations
+// for both spacings (tighter interleaving leaves the MIO pipe hotter).
 #include "bench_common.hpp"
+#include "core/profile.hpp"
 
 using namespace tc;
 
 int main(int argc, char** argv) {
   const auto step = bench::step_from_args(argc, argv);
+  const auto json_path = bench::json_path_from_args(argc, argv);
+  std::optional<bench::BenchJson> json;
+  if (json_path) json.emplace("fig4_sts_interleave", "rtx2070");
   std::cout << "Fig. 4: STS interleaving on RTX2070 (square W x W x W, step " << step << ")\n\n";
 
   auto sts5 = core::HgemmConfig::optimized();
@@ -16,6 +22,7 @@ int main(int argc, char** argv) {
   core::PerfEstimator est2(device::rtx2070(), sts2);
 
   TablePrinter t({"W", "STS5_TFLOPS", "STS2_TFLOPS", "speedup"});
+  if (json) json->begin_series("throughput", {"W", "sts5_tflops", "sts2_tflops", "speedup"});
   double sum = 0.0;
   double best = 0.0;
   const auto sizes = bench::size_sweep(step);
@@ -27,10 +34,32 @@ int main(int argc, char** argv) {
     sum += speedup;
     best = std::max(best, speedup);
     t.add_row({std::to_string(w), fmt_fixed(t5, 2), fmt_fixed(t2, 2), fmt_fixed(speedup, 2)});
+    if (json) json->row({static_cast<double>(w), t5, t2, speedup});
   }
   t.print(std::cout);
-  std::cout << "average speedup of STS5 over STS2: "
-            << fmt_fixed(sum / static_cast<double>(sizes.size()), 2) << "x (paper: 1.13x); max "
-            << fmt_fixed(best, 2) << "x (paper: 1.26x)\n";
+  const double avg = sum / static_cast<double>(sizes.size());
+  std::cout << "average speedup of STS5 over STS2: " << fmt_fixed(avg, 2)
+            << "x (paper: 1.13x); max " << fmt_fixed(best, 2) << "x (paper: 1.26x)\n\n";
+  if (json) {
+    json->summary("avg_speedup", avg);
+    json->summary("max_speedup", best);
+  }
+
+  const auto u5 = core::observe_pipe_cycles(device::rtx2070(), sts5);
+  const auto u2 = core::observe_pipe_cycles(device::rtx2070(), sts2);
+  TablePrinter ut({"config", "tensor_util", "mio_util"});
+  ut.add_row({"STS5", fmt_fixed(u5.tensor_util * 100, 1) + "%",
+              fmt_fixed(u5.mio_util * 100, 1) + "%"});
+  ut.add_row({"STS2", fmt_fixed(u2.tensor_util * 100, 1) + "%",
+              fmt_fixed(u2.mio_util * 100, 1) + "%"});
+  std::cout << "observed steady-state pipe utilization (profiler counters):\n";
+  ut.print(std::cout);
+  if (json) {
+    json->begin_series("pipe_utilization", {"sts_interleave", "tensor_util", "mio_util"});
+    json->row({5, u5.tensor_util, u5.mio_util});
+    json->row({2, u2.tensor_util, u2.mio_util});
+    json->write_file(*json_path);
+    std::cout << "json written to " << *json_path << "\n";
+  }
   return 0;
 }

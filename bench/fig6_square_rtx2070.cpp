@@ -9,6 +9,9 @@ using namespace tc;
 
 int main(int argc, char** argv) {
   const auto step = bench::step_from_args(argc, argv);
+  const auto json_path = bench::json_path_from_args(argc, argv);
+  std::optional<bench::BenchJson> json;
+  if (json_path) json.emplace("fig6_square_rtx2070", "rtx2070");
   std::cout << "Fig. 6: square HGEMM on RTX2070 (step " << step << ")\n\n";
 
   core::PerfEstimator ours(device::rtx2070(), core::HgemmConfig::optimized());
@@ -21,8 +24,12 @@ int main(int argc, char** argv) {
     labels.push_back(w);
   }
   bench::run_versus_sweep("ours vs cuBLAS-like, square, RTX2070", ours, baseline, shapes,
-                          labels);
+                          labels, json ? &*json : nullptr);
   std::cout << "paper reference: ours up to 60.37 TF; cuBLAS max 52.75 TF at 4096 with a\n"
                "sharp drop at W=12032; max speedup 2.7x; average speedup 1.55x\n";
+  if (json) {
+    json->write_file(*json_path);
+    std::cout << "json written to " << *json_path << "\n";
+  }
   return 0;
 }

@@ -7,6 +7,9 @@ using namespace tc;
 
 int main(int argc, char** argv) {
   const auto step = bench::step_from_args(argc, argv);
+  const auto json_path = bench::json_path_from_args(argc, argv);
+  std::optional<bench::BenchJson> json;
+  if (json_path) json.emplace("fig7_square_t4", "t4");
   std::cout << "Fig. 7: square HGEMM on T4 (step " << step << ")\n\n";
 
   core::PerfEstimator ours(device::t4(), core::HgemmConfig::optimized());
@@ -18,8 +21,13 @@ int main(int argc, char** argv) {
     shapes.push_back({w, w, w});
     labels.push_back(w);
   }
-  bench::run_versus_sweep("ours vs cuBLAS-like, square, T4", ours, baseline, shapes, labels);
+  bench::run_versus_sweep("ours vs cuBLAS-like, square, T4", ours, baseline, shapes, labels,
+                          json ? &*json : nullptr);
   std::cout << "paper reference: ours ~49.7 TF plateau (DRAM-bound, 76% of peak), falling\n"
                "past 12800; cuBLAS max 45.43 TF; max speedup 1.7x; average 1.53x\n";
+  if (json) {
+    json->write_file(*json_path);
+    std::cout << "json written to " << *json_path << "\n";
+  }
   return 0;
 }

@@ -18,7 +18,8 @@ inline constexpr ShapeRule kRectRules[] = {
     {"[4W x W x W]", 4, 1, 1}, {"[W x 4W x W]", 1, 4, 1}, {"[W x W x 4W]", 1, 1, 4},
 };
 
-inline int run_rect(const device::DeviceSpec& spec, std::size_t step) {
+inline int run_rect(const device::DeviceSpec& spec, std::size_t step,
+                    BenchJson* json = nullptr, const std::string& json_path = "") {
   core::PerfEstimator ours(spec, core::HgemmConfig::optimized());
   core::PerfEstimator baseline(spec, core::HgemmConfig::cublas_like());
 
@@ -37,7 +38,7 @@ inline int run_rect(const device::DeviceSpec& spec, std::size_t step) {
       labels.push_back(w);
     }
     const auto st = run_versus_sweep(std::string(rule.name) + " on " + spec.name, ours,
-                                     baseline, shapes, labels);
+                                     baseline, shapes, labels, json);
     total += st.avg_speedup * static_cast<double>(shapes.size());
     count += static_cast<int>(shapes.size());
     if (st.max_speedup > overall_max) {
@@ -50,6 +51,10 @@ inline int run_rect(const device::DeviceSpec& spec, std::size_t step) {
             << "average speedup " << fmt_fixed(total / count, 2) << "x; max "
             << fmt_fixed(overall_max, 2) << "x at W=" << max_at << " shape " << max_shape
             << "\n";
+  if (json != nullptr) {
+    json->write_file(json_path);
+    std::cout << "json written to " << json_path << "\n";
+  }
   return 0;
 }
 

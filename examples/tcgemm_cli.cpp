@@ -2,20 +2,35 @@
 //
 //   tcgemm_cli run  --m 512 --n 512 --k 256 [--device rtx2070] [--check]
 //   tcgemm_cli perf --m 8192 --n 8192 --k 8192 [--device t4] [--baseline]
+//                   [--profile] [--top N] [--trace-out trace.json]
+//   tcgemm_cli lint [--m M --n N --k K] [--baseline]
 //   tcgemm_cli disasm [--baseline]
 //
 // `run` executes the kernel functionally on the simulator (optionally
 // validating against the bit-exact reference); `perf` prints the estimated
-// full-device time/TFLOPS; `disasm` dumps the generated SASS.
+// full-device time/TFLOPS and, with --profile, hardware-style counters for
+// the steady-state portion (pipe utilization, stall attribution, optional
+// Chrome-trace timeline for chrome://tracing / Perfetto); `lint` runs the
+// static schedule checks including the latency-table slack analysis;
+// `disasm` dumps the generated SASS. All commands accept --json <path> for
+// machine-readable output.
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "core/hgemm.hpp"
 #include "core/kernel_gen.hpp"
+#include "core/profile.hpp"
 #include "core/reference.hpp"
 #include "driver/device.hpp"
+#include "prof/trace.hpp"
+#include "sass/validator.hpp"
+#include "sim/pipes.hpp"
 
 using namespace tc;
 
@@ -27,6 +42,10 @@ struct Args {
   std::string device = "rtx2070";
   bool check = false;
   bool baseline = false;
+  bool profile = false;
+  int top = 10;
+  std::string trace_out;
+  std::string json;
 };
 
 Args parse(int argc, char** argv) {
@@ -51,6 +70,14 @@ Args parse(int argc, char** argv) {
       a.check = true;
     } else if (flag == "--baseline") {
       a.baseline = true;
+    } else if (flag == "--profile") {
+      a.profile = true;
+    } else if (flag == "--top") {
+      a.top = std::stoi(value());
+    } else if (flag == "--trace-out") {
+      a.trace_out = value();
+    } else if (flag == "--json") {
+      a.json = value();
     } else {
       throw Error("unknown flag " + flag);
     }
@@ -59,11 +86,65 @@ Args parse(int argc, char** argv) {
 }
 
 int usage() {
-  std::cout << "usage:\n"
-               "  tcgemm_cli run    --m M --n N --k K [--device rtx2070|t4] [--check] [--baseline]\n"
-               "  tcgemm_cli perf   --m M --n N --k K [--device rtx2070|t4] [--baseline]\n"
-               "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n";
+  std::cout
+      << "usage:\n"
+         "  tcgemm_cli run    --m M --n N --k K [--device rtx2070|t4] [--check] [--baseline]\n"
+         "  tcgemm_cli perf   --m M --n N --k K [--device rtx2070|t4] [--baseline]\n"
+         "                    [--profile] [--top N] [--trace-out trace.json]\n"
+         "  tcgemm_cli lint   [--m M --n N --k K] [--baseline]\n"
+         "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
+         "common: --json <path> writes machine-readable results\n";
   return 2;
+}
+
+/// The padded kernel-contract shape for disasm/lint.
+GemmShape contract_shape(const Args& args, const core::HgemmConfig& cfg) {
+  const auto round_up = [](std::size_t v, std::size_t to) { return (v + to - 1) / to * to; };
+  return {round_up(args.m, static_cast<std::size_t>(cfg.bm)),
+          round_up(args.n, static_cast<std::size_t>(cfg.bn)),
+          std::max(round_up(args.k, static_cast<std::size_t>(cfg.bk)),
+                   2 * static_cast<std::size_t>(cfg.bk))};
+}
+
+void json_profile_fields(JsonWriter& j, const prof::Profiler& p, int top_n) {
+  const auto& c = p.counters();
+  j.key("profile");
+  j.begin_object();
+  j.field("cycles", c.cycles);
+  j.field("instructions", c.instructions);
+  j.key("pipes");
+  j.begin_object();
+  for (const int pipe : {prof::kPipeTensor, prof::kPipeFma, prof::kPipeAlu, prof::kPipeMio}) {
+    j.key(prof::pipe_name(pipe));
+    j.begin_object();
+    j.field("issued", c.pipe_issue[static_cast<std::size_t>(pipe)]);
+    j.field("busy_cycles", c.pipe_busy[static_cast<std::size_t>(pipe)]);
+    j.field("utilization", c.utilization(pipe, p.partitions()));
+    j.end_object();
+  }
+  j.end_object();
+  j.field("l2_port_utilization", c.l2_port_utilization());
+  j.field("bw_debt_stall_cycles", c.bw_debt_stall_cycles);
+  j.field("smem_bank_replays", c.smem_bank_replays);
+  j.field("mshr_highwater", c.mshr_highwater);
+  j.field("mio_queue_highwater", c.mio_queue_highwater);
+  j.field("ldg_count", c.ldg_count);
+  j.field("sts_count", c.sts_count);
+  j.field("lds_count", c.lds_count);
+  j.field("stg_count", c.stg_count);
+  j.key("hot_pcs");
+  j.begin_array();
+  for (const auto& h : p.hot_pcs(top_n)) {
+    j.begin_object();
+    j.field("pc", h.pc);
+    j.field("instruction", h.text);
+    j.field("issued", h.issued);
+    j.field("stall_cycles", h.stall_cycles);
+    j.field("top_reason", prof::stall_reason_name(h.dominant));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
 }
 
 }  // namespace
@@ -74,6 +155,29 @@ int main(int argc, char** argv) {
     const auto cfg =
         args.baseline ? core::HgemmConfig::cublas_like() : core::HgemmConfig::optimized();
 
+    std::ofstream json_os;
+    std::optional<JsonWriter> json;
+    if (!args.json.empty()) {
+      json_os.open(args.json);
+      TC_CHECK(json_os.good(), "cannot open " + args.json + " for writing");
+      json.emplace(json_os);
+      json->begin_object();
+      json->field("schema", "tc-cli-v1");
+      json->field("command", args.command);
+      json->field("config", cfg.name());
+      json->field("device", args.device);
+      json->field("m", static_cast<std::uint64_t>(args.m));
+      json->field("n", static_cast<std::uint64_t>(args.n));
+      json->field("k", static_cast<std::uint64_t>(args.k));
+    }
+    const auto finish_json = [&] {
+      if (json) {
+        json->end_object();
+        json_os << "\n";
+        std::cout << "json written to " << args.json << "\n";
+      }
+    };
+
     if (args.command == "run") {
       Rng rng(1);
       HalfMatrix a(args.m, args.k), bt(args.n, args.k);
@@ -83,35 +187,85 @@ int main(int argc, char** argv) {
       const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
       std::cout << "ran " << cfg.name() << " on " << dev.spec().name << ": C is " << c.rows()
                 << " x " << c.cols() << ", C[0][0] = " << c.at(0, 0) << "\n";
+      int rc = 0;
       if (args.check) {
         const auto mismatches = core::mismatch_count(c, core::gemm_ref_tc(a, bt));
         std::cout << "bit-exact mismatches vs reference: " << mismatches << "\n";
-        return mismatches == 0 ? 0 : 1;
+        if (json) json->field("mismatches", static_cast<std::uint64_t>(mismatches));
+        rc = mismatches == 0 ? 0 : 1;
       }
-      return 0;
+      finish_json();
+      return rc;
     }
 
     if (args.command == "perf") {
-      core::PerfEstimator est(device::spec_by_name(args.device), cfg);
+      const device::DeviceSpec spec = device::spec_by_name(args.device);
+      core::PerfEstimator est(spec, cfg);
       const auto p = est.estimate({args.m, args.n, args.k});
       std::cout << cfg.name() << " on " << est.spec().name << " for " << args.m << " x "
                 << args.n << " x " << args.k << ":\n"
                 << "  " << p.tflops << " TFLOPS, " << p.seconds * 1e3 << " ms, " << p.waves
                 << " waves, L2 hit " << p.l2_hit_rate << ", " << p.cycles_per_iter
                 << " cycles/iteration\n";
+      if (json) {
+        json->key("perf");
+        json->begin_object();
+        json->field("tflops", p.tflops);
+        json->field("ms", p.seconds * 1e3);
+        json->field("waves", p.waves);
+        json->field("l2_hit_rate", p.l2_hit_rate);
+        json->field("dram_efficiency", p.dram_efficiency);
+        json->field("cycles_per_iter", p.cycles_per_iter);
+        json->field("ctas_per_sm", p.ctas_per_sm);
+        json->end_object();
+      }
+
+      if (args.profile) {
+        std::optional<prof::TraceWriter> trace;
+        if (!args.trace_out.empty()) trace.emplace();
+        const core::HgemmProfile hp = core::profile_hgemm(
+            spec, cfg, {args.m, args.n, args.k}, trace ? &*trace : nullptr);
+        std::cout << "\nsteady-state profile (" << hp.iterations << " main-loop iterations, "
+                  << hp.ctas_per_sm << " CTAs/SM, L2 hit "
+                  << fmt_fixed(hp.l2_hit_rate, 2) << "):\n";
+        hp.profiler.print_report(std::cout, args.top);
+        if (trace) {
+          trace->write_file(args.trace_out);
+          std::cout << "trace written to " << args.trace_out
+                    << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+        }
+        if (json) json_profile_fields(*json, hp.profiler, args.top);
+      }
+      finish_json();
+      return 0;
+    }
+
+    if (args.command == "lint") {
+      const GemmShape shape = contract_shape(args, cfg);
+      const sass::Program prog = core::hgemm_kernel(cfg, shape);
+      sass::validate(prog);
+      const auto base = sass::lint(prog);
+      const auto slack = sass::lint(prog, &sim::fixed_latency);
+      std::cout << cfg.name() << " (" << prog.code.size() << " instructions): " << base.size()
+                << " schedule warnings, " << slack.size() << " slack findings\n";
+      for (const auto& w : base) std::cout << "  [schedule] " << w << "\n";
+      for (const auto& w : slack) std::cout << "  [slack] " << w << "\n";
+      if (json) {
+        json->key("schedule_warnings");
+        json->begin_array();
+        for (const auto& w : base) json->value(w);
+        json->end_array();
+        json->key("slack_findings");
+        json->begin_array();
+        for (const auto& w : slack) json->value(w);
+        json->end_array();
+      }
+      finish_json();
       return 0;
     }
 
     if (args.command == "disasm") {
-      const GemmShape shape{
-          (args.m + static_cast<std::size_t>(cfg.bm) - 1) / static_cast<std::size_t>(cfg.bm) *
-              static_cast<std::size_t>(cfg.bm),
-          (args.n + static_cast<std::size_t>(cfg.bn) - 1) / static_cast<std::size_t>(cfg.bn) *
-              static_cast<std::size_t>(cfg.bn),
-          std::max<std::size_t>((args.k + static_cast<std::size_t>(cfg.bk) - 1) /
-                                    static_cast<std::size_t>(cfg.bk) *
-                                    static_cast<std::size_t>(cfg.bk),
-                                2 * static_cast<std::size_t>(cfg.bk))};
+      const GemmShape shape = contract_shape(args, cfg);
       std::cout << core::hgemm_kernel(cfg, shape).disassemble();
       return 0;
     }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full local gate: tier-1 build + tests, then an ASan/UBSan build of the same
+# tests (-DTC_SANITIZE=ON) to catch memory and UB bugs the release build
+# hides. Bench smoke runs ride along via their bench_smoke CTest label.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 only, skip the sanitizer build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: release build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== done (fast mode: sanitizer build skipped) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build + ctest =="
+cmake -B build-asan -S . -DTC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS"
+# halt_on_error so UBSan findings fail the run instead of scrolling past.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== all checks passed =="

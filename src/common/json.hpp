@@ -1,0 +1,151 @@
+// Minimal streaming JSON writer (header-only, no dependencies).
+//
+// Produces machine-readable output for tcgemm_cli --json and the bench
+// binaries' --json files (see bench/bench_common.hpp for the shared bench
+// schema). Write-only by design: the repo never parses JSON, it only emits
+// it for downstream tooling (plotting scripts, CI diffing, Perfetto).
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tc {
+
+/// Escapes `s` into a JSON string literal (with surrounding quotes).
+inline void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Streaming writer with comma/nesting bookkeeping. Usage:
+///
+///   JsonWriter j(os);
+///   j.begin_object();
+///   j.field("tool", "tcgemm_cli");
+///   j.key("rows"); j.begin_array(); ... j.end_array();
+///   j.end_object();
+///
+/// Misuse (value without key inside an object, unbalanced end_*) trips
+/// TC_CHECK rather than emitting malformed JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    pre_value();
+    os_ << '{';
+    stack_.push_back({'}', true});
+  }
+  void end_object() { close('}'); }
+  void begin_array() {
+    pre_value();
+    os_ << '[';
+    stack_.push_back({']', true});
+  }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    TC_CHECK(!stack_.empty() && stack_.back().closer == '}', "JSON key outside an object");
+    TC_CHECK(!after_key_, "JSON key after key");
+    if (!stack_.back().first) os_ << ',';
+    stack_.back().first = false;
+    json_escape(os_, k);
+    os_ << ':';
+    after_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    pre_value();
+    json_escape(os_, v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    pre_value();
+    os_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    pre_value();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no NaN/Inf
+      return;
+    }
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    os_.write(buf, r.ptr - buf);
+  }
+  void value(std::uint64_t v) {
+    pre_value();
+    os_ << v;
+  }
+  void value(std::int64_t v) {
+    pre_value();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null() {
+    pre_value();
+    os_ << "null";
+  }
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once every begin_* has been matched; callers can assert on it.
+  [[nodiscard]] bool complete() const { return stack_.empty() && !after_key_; }
+
+ private:
+  struct Level {
+    char closer;
+    bool first;
+  };
+
+  void pre_value() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    TC_CHECK(stack_.empty() || stack_.back().closer == ']',
+             "JSON value inside an object needs a key");
+    if (!stack_.empty()) {
+      if (!stack_.back().first) os_ << ',';
+      stack_.back().first = false;
+    }
+  }
+  void close(char closer) {
+    TC_CHECK(!stack_.empty() && stack_.back().closer == closer, "unbalanced JSON nesting");
+    TC_CHECK(!after_key_, "JSON object closed after dangling key");
+    stack_.pop_back();
+    os_ << closer;
+  }
+
+  std::ostream& os_;
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace tc

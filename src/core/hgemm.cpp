@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/profile.hpp"
 
 namespace tc::core {
 
@@ -118,10 +119,7 @@ HalfMatrix run_wmma_naive(driver::Device& dev, const HalfMatrix& a, const HalfMa
 PerfEstimator::PerfEstimator(device::DeviceSpec spec, HgemmConfig cfg)
     : spec_(std::move(spec)), cfg_(std::move(cfg)) {
   // Occupancy of a representative instance decides CTAs/SM (Table VII).
-  const GemmShape probe{static_cast<std::size_t>(cfg_.bm), static_cast<std::size_t>(cfg_.bn),
-                        static_cast<std::size_t>(2 * cfg_.bk)};
-  const sass::Program prog = hgemm_kernel(cfg_, probe);
-  ctas_per_sm_ = device::occupancy(spec_, prog).ctas_per_sm;
+  ctas_per_sm_ = surrogate_ctas_per_sm(spec_, cfg_);
 }
 
 model::SteadyState PerfEstimator::measure_steady(double l2_hit_rate, double dram_efficiency) {
@@ -131,40 +129,16 @@ model::SteadyState PerfEstimator::measure_steady(double l2_hit_rate, double dram
   if (auto it = steady_cache_.find(key); it != steady_cache_.end()) return it->second;
 
   // Two surrogate kernels with different iteration counts isolate the
-  // steady-state slope from prologue/epilogue cost. The surrogate grid is
-  // ctas_per_sm x 1 blocks tall so every resident CTA exists.
+  // steady-state slope from prologue/epilogue cost (see core/profile.hpp for
+  // the shared surrogate definition).
   const int it1 = 6;
   const int it2 = 14;
+  SurrogateOptions opt;
+  opt.l2_hit_rate = l2_hit_rate;
+  opt.dram_efficiency = dram_efficiency;
   const auto run_iters = [&](int iters) {
-    const GemmShape s{static_cast<std::size_t>(cfg_.bm) * static_cast<std::size_t>(ctas_per_sm_),
-                      static_cast<std::size_t>(cfg_.bn),
-                      static_cast<std::size_t>(cfg_.bk) * static_cast<std::size_t>(iters)};
-    const sass::Program prog = hgemm_kernel(cfg_, s);
-
-    sim::TimedConfig tc;
-    tc.spec = spec_;
-    tc.dram_bytes_per_cycle = spec_.dram_bytes_per_cycle_per_sm() * dram_efficiency;
-    tc.l2_bytes_per_cycle = spec_.l2_bytes_per_cycle_per_sm();
-    tc.forced_l2_hit_rate = l2_hit_rate;
-    tc.skip_mma_math = true;
-
-    mem::GlobalMemory gmem;
-    // Reserve the address range the surrogate touches; contents irrelevant.
-    sim::Launch launch;
-    launch.program = &prog;
-    launch.grid_x = 1;
-    launch.grid_y = static_cast<std::uint32_t>(ctas_per_sm_);
-    const auto a_addr = gmem.alloc(s.m * s.k * 2);
-    const auto b_addr = gmem.alloc(s.n * s.k * 2);
-    const auto c_addr = gmem.alloc(s.m * s.n * 2);
-    launch.params = {a_addr, b_addr, c_addr};
-
-    std::vector<sim::CtaCoord> ctas;
-    for (int i = 0; i < ctas_per_sm_; ++i) {
-      ctas.push_back({0, static_cast<std::uint32_t>(i)});
-    }
-    sim::TimedSm sm(tc, gmem);
-    return static_cast<double>(sm.run(launch, ctas).cycles);
+    opt.iterations = iters;
+    return static_cast<double>(run_steady_surrogate(spec_, cfg_, ctas_per_sm_, opt).cycles);
   };
 
   const double c1 = run_iters(it1);

@@ -1,0 +1,107 @@
+// Hardware-style profiler counters for the simulated SM (tc::prof).
+//
+// The counter taxonomy mirrors what Nsight Compute exposes on real Turing
+// parts, restricted to what this simulator actually models: per-pipe
+// issue/active cycles (tensor / FMA / ALU / MIO), memory transaction and byte
+// counts per instruction class, shared-memory bank-conflict replays, sector
+// traffic per serving level (L1 / L2 / DRAM), bandwidth-debt stalls, MSHR and
+// MIO-queue occupancy high-water marks, and per-scheduler issue/idle cycles.
+// The paper argues entirely in these units (CPI x instruction mix = pipe
+// cycles); the profiler turns that argument from an analytic derivation into
+// an observation of the run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tc::prof {
+
+/// Pipe indices; values mirror sass::PipeClass so the timing engine can index
+/// with static_cast (checked by a static_assert in profiler.cpp).
+inline constexpr int kPipeTensor = 0;
+inline constexpr int kPipeFma = 1;
+inline constexpr int kPipeAlu = 2;
+inline constexpr int kPipeMio = 3;
+inline constexpr int kPipeControl = 4;
+inline constexpr int kPipeSpecial = 5;
+inline constexpr int kNumPipes = 6;
+
+[[nodiscard]] const char* pipe_name(int pipe);
+
+/// Why a resident warp could not issue in a given scheduler cycle — the
+/// simulator-side equivalent of Nsight's warp-state sampling taxonomy.
+enum class StallReason : std::uint8_t {
+  kScoreboard = 0,    // waiting on a scoreboard barrier (memory dependency)
+  kStallCount = 1,    // inside the previous instruction's stall-count window
+  kPipeBusy = 2,      // target execution pipe still occupied
+  kMioQueueFull = 3,  // MIO instruction queue at capacity
+  kBarrier = 4,       // waiting at BAR.SYNC for the rest of the CTA
+  kNotSelected = 5,   // eligible, but the scheduler picked another warp
+  kNoInstruction = 6, // scheduler had no live warp to consider
+};
+inline constexpr int kNumStallReasons = 7;
+
+[[nodiscard]] const char* stall_reason_name(StallReason r);
+
+/// Per-warp-scheduler (per processing block) issue statistics.
+struct SchedCounters {
+  std::uint64_t issue_cycles = 0;  // cycles with an instruction issued
+  std::uint64_t idle_cycles = 0;   // cycles without
+  /// Idle cycles attributed to the dominant blocker among this partition's
+  /// resident warps that cycle.
+  std::array<std::uint64_t, kNumStallReasons> idle_by_reason{};
+};
+
+/// The full counter set of one timed run.
+struct CounterSet {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+
+  /// Instructions issued into each pipe class.
+  std::array<std::uint64_t, kNumPipes> pipe_issue{};
+  /// Pipe-occupancy cycles. Tensor/FMA/ALU are summed over the partitions
+  /// (utilization denominator: cycles x partitions); MIO is SM-wide
+  /// (denominator: cycles).
+  std::array<std::uint64_t, kNumPipes> pipe_busy{};
+  /// Cycles the L2-to-SM return port was streaming data (SM-wide).
+  double l2_port_busy_cycles = 0.0;
+  /// Completion-delay cycles charged by the DRAM/L2 token buckets.
+  std::uint64_t bw_debt_stall_cycles = 0;
+
+  // --- memory instruction mix -------------------------------------------
+  std::uint64_t ldg_count = 0, stg_count = 0, lds_count = 0, sts_count = 0;
+  /// Bytes requested by active lanes (the lane footprint, pre-coalescing).
+  std::uint64_t ldg_bytes = 0, stg_bytes = 0, lds_bytes = 0, sts_bytes = 0;
+
+  /// Extra shared-memory bank beats beyond the conflict-free phase count
+  /// (Nsight: "shared memory bank conflict replays").
+  std::uint64_t smem_bank_replays = 0;
+  std::uint64_t smem_phases = 0;
+
+  /// 32-byte sectors served by each level of the global-memory hierarchy.
+  std::uint64_t l1_sectors = 0, l2_sectors = 0, dram_sectors = 0;
+  double l1_bytes = 0.0, l2_bytes = 0.0, dram_bytes = 0.0;
+
+  /// Occupancy high-water marks.
+  int mshr_highwater = 0;
+  int mio_queue_highwater = 0;
+
+  /// One entry per processing block (warp scheduler).
+  std::vector<SchedCounters> sched;
+
+  /// Busy fraction of a pipe. `partitions` is the per-SM processing-block
+  /// count; SM-wide pipes (MIO) ignore it.
+  [[nodiscard]] double utilization(int pipe, int partitions) const {
+    if (cycles == 0) return 0.0;
+    const double denom = (pipe == kPipeMio) ? static_cast<double>(cycles)
+                                            : static_cast<double>(cycles) * partitions;
+    return static_cast<double>(pipe_busy[static_cast<std::size_t>(pipe)]) / denom;
+  }
+
+  [[nodiscard]] double l2_port_utilization() const {
+    return cycles == 0 ? 0.0 : l2_port_busy_cycles / static_cast<double>(cycles);
+  }
+};
+
+}  // namespace tc::prof

@@ -1,5 +1,8 @@
 #include "sass/validator.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "common/error.hpp"
 
 namespace tc::sass {
@@ -116,6 +119,199 @@ std::vector<std::string> lint(const Program& prog) {
     if ((barriers_set & bit) && !(barriers_waited & bit)) {
       warnings.push_back("barrier B" + std::to_string(b) + " is set but never waited on");
     }
+  }
+  return warnings;
+}
+
+namespace {
+
+struct RegRange {
+  int lo = 0;
+  int count = 0;
+};
+
+bool overlaps(const RegRange& a, const RegRange& b) {
+  return a.count > 0 && b.count > 0 && a.lo < b.lo + b.count && b.lo < a.lo + a.count;
+}
+
+std::string range_name(const RegRange& r) {
+  if (r.count == 1) return "R" + std::to_string(r.lo);
+  return "R" + std::to_string(r.lo) + "..R" + std::to_string(r.lo + r.count - 1);
+}
+
+/// Registers `inst` writes through the fixed-latency (non-MIO) path.
+RegRange write_range(const Instruction& inst) {
+  if (inst.dst.is_rz()) return {};
+  switch (inst.op) {
+    case Opcode::kStg:
+    case Opcode::kSts:
+      return {};
+    case Opcode::kLdg:
+    case Opcode::kLds:
+      // Variable latency: scoreboard-protected, handled by base lint().
+      return {};
+    default:
+      if (pipe_class(inst.op) == PipeClass::kControl) return {};
+      if (is_mma(inst.op)) return {inst.dst.idx, mma_reg_counts(inst.op).d};
+      return {inst.dst.idx, 1};
+  }
+}
+
+/// Register ranges `inst` reads at issue time (up to three operand slots).
+std::array<RegRange, 3> read_ranges(const Instruction& inst) {
+  std::array<RegRange, 3> out{};
+  int slot = 0;
+  const auto add = [&](Reg r, int count) {
+    if (!r.is_rz() && count > 0) out[static_cast<std::size_t>(slot++)] = {r.idx, count};
+  };
+  switch (inst.op) {
+    case Opcode::kLdg:
+    case Opcode::kLds:
+      add(inst.srca, 1);
+      break;
+    case Opcode::kStg:
+    case Opcode::kSts:
+      add(inst.srca, 1);
+      add(inst.srcb, width_regs(inst.width));
+      break;
+    default:
+      if (pipe_class(inst.op) == PipeClass::kControl) break;
+      if (is_mma(inst.op)) {
+        const auto rc = mma_reg_counts(inst.op);
+        add(inst.srca, rc.a);
+        add(inst.srcb, rc.b);
+        add(inst.srcc, rc.c);
+      } else {
+        add(inst.srca, 1);
+        if (!inst.has_imm) add(inst.srcb, 1);
+        add(inst.srcc, 1);
+      }
+      break;
+  }
+  return out;
+}
+
+bool reads_any(const Instruction& inst, const RegRange& w) {
+  for (const auto& r : read_ranges(inst)) {
+    if (overlaps(r, w)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> lint(const Program& prog, LatencyFn latency_of) {
+  std::vector<std::string> warnings;
+  const int n = static_cast<int>(prog.code.size());
+  if (n == 0) return warnings;
+
+  // Straight-line segment leaders: entry, branch targets, and the
+  // instruction after any control instruction (branch/barrier/exit).
+  std::vector<char> leader(static_cast<std::size_t>(n), 0);
+  leader[0] = 1;
+  for (int pc = 0; pc < n; ++pc) {
+    const auto& inst = prog.code[static_cast<std::size_t>(pc)];
+    if (inst.op == Opcode::kBra && inst.target >= 0 && inst.target < n) {
+      leader[static_cast<std::size_t>(inst.target)] = 1;
+    }
+    if (pipe_class(inst.op) == PipeClass::kControl && pc + 1 < n) {
+      leader[static_cast<std::size_t>(pc + 1)] = 1;
+    }
+  }
+
+  const auto at = [&](int pc) -> const Instruction& {
+    return prog.code[static_cast<std::size_t>(pc)];
+  };
+
+  int s = 0;
+  while (s < n) {
+    int e = s;
+    while (e + 1 < n && !leader[static_cast<std::size_t>(e + 1)]) ++e;
+
+    // Static issue times within the segment: t[i - s] is when instruction i
+    // issues relative to the segment start, assuming no scoreboard waits
+    // fire. Waits only ever ADD time, so these are lower bounds — which
+    // makes excess-slack findings safe, and under-protection findings valid
+    // exactly when no wait mask sits on the consumer path.
+    std::vector<std::int64_t> t(static_cast<std::size_t>(e - s + 2), 0);
+    for (int i = s; i <= e; ++i) {
+      t[static_cast<std::size_t>(i - s + 1)] =
+          t[static_cast<std::size_t>(i - s)] + std::max<int>(at(i).ctrl.stall, 1);
+    }
+    const auto& last = at(e);
+    const bool self_loop = last.op == Opcode::kBra && last.target == s;
+
+    for (int i = s; i <= e; ++i) {
+      const auto& pinst = at(i);
+      const RegRange w = write_range(pinst);
+      if (w.count == 0) continue;
+      int lat = 0;
+      for (int off = 0; off < w.count; ++off) lat = std::max(lat, latency_of(pinst, off));
+
+      bool waits = false;
+      bool resolved = false;
+      for (int j = i + 1; j <= e && !resolved; ++j) {
+        const auto& cinst = at(j);
+        if (cinst.ctrl.wait_mask != 0) waits = true;
+        if (reads_any(cinst, w)) {
+          const std::int64_t gap =
+              t[static_cast<std::size_t>(j - s)] - t[static_cast<std::size_t>(i - s)];
+          if (gap < lat) {
+            if (!waits) {
+              warnings.push_back(
+                  "pc " + std::to_string(i) + " (" + opcode_name(pinst.op) + "): " +
+                  range_name(w) + " read at pc " + std::to_string(j) + " only " +
+                  std::to_string(gap) + " cycles after issue but ready after " +
+                  std::to_string(lat) + "; under-protected by " + std::to_string(lat - gap) +
+                  " cycles");
+            }
+          } else {
+            // Each intermediate instruction needs >= 1 issue slot, so only
+            // the (stall - 1) surplus of each is removable.
+            const std::int64_t reducible = gap - (j - i);
+            const std::int64_t excess = std::min(gap - lat, reducible);
+            if (excess > 0) {
+              warnings.push_back(
+                  "pc " + std::to_string(i) + " (" + opcode_name(pinst.op) + "): " +
+                  range_name(w) + " ready after " + std::to_string(lat) +
+                  " cycles but first consumer at pc " + std::to_string(j) + " issues " +
+                  std::to_string(gap) + " cycles later; " + std::to_string(excess) +
+                  " cycles of excess stall slack");
+            }
+          }
+          resolved = true;
+        } else if (overlaps(write_range(cinst), w)) {
+          resolved = true;  // overwritten before any read: dependency dead
+        }
+      }
+
+      // Loop-carried check for single-block loops: the first consumer may be
+      // at the top of the next iteration. Only under-protection is reported
+      // (slack across a back edge is not removable per-instruction).
+      if (!resolved && self_loop) {
+        const std::int64_t loop_len = t[static_cast<std::size_t>(e - s + 1)];
+        for (int j = s; j < i && !resolved; ++j) {
+          const auto& cinst = at(j);
+          if (cinst.ctrl.wait_mask != 0) waits = true;
+          if (reads_any(cinst, w)) {
+            const std::int64_t gap = loop_len - t[static_cast<std::size_t>(i - s)] +
+                                     t[static_cast<std::size_t>(j - s)];
+            if (gap < lat && !waits) {
+              warnings.push_back(
+                  "pc " + std::to_string(i) + " (" + opcode_name(pinst.op) + "): " +
+                  range_name(w) + " read at pc " + std::to_string(j) +
+                  " across the loop back-edge only " + std::to_string(gap) +
+                  " cycles after issue but ready after " + std::to_string(lat) +
+                  "; under-protected by " + std::to_string(lat - gap) + " cycles");
+            }
+            resolved = true;
+          } else if (overlaps(write_range(cinst), w)) {
+            resolved = true;
+          }
+        }
+      }
+    }
+    s = e + 1;
   }
   return warnings;
 }

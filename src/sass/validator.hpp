@@ -25,4 +25,26 @@ void validate(const Program& prog);
 /// Returns human-readable scheduling warnings (empty = clean).
 std::vector<std::string> lint(const Program& prog);
 
+/// Latency oracle for the slack analysis: cycles from issue of `inst` until
+/// destination register `dst + dreg_offset` is readable. The signature
+/// matches tc::sim::fixed_latency exactly, so callers pass the simulator's
+/// latency table straight in (this layer cannot depend on sim).
+using LatencyFn = int (*)(const Instruction& inst, int dreg_offset);
+
+/// Stall-slack analysis on top of lint(): for every fixed-latency
+/// producer/first-consumer pair inside a straight-line segment it compares
+/// the statically scheduled issue-time gap against the latency table and
+/// reports
+///  * EXCESS slack — the stall counts delay the consumer beyond the
+///    producer's latency AND the spare cycles could be removed (scoreboard
+///    waits only ever add time, so the static gap is a lower bound and
+///    excess reports are safe);
+///  * UNDER-protection — the consumer issues before the producer's result is
+///    ready and no intervening instruction carries a wait mask that could
+///    close the gap at run time (i.e. the stale read will really happen).
+/// Segments are bounded by branch targets and control instructions; a
+/// single-block loop (backward branch to its own start) is additionally
+/// checked across the back edge for under-protection.
+std::vector<std::string> lint(const Program& prog, LatencyFn latency_of);
+
 }  // namespace tc::sass

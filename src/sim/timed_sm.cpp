@@ -1,11 +1,13 @@
 #include "sim/timed_sm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <memory>
 
 #include "common/error.hpp"
 #include "mem/banked_smem.hpp"
+#include "prof/profiler.hpp"
 #include "mem/coalescer.hpp"
 #include "mem/sector_cache.hpp"
 #include "mem/token_bucket.hpp"
@@ -163,6 +165,9 @@ struct TimedSm::Impl {
     stats.l1_bytes += l1_bytes;
     stats.l2_bytes += l2_bytes;
     stats.dram_bytes += dram_bytes;
+    if (cfg.profiler != nullptr) {
+      cfg.profiler->on_global_classified(l1_bytes, l2_bytes, dram_bytes);
+    }
   }
 
   void classify_smem(MioOp& op, TimedStats& stats) {
@@ -174,6 +179,9 @@ struct TimedSm::Impl {
     op.latency = lat.smem;
     stats.smem_beats += static_cast<std::uint64_t>(cost.beats);
     stats.smem_phases += static_cast<std::uint64_t>(cost.phases);
+    if (cfg.profiler != nullptr) {
+      cfg.profiler->on_smem_classified(cost.beats, cost.phases);
+    }
   }
 };
 
@@ -205,6 +213,16 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
   }
   const int num_warps = static_cast<int>(warps.size());
   int alive = num_warps;
+
+  // Profiling is off unless the caller attached a Profiler; every hook site
+  // below is guarded by this one pointer test.
+  prof::Profiler* const prof = im.cfg.profiler;
+  if (prof != nullptr) prof->begin_run(prog, partitions, num_warps);
+  // Per-cycle warp-state scratch for stall attribution (profiling only).
+  constexpr std::uint8_t kWarpEligible = 200;
+  constexpr std::uint8_t kWarpDead = 255;
+  std::vector<std::uint8_t> warp_state;
+  if (prof != nullptr) warp_state.assign(static_cast<std::size_t>(num_warps), kWarpDead);
 
   // Round-robin partition assignment by global warp index, as on hardware.
   auto partition_of = [&](int w) { return w % partitions; };
@@ -296,6 +314,8 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
         stats.mio_busy += cost_cycles;
 
         std::uint64_t arrive = mio_free + static_cast<std::uint64_t>(op.latency);
+        double port_busy_cycles = 0.0;
+        std::uint64_t bw_delay_cycles = 0;
         if (op.access.is_global && op.port_bytes > 0.0) {
           // Serialize through the L2-to-SM return port, then apply device
           // bandwidth debt (shortage delays completion, not the pipe).
@@ -313,7 +333,15 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
           if (!op.access.is_store) {
             ++outstanding;
             mshr_release.push_back(arrive);
+            if (prof != nullptr) prof->on_mshr_occupancy(outstanding);
           }
+          port_busy_cycles = port_busy;
+          bw_delay_cycles = static_cast<std::uint64_t>(bw_delay);
+        }
+        if (prof != nullptr) {
+          prof->on_mio_service(op.access.is_global, op.access.is_store,
+                               static_cast<int>(op.access.width), now, cost_cycles,
+                               port_busy_cycles, bw_delay_cycles);
         }
 
         TWarp& w = *warps[static_cast<std::size_t>(op.warp)];
@@ -332,8 +360,67 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
 
     // --- issue: one instruction per partition per cycle ----------------------
     for (int p = 0; p < partitions; ++p) {
+      // Profiling pre-pass: classify every resident warp's scheduler state
+      // this cycle with the same checks the issue loop applies, so idle
+      // cycles can be attributed per warp and per PC (the software analogue
+      // of Nsight's warp-state sampling). settle_warp is time-driven and
+      // idempotent, so running it here does not perturb the issue loop.
+      if (prof != nullptr) {
+        for (int wi = 0; wi < num_warps; ++wi) {
+          if (partition_of(wi) != p) continue;
+          TWarp& w = *warps[static_cast<std::size_t>(wi)];
+          std::uint8_t state = kWarpDead;
+          if (w.exited) {
+            state = kWarpDead;
+          } else if (w.at_barrier) {
+            state = static_cast<std::uint8_t>(prof::StallReason::kBarrier);
+          } else if (w.ready_cycle > now) {
+            state = static_cast<std::uint8_t>(prof::StallReason::kStallCount);
+          } else {
+            settle_warp(w);
+            const auto& inst = prog.code[static_cast<std::size_t>(w.pc)];
+            bool waiting = false;
+            for (int b = 0; b < sass::kNumBarriers; ++b) {
+              if (((inst.ctrl.wait_mask >> b) & 1) && w.scoreboard[b] > 0) {
+                waiting = true;
+                break;
+              }
+            }
+            if (waiting) {
+              state = static_cast<std::uint8_t>(prof::StallReason::kScoreboard);
+            } else {
+              state = kWarpEligible;
+              switch (sass::pipe_class(inst.op)) {
+                case sass::PipeClass::kTensor:
+                  if (tensor_free[static_cast<std::size_t>(p)] > now)
+                    state = static_cast<std::uint8_t>(prof::StallReason::kPipeBusy);
+                  break;
+                case sass::PipeClass::kFma:
+                  if (fma_free[static_cast<std::size_t>(p)] > now)
+                    state = static_cast<std::uint8_t>(prof::StallReason::kPipeBusy);
+                  break;
+                case sass::PipeClass::kAlu:
+                case sass::PipeClass::kSpecial:
+                  if (alu_free[static_cast<std::size_t>(p)] > now)
+                    state = static_cast<std::uint8_t>(prof::StallReason::kPipeBusy);
+                  break;
+                case sass::PipeClass::kMio:
+                  if (static_cast<int>(mio_queue.size()) >= im.cfg.mio_queue_depth)
+                    state = static_cast<std::uint8_t>(prof::StallReason::kMioQueueFull);
+                  break;
+                case sass::PipeClass::kControl:
+                  break;
+              }
+            }
+          }
+          warp_state[static_cast<std::size_t>(wi)] = state;
+        }
+      }
+
       // Collect this partition's warps in rotating order.
       int issued_warp = -1;
+      std::int32_t issued_pc = -1;
+      const sass::Instruction* issued_inst = nullptr;
       for (int probe = 0; probe < num_warps; ++probe) {
         const int wi = (rr[static_cast<std::size_t>(p)] + probe) % num_warps;
         if (partition_of(wi) != p) continue;
@@ -375,6 +462,8 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
         }
 
         // --- issue ----------------------------------------------------------
+        issued_pc = w.pc;  // captured before the control-flow switch advances it
+        issued_inst = &inst;
         TCta& cta = cta_state[static_cast<std::size_t>(w.cta_index)];
         ExecContext ctx;
         ctx.regs = &w.regs;
@@ -429,6 +518,13 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
           if (op.write_barrier != sass::kNoBarrier) ++w.scoreboard[op.write_barrier];
           if (op.read_barrier != sass::kNoBarrier) ++w.scoreboard[op.read_barrier];
           mio_queue.push_back(std::move(op));
+          if (prof != nullptr) {
+            int active_lanes = 0;
+            for (bool a : r.mem.active) active_lanes += a ? 1 : 0;
+            prof->on_mem_issue(r.mem.is_global, r.mem.is_store, active_lanes,
+                               sass::width_bytes(r.mem.width));
+            prof->on_mio_queue_depth(static_cast<int>(mio_queue.size()));
+          }
         } else {
           for (const auto& cw : sink.gprs) {
             const int off = cw.reg.idx - inst.dst.idx;
@@ -468,6 +564,43 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
       if (issued_warp >= 0) {
         rr[static_cast<std::size_t>(p)] = (issued_warp + 1) % num_warps;
       }
+
+      // Profiling post-pass: report the issue, charge each blocked warp one
+      // stall cycle at its current PC, and attribute this scheduler cycle.
+      if (prof != nullptr) {
+        std::array<std::uint32_t, prof::kNumStallReasons> reason_count{};
+        int live = 0;
+        for (int wi = 0; wi < num_warps; ++wi) {
+          if (partition_of(wi) != p) continue;
+          const std::uint8_t state = warp_state[static_cast<std::size_t>(wi)];
+          if (state == kWarpDead) continue;
+          ++live;
+          if (wi == issued_warp) continue;
+          const auto reason = state == kWarpEligible
+                                  ? prof::StallReason::kNotSelected
+                                  : static_cast<prof::StallReason>(state);
+          // Non-issued warps did not move, so w.pc is still the blocked PC.
+          prof->on_warp_stall(wi, warps[static_cast<std::size_t>(wi)]->pc, reason);
+          ++reason_count[static_cast<std::size_t>(reason)];
+        }
+        if (issued_warp >= 0) {
+          prof->on_issue(p, issued_warp, issued_pc, *issued_inst, now,
+                         pipe_occupancy(*issued_inst), issued_inst->ctrl.stall);
+          prof->on_sched_cycle(p, true, prof::StallReason::kNoInstruction);
+        } else {
+          auto dominant = prof::StallReason::kNoInstruction;
+          std::uint32_t best = 0;
+          if (live > 0) {
+            for (int r = 0; r < prof::kNumStallReasons; ++r) {
+              if (reason_count[static_cast<std::size_t>(r)] > best) {
+                best = reason_count[static_cast<std::size_t>(r)];
+                dominant = static_cast<prof::StallReason>(r);
+              }
+            }
+          }
+          prof->on_sched_cycle(p, false, dominant);
+        }
+      }
     }
 
     // --- CTA barrier release -------------------------------------------------
@@ -492,6 +625,8 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
   for (auto& w : warps) {
     w->regs.settle_all();
   }
+
+  if (prof != nullptr) prof->end_run(now);
 
   stats.cycles = now;
   return stats;

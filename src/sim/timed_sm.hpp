@@ -25,6 +25,10 @@
 #include "mem/global_mem.hpp"
 #include "sim/launch.hpp"
 
+namespace tc::prof {
+class Profiler;
+}
+
 namespace tc::sim {
 
 /// CTA coordinates resident on the simulated SM.
@@ -57,6 +61,12 @@ struct TimedConfig {
 
   int mio_queue_depth = 12;
   std::uint64_t max_cycles = 4'000'000'000ull;
+
+  /// Optional profiler (see src/prof). When null — the default — the engine
+  /// takes one well-predicted branch per hook site and is otherwise
+  /// unchanged; when set, hardware-style counters, stall attribution and
+  /// (if a TraceWriter is attached) a timeline are collected for this run.
+  prof::Profiler* profiler = nullptr;
 };
 
 struct TimedStats {

@@ -1,9 +1,12 @@
 // Tests for the remaining common utilities and the HgemmConfig contract.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/matrix.hpp"
 #include "common/table.hpp"
 #include "core/config.hpp"
@@ -101,6 +104,50 @@ TEST(HgemmConfig, SmemFootprints) {
 TEST(HgemmConfig, NamesEncodeTheConfig) {
   EXPECT_EQ(core::HgemmConfig::optimized().name(), "hgemm_256x256x32_w128x64_i5_pad");
   EXPECT_EQ(core::HgemmConfig::cublas_like().name(), "hgemm_128x128x64_w64x64_i2_tile");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object();
+  j.field("tool", "tc");
+  j.field("n", 3);
+  j.field("ok", true);
+  j.key("rows");
+  j.begin_array();
+  j.value(1.5);
+  j.null();
+  j.begin_object();
+  j.field("u", std::uint64_t{18446744073709551615ull});
+  j.end_object();
+  j.end_array();
+  j.end_object();
+  EXPECT_TRUE(j.complete());
+  EXPECT_EQ(os.str(),
+            R"({"tool":"tc","n":3,"ok":true,"rows":[1.5,null,{"u":18446744073709551615}]})");
+}
+
+TEST(JsonWriter, EscapesStringsAndRejectsNonFinite) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_array();
+  j.value("a\"b\\c\nd\x01");
+  j.value(std::numeric_limits<double>::infinity());
+  j.value(std::numeric_limits<double>::quiet_NaN());
+  j.end_array();
+  EXPECT_EQ(os.str(), "[\"a\\\"b\\\\c\\nd\\u0001\",null,null]");
+}
+
+TEST(JsonWriter, MisuseTripsCheck) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object();
+  EXPECT_THROW(j.value(1), Error);       // value without key inside object
+  EXPECT_THROW(j.end_array(), Error);    // mismatched closer
+  j.key("k");
+  EXPECT_THROW(j.key("k2"), Error);      // key after key
+  EXPECT_THROW(j.end_object(), Error);   // dangling key
+  EXPECT_FALSE(j.complete());
 }
 
 }  // namespace

@@ -192,5 +192,82 @@ TEST(Isa, WidthHelpers) {
   EXPECT_EQ(width_regs(MemWidth::k64), 2);
 }
 
+// --- stall-slack analysis (lint with a latency table) ----------------------
+
+// Deterministic oracle for the tests: FADD results take 6 cycles, everything
+// else 4.
+int test_latency(const Instruction& inst, int /*dreg_offset*/) {
+  return inst.op == Opcode::kFadd ? 6 : 4;
+}
+
+TEST(LintSlack, ReportsExcessStallSlack) {
+  KernelBuilder b("slack1");
+  b.fadd(Reg{8}, Reg{4}, Reg{5}).stall(10);  // result ready after 6
+  b.mov(Reg{9}, Reg{8}).stall(1);
+  b.exit();
+  const auto w = lint(b.finalize(), &test_latency);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].find("excess stall slack"), std::string::npos);
+  EXPECT_NE(w[0].find("4 cycles"), std::string::npos);
+}
+
+TEST(LintSlack, ExactStallIsClean) {
+  KernelBuilder b("slack2");
+  b.fadd(Reg{8}, Reg{4}, Reg{5}).stall(6);
+  b.mov(Reg{9}, Reg{8}).stall(1);
+  b.exit();
+  EXPECT_TRUE(lint(b.finalize(), &test_latency).empty());
+}
+
+TEST(LintSlack, ReportsUnderProtectedConsumer) {
+  KernelBuilder b("slack3");
+  b.fadd(Reg{8}, Reg{4}, Reg{5}).stall(2);  // consumer issues 4 cycles early
+  b.mov(Reg{9}, Reg{8}).stall(1);
+  b.exit();
+  const auto w = lint(b.finalize(), &test_latency);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].find("under-protected by 4 cycles"), std::string::npos);
+}
+
+TEST(LintSlack, WaitMaskSuppressesUnderProtection) {
+  // A scoreboard wait between producer and consumer can close any static
+  // gap at run time, so the analysis must stay silent.
+  KernelBuilder b("slack4");
+  b.ldg(MemWidth::k32, Reg{0}, Reg{4}).write_bar(0).stall(2);
+  b.fadd(Reg{8}, Reg{4}, Reg{5}).stall(1);
+  b.nop().wait_on(0).stall(1);
+  b.mov(Reg{9}, Reg{8}).stall(1);
+  b.exit();
+  for (const auto& w : lint(b.finalize(), &test_latency)) {
+    EXPECT_EQ(w.find("under-protected"), std::string::npos) << w;
+  }
+}
+
+TEST(LintSlack, OverwriteKillsDependency) {
+  KernelBuilder b("slack5");
+  b.fadd(Reg{8}, Reg{4}, Reg{5}).stall(1);
+  b.mov_imm(Reg{8}, 0).stall(4);  // kills the FADD result before any read
+  b.mov(Reg{9}, Reg{8}).stall(1);
+  b.exit();
+  // The 6-cycle FADD latency is irrelevant once R8 is overwritten; the only
+  // live dependency (MOV.IMM -> MOV, 4 cycles) is exactly covered.
+  EXPECT_TRUE(lint(b.finalize(), &test_latency).empty());
+}
+
+TEST(LintSlack, ChecksAcrossLoopBackEdge) {
+  // Single-block loop: R8 is produced at the bottom and consumed at the top
+  // of the next trip; the short loop body cannot cover the 6-cycle latency.
+  KernelBuilder b("slack6");
+  b.label("top");
+  b.mov(Reg{9}, Reg{8}).stall(1);
+  b.fadd(Reg{8}, Reg{4}, Reg{5}).stall(1);
+  b.bra("top").stall(1);
+  b.exit();
+  const auto w = lint(b.finalize(), &test_latency);
+  bool found = false;
+  for (const auto& s : w) found |= s.find("back-edge") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace tc::sass
