@@ -5,6 +5,8 @@
 //                   [--profile] [--top N] [--trace-out trace.json]
 //   tcgemm_cli lint [--m M --n N --k K] [--baseline]
 //   tcgemm_cli disasm [--baseline]
+//   tcgemm_cli check [--m M --n N --k K]
+//   tcgemm_cli fuzz [--programs N] [--seed S]
 //
 // `run` executes the kernel functionally on the simulator (optionally
 // validating against the bit-exact reference); `perf` prints the estimated
@@ -12,14 +14,18 @@
 // the steady-state portion (pipe utilization, stall attribution, optional
 // Chrome-trace timeline for chrome://tracing / Perfetto); `lint` runs the
 // static schedule checks including the latency-table slack analysis;
-// `disasm` dumps the generated SASS. All commands accept --json <path> for
-// machine-readable output.
+// `disasm` dumps the generated SASS; `check` runs the scoreboard hazard
+// detector (src/check) over every built-in kernel and fails on any error;
+// `fuzz` differentially fuzzes the two executors (see docs/checking.md).
+// All commands accept --json <path> for machine-readable output.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "check/fuzz.hpp"
+#include "check/hazard.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -44,6 +50,8 @@ struct Args {
   bool baseline = false;
   bool profile = false;
   int top = 10;
+  int programs = 200;
+  std::uint64_t seed = 1;
   std::string trace_out;
   std::string json;
 };
@@ -74,6 +82,10 @@ Args parse(int argc, char** argv) {
       a.profile = true;
     } else if (flag == "--top") {
       a.top = std::stoi(value());
+    } else if (flag == "--programs") {
+      a.programs = std::stoi(value());
+    } else if (flag == "--seed") {
+      a.seed = std::stoull(value());
     } else if (flag == "--trace-out") {
       a.trace_out = value();
     } else if (flag == "--json") {
@@ -93,6 +105,8 @@ int usage() {
          "                    [--profile] [--top N] [--trace-out trace.json]\n"
          "  tcgemm_cli lint   [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
+         "  tcgemm_cli check  [--m M --n N --k K]\n"
+         "  tcgemm_cli fuzz   [--programs N] [--seed S]\n"
          "common: --json <path> writes machine-readable results\n";
   return 2;
 }
@@ -268,6 +282,89 @@ int main(int argc, char** argv) {
       const GemmShape shape = contract_shape(args, cfg);
       std::cout << core::hgemm_kernel(cfg, shape).disassemble();
       return 0;
+    }
+
+    if (args.command == "check") {
+      // Every built-in kernel at its padded contract shape.
+      const auto round_up = [](std::size_t v, std::size_t to) {
+        return std::max(to, (v + to - 1) / to * to);
+      };
+      struct Target {
+        std::string name;
+        sass::Program prog;
+      };
+      const GemmShape wmma_shape{round_up(args.m, 16), round_up(args.n, 128),
+                                 round_up(args.k, 16)};
+      std::vector<Target> targets;
+      targets.push_back({"hgemm_optimized",
+                         core::hgemm_kernel(core::HgemmConfig::optimized(),
+                                            contract_shape(args, core::HgemmConfig::optimized()))});
+      targets.push_back({"hgemm_cublas_like",
+                         core::hgemm_kernel(core::HgemmConfig::cublas_like(),
+                                            contract_shape(args, core::HgemmConfig::cublas_like()))});
+      targets.push_back({"wmma_naive", core::wmma_naive_kernel(wmma_shape)});
+
+      int total_errors = 0;
+      if (json) {
+        json->key("kernels");
+        json->begin_array();
+      }
+      for (const auto& t : targets) {
+        const auto diags = check::find_hazards(t.prog);
+        const int errors = sass::count_errors(diags);
+        const int warnings = static_cast<int>(diags.size()) - errors;
+        total_errors += errors;
+        std::cout << t.name << " (" << t.prog.code.size() << " instructions): " << errors
+                  << " errors, " << warnings << " warnings\n";
+        for (const auto& d : diags) std::cout << "  " << sass::format(d) << "\n";
+        if (json) {
+          json->begin_object();
+          json->field("kernel", t.name);
+          json->field("instructions", static_cast<std::uint64_t>(t.prog.code.size()));
+          json->field("errors", static_cast<std::uint64_t>(errors));
+          json->field("warnings", static_cast<std::uint64_t>(warnings));
+          json->key("diagnostics");
+          json->begin_array();
+          for (const auto& d : diags) json->value(sass::format(d));
+          json->end_array();
+          json->end_object();
+        }
+      }
+      if (json) json->end_array();
+      finish_json();
+      return total_errors == 0 ? 0 : 1;
+    }
+
+    if (args.command == "fuzz") {
+      const check::FuzzReport rep = check::run_fuzz(args.seed, args.programs);
+      std::cout << "fuzzed " << rep.programs << " programs (seed " << args.seed << "): "
+                << rep.divergences << " divergences, " << rep.failures.size()
+                << " failures\n";
+      for (const auto& f : rep.failures) {
+        std::cout << "\nseed " << f.seed << " [" << f.phase << "] shrunk "
+                  << f.original_size << " -> " << f.shrunk_size << " instructions\n"
+                  << f.detail << "\n"
+                  << f.program;
+      }
+      if (json) {
+        json->field("programs", static_cast<std::uint64_t>(rep.programs));
+        json->field("divergences", static_cast<std::uint64_t>(rep.divergences));
+        json->key("failures");
+        json->begin_array();
+        for (const auto& f : rep.failures) {
+          json->begin_object();
+          json->field("seed", f.seed);
+          json->field("phase", f.phase);
+          json->field("detail", f.detail);
+          json->field("original_size", static_cast<std::uint64_t>(f.original_size));
+          json->field("shrunk_size", static_cast<std::uint64_t>(f.shrunk_size));
+          json->field("program", f.program);
+          json->end_object();
+        }
+        json->end_array();
+      }
+      finish_json();
+      return rep.ok() ? 0 : 1;
     }
 
     return usage();

@@ -17,6 +17,10 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== schedule checks: kernel hazard scan + differential fuzz smoke =="
+./build/examples/tcgemm_cli check
+ctest --test-dir build --output-on-failure -L fuzz_smoke
+
 if [[ "$FAST" == 1 ]]; then
   echo "== done (fast mode: sanitizer build skipped) =="
   exit 0

@@ -1,0 +1,396 @@
+#include "check/hazard.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/pipes.hpp"
+
+namespace tc::check {
+
+using sass::Diag;
+using sass::DiagSeverity;
+using sass::Instruction;
+using sass::Opcode;
+
+LatencyModel sim_latency_model() {
+  return {&sim::fixed_latency, sim::kBranchRedirectCycles, sim::kAluLatency};
+}
+
+namespace {
+
+struct RegRange {
+  int lo = 0;
+  int count = 0;
+};
+
+bool overlaps(const RegRange& a, const RegRange& b) {
+  return a.count > 0 && b.count > 0 && a.lo < b.lo + b.count && b.lo < a.lo + a.count;
+}
+
+bool covers(const RegRange& r, int reg) { return r.count > 0 && reg >= r.lo && reg < r.lo + r.count; }
+
+std::string range_name(const RegRange& r) {
+  std::string name = "R";
+  name += std::to_string(r.lo);
+  if (r.count > 1) {
+    name += "..R";
+    name += std::to_string(r.lo + r.count - 1);
+  }
+  return name;
+}
+
+bool is_mio(Opcode op) { return sass::pipe_class(op) == sass::PipeClass::kMio; }
+
+/// Registers written through the fixed-latency (non-MIO) path.
+RegRange fixed_write_range(const Instruction& inst) {
+  if (inst.dst.is_rz()) return {};
+  if (is_mio(inst.op) || sass::pipe_class(inst.op) == sass::PipeClass::kControl) return {};
+  if (sass::is_mma(inst.op)) return {inst.dst.idx, sass::mma_reg_counts(inst.op).d};
+  return {inst.dst.idx, 1};
+}
+
+/// Destination range of a memory load (written at MIO data arrival).
+RegRange load_dst_range(const Instruction& inst) {
+  if ((inst.op == Opcode::kLdg || inst.op == Opcode::kLds) && !inst.dst.is_rz()) {
+    return {inst.dst.idx, sass::width_regs(inst.width)};
+  }
+  return {};
+}
+
+/// Register ranges read at issue time (operand collectors).
+std::array<RegRange, 3> issue_read_ranges(const Instruction& inst) {
+  std::array<RegRange, 3> out{};
+  int slot = 0;
+  const auto add = [&](sass::Reg r, int count) {
+    if (!r.is_rz() && count > 0) out[static_cast<std::size_t>(slot++)] = {r.idx, count};
+  };
+  switch (inst.op) {
+    case Opcode::kLdg:
+    case Opcode::kLds:
+      add(inst.srca, 1);
+      break;
+    case Opcode::kStg:
+    case Opcode::kSts:
+      add(inst.srca, 1);
+      add(inst.srcb, sass::width_regs(inst.width));
+      break;
+    default:
+      if (sass::pipe_class(inst.op) == sass::PipeClass::kControl) break;
+      if (sass::is_mma(inst.op)) {
+        const auto rc = sass::mma_reg_counts(inst.op);
+        add(inst.srca, rc.a);
+        add(inst.srcb, rc.b);
+        add(inst.srcc, rc.c);
+      } else {
+        add(inst.srca, 1);
+        if (!inst.has_imm) add(inst.srcb, 1);
+        add(inst.srcc, 1);
+      }
+      break;
+  }
+  return out;
+}
+
+/// Source registers an in-flight MIO op still holds (address + store data).
+/// tc::sim reads them at issue, so overwriting early is a silicon-only race.
+std::vector<RegRange> mio_src_ranges(const Instruction& inst) {
+  std::vector<RegRange> out;
+  if (!inst.srca.is_rz()) out.push_back({inst.srca.idx, 1});
+  if ((inst.op == Opcode::kStg || inst.op == Opcode::kSts) && !inst.srcb.is_rz()) {
+    out.push_back({inst.srcb.idx, sass::width_regs(inst.width)});
+  }
+  return out;
+}
+
+struct PendingFixed {
+  int pc = 0;
+  RegRange range;
+  std::int64_t issue = 0;
+  int wait_seq = 0;  // wait counter when issued; != current means "unprovable"
+};
+
+struct PendingPred {
+  int pc = 0;
+  int pred = 7;
+  std::int64_t issue = 0;
+  int wait_seq = 0;
+};
+
+struct InFlightMio {
+  int pc = 0;
+  RegRange dst;                 // un-retired load destination (count 0 for stores)
+  std::vector<RegRange> srcs;   // held until the read barrier is waited
+  std::uint8_t write_barrier = sass::kNoBarrier;
+  std::uint8_t read_barrier = sass::kNoBarrier;
+
+  [[nodiscard]] bool spent() const {
+    return dst.count == 0 && srcs.empty() && write_barrier == sass::kNoBarrier &&
+           read_barrier == sass::kNoBarrier;
+  }
+};
+
+enum class BarState { kUnknown, kClear };
+
+class SegmentWalker {
+ public:
+  SegmentWalker(const sass::Program& prog, const LatencyModel& lat, std::vector<Diag>& out)
+      : prog_(prog), lat_(lat), out_(out) {}
+
+  /// Analyzes [s, e]; `entry_known_clear` is true only for the program entry
+  /// (all scoreboards start at zero). Self-loops are unrolled once so
+  /// loop-carried pairs surface; duplicates are folded by the dedupe set.
+  void run(int s, int e, bool entry_known_clear) {
+    pending_.clear();
+    preds_.clear();
+    inflight_.clear();
+    bars_.fill(entry_known_clear ? BarState::kClear : BarState::kUnknown);
+    wait_seq_ = 0;
+    t_ = 0;
+
+    const auto& last = prog_.code[static_cast<std::size_t>(e)];
+    const bool self_loop = last.op == Opcode::kBra && last.target == s;
+    const int iterations = self_loop ? 2 : 1;
+    for (int iter = 0; iter < iterations; ++iter) {
+      for (int pc = s; pc <= e; ++pc) {
+        step(pc);
+      }
+    }
+  }
+
+ private:
+  void emit(DiagSeverity sev, const std::string& kind, int producer, int consumer,
+            const std::string& message) {
+    if (!seen_.insert({kind, producer, consumer}).second) return;
+    out_.push_back({sev, kind, producer, consumer, message});
+  }
+
+  void step(int pc) {
+    const Instruction& inst = prog_.code[static_cast<std::size_t>(pc)];
+
+    // --- scoreboard waits ---------------------------------------------------
+    if (inst.ctrl.wait_mask != 0) {
+      for (int b = 0; b < sass::kNumBarriers; ++b) {
+        if (((inst.ctrl.wait_mask >> b) & 1u) == 0) continue;
+        bool armed = false;
+        for (auto& op : inflight_) {
+          if (op.write_barrier == b) {
+            op.dst = {};  // data arrived: destination is committed
+            op.write_barrier = sass::kNoBarrier;
+            armed = true;
+          }
+          if (op.read_barrier == b) {
+            op.srcs.clear();  // sources released
+            op.read_barrier = sass::kNoBarrier;
+            armed = true;
+          }
+        }
+        std::erase_if(inflight_, [](const InFlightMio& op) { return op.spent(); });
+        if (!armed && bars_[static_cast<std::size_t>(b)] == BarState::kClear) {
+          emit(DiagSeverity::kWarning, "redundant-wait", -1, pc,
+               sass::opcode_name(inst.op) + " waits on B" + std::to_string(b) +
+                   ", which is provably clear at this point; the wait costs nothing but "
+                   "protects nothing");
+        }
+        bars_[static_cast<std::size_t>(b)] = BarState::kClear;
+      }
+      ++wait_seq_;  // time past this point is no longer a provable lower bound
+    }
+    if (inst.op == Opcode::kBar) ++wait_seq_;  // CTA sync adds unknown delay
+
+    // --- reads at issue -----------------------------------------------------
+    for (const RegRange& rr : issue_read_ranges(inst)) {
+      if (rr.count == 0) continue;
+      // In-flight loads: any overlap is a race regardless of distance — the
+      // data arrival time is unbounded without the barrier wait.
+      for (const auto& op : inflight_) {
+        if (!overlaps(op.dst, rr)) continue;
+        const std::string why =
+            op.write_barrier != sass::kNoBarrier
+                ? "no wait on B" + std::to_string(op.write_barrier) + " covers the read"
+                : "the load carries no write barrier, so the read can never be synchronized";
+        emit(DiagSeverity::kError, "raw-load", op.pc, pc,
+             sass::opcode_name(inst.op) + " reads " + range_name(rr) + " while the " +
+                 sass::opcode_name(prog_.code[static_cast<std::size_t>(op.pc)].op) + " at pc " +
+                 std::to_string(op.pc) + " is still in flight to " + range_name(op.dst) + "; " +
+                 why);
+      }
+      // Fixed-latency producers: for each register, only the newest pending
+      // write determines the value this read observes.
+      for (int reg = rr.lo; reg < rr.lo + rr.count; ++reg) {
+        if (covered_by_inflight_load(reg)) continue;  // reported above
+        for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+          if (!covers(it->range, reg)) continue;
+          if (it->wait_seq == wait_seq_) {
+            const Instruction& prod = prog_.code[static_cast<std::size_t>(it->pc)];
+            const int lat = lat_.fixed(prod, reg - it->range.lo);
+            const std::int64_t gap = t_ - it->issue;
+            if (gap < lat) {
+              emit(DiagSeverity::kError, "raw-fixed", it->pc, pc,
+                   sass::opcode_name(inst.op) + " reads R" + std::to_string(reg) + " only " +
+                       std::to_string(gap) + " cycles after the " + sass::opcode_name(prod.op) +
+                       " at pc " + std::to_string(it->pc) + " issued, but the result lands " +
+                       std::to_string(lat) + " cycles in; the read observes the stale value");
+            }
+          }
+          break;  // newest covering write found
+        }
+      }
+    }
+    // Predicate reads: the guard, and SEL's selector.
+    check_pred_read(inst, pc, inst.guard.idx, "guard");
+    if (inst.op == Opcode::kSel) check_pred_read(inst, pc, inst.pdst.idx, "selector");
+
+    // --- writes -------------------------------------------------------------
+    const RegRange fw = fixed_write_range(inst);
+    const RegRange ld = load_dst_range(inst);
+    const RegRange w = fw.count > 0 ? fw : ld;
+    if (w.count > 0) {
+      for (const auto& op : inflight_) {
+        if (overlaps(op.dst, w)) {
+          emit(DiagSeverity::kError, "waw-load", op.pc, pc,
+               sass::opcode_name(inst.op) + " writes " + range_name(w) + " while the load at pc " +
+                   std::to_string(op.pc) + " is still in flight to " + range_name(op.dst) +
+                   "; the late writeback would bury the younger value");
+        }
+        for (const auto& sr : op.srcs) {
+          if (!overlaps(sr, w)) continue;
+          const std::string sync =
+              op.read_barrier != sass::kNoBarrier
+                  ? "wait on B" + std::to_string(op.read_barrier) + " first"
+                  : "the op carries no read barrier";
+          emit(DiagSeverity::kWarning, "war-mio", op.pc, pc,
+               sass::opcode_name(inst.op) + " overwrites " + range_name(w) +
+                   " while the memory op at pc " + std::to_string(op.pc) +
+                   " may still hold it as a source (" + sync +
+                   "); safe in tc::sim, a race on silicon");
+        }
+      }
+      if (fw.count > 0) {
+        // WAW commit inversion between two fixed-latency writes.
+        for (int reg = fw.lo; reg < fw.lo + fw.count; ++reg) {
+          for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+            if (!covers(it->range, reg)) continue;
+            if (it->wait_seq == wait_seq_) {
+              const Instruction& prod = prog_.code[static_cast<std::size_t>(it->pc)];
+              const int lat_old = lat_.fixed(prod, reg - it->range.lo);
+              const int lat_new = lat_.fixed(inst, reg - fw.lo);
+              if (t_ + lat_new < it->issue + lat_old) {
+                emit(DiagSeverity::kError, "waw-fixed", it->pc, pc,
+                     sass::opcode_name(inst.op) + " commits R" + std::to_string(reg) + " at +" +
+                         std::to_string(t_ + lat_new) + " but the older " +
+                         sass::opcode_name(prod.op) + " at pc " + std::to_string(it->pc) +
+                         " commits at +" + std::to_string(it->issue + lat_old) +
+                         "; the writebacks invert and the stale value wins");
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+
+    // --- state update -------------------------------------------------------
+    if (is_mio(inst.op)) {
+      InFlightMio op;
+      op.pc = pc;
+      op.dst = ld;
+      op.srcs = mio_src_ranges(inst);
+      op.write_barrier = inst.ctrl.write_barrier;
+      op.read_barrier = inst.ctrl.read_barrier;
+      // Without a read barrier the sources are only at risk on silicon until
+      // the op drains; tracking them forever would flag every temp reuse, so
+      // hold them only while a barrier could still be waited on.
+      if (op.read_barrier == sass::kNoBarrier) op.srcs.clear();
+      if (!op.spent()) inflight_.push_back(std::move(op));
+    } else if (fw.count > 0) {
+      pending_.push_back({pc, fw, t_, wait_seq_});
+    }
+    if (inst.op == Opcode::kIsetp && !inst.pdst.is_pt()) {
+      preds_.push_back({pc, inst.pdst.idx, t_, wait_seq_});
+    }
+
+    // --- advance ------------------------------------------------------------
+    const int stall = std::max<int>(inst.ctrl.stall, 1);
+    t_ += inst.op == Opcode::kBra ? std::max(stall, lat_.branch_redirect) : stall;
+  }
+
+  [[nodiscard]] bool covered_by_inflight_load(int reg) const {
+    for (const auto& op : inflight_) {
+      if (covers(op.dst, reg)) return true;
+    }
+    return false;
+  }
+
+  void check_pred_read(const Instruction& inst, int pc, std::uint8_t pred, const char* what) {
+    if (pred == 7) return;  // PT
+    for (auto it = preds_.rbegin(); it != preds_.rend(); ++it) {
+      if (it->pred != pred) continue;
+      if (it->wait_seq == wait_seq_) {
+        const std::int64_t gap = t_ - it->issue;
+        if (gap < lat_.predicate_latency) {
+          emit(DiagSeverity::kError, "raw-pred", it->pc, pc,
+               sass::opcode_name(inst.op) + " reads P" + std::to_string(pred) + " as " + what +
+                   " only " + std::to_string(gap) + " cycles after the ISETP at pc " +
+                   std::to_string(it->pc) + ", but predicates land " +
+                   std::to_string(lat_.predicate_latency) + " cycles in");
+        }
+      }
+      return;  // newest write to this predicate decides
+    }
+  }
+
+  const sass::Program& prog_;
+  const LatencyModel& lat_;
+  std::vector<Diag>& out_;
+  std::set<std::tuple<std::string, int, int>> seen_;
+
+  std::vector<PendingFixed> pending_;
+  std::vector<PendingPred> preds_;
+  std::vector<InFlightMio> inflight_;
+  std::array<BarState, sass::kNumBarriers> bars_{};
+  int wait_seq_ = 0;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace
+
+std::vector<Diag> find_hazards(const sass::Program& prog, const LatencyModel& lat) {
+  std::vector<Diag> out;
+  const int n = static_cast<int>(prog.code.size());
+  if (n == 0 || lat.fixed == nullptr) return out;
+
+  // Segment leaders: entry, branch targets, and fall-through successors of
+  // control transfers. BAR.SYNC and NOP do not end a segment — they cannot
+  // redirect control, and keeping the segment alive across them is what lets
+  // waits carried on NOPs count as protection.
+  std::vector<char> leader(static_cast<std::size_t>(n), 0);
+  leader[0] = 1;
+  for (int pc = 0; pc < n; ++pc) {
+    const auto& inst = prog.code[static_cast<std::size_t>(pc)];
+    if (inst.op == Opcode::kBra && inst.target >= 0 && inst.target < n) {
+      leader[static_cast<std::size_t>(inst.target)] = 1;
+    }
+    if ((inst.op == Opcode::kBra || inst.op == Opcode::kExit) && pc + 1 < n) {
+      leader[static_cast<std::size_t>(pc + 1)] = 1;
+    }
+  }
+
+  SegmentWalker walker(prog, lat, out);
+  int s = 0;
+  while (s < n) {
+    int e = s;
+    while (e + 1 < n && !leader[static_cast<std::size_t>(e + 1)]) ++e;
+    walker.run(s, e, /*entry_known_clear=*/s == 0);
+    s = e + 1;
+  }
+  return out;
+}
+
+std::vector<Diag> find_hazards(const sass::Program& prog) {
+  return find_hazards(prog, sim_latency_model());
+}
+
+}  // namespace tc::check

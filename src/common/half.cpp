@@ -43,10 +43,13 @@ std::uint16_t half::from_float_bits(float f) {
 
   if (aexp == 0xFF) {  // inf or NaN
     if (aman == 0) return static_cast<std::uint16_t>(sign | 0x7C00u);
-    // Quieten NaN, keep top payload bits if any survive.
+    // NaN: keep the top 10 payload bits untouched so half -> float -> half
+    // round-trips bit-exactly (signalling NaNs included). Only when the
+    // surviving bits are all zero — which would read back as infinity — do
+    // we substitute the canonical quiet NaN.
     std::uint32_t payload = aman >> 13;
-    if (payload == 0) payload = 1;
-    return static_cast<std::uint16_t>(sign | 0x7C00u | payload | 0x0200u);
+    if (payload == 0) payload = 0x200u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | payload);
   }
 
   const int e = static_cast<int>(aexp) - 127 + 15;  // rebased exponent

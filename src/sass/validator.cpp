@@ -36,6 +36,20 @@ void validate(const Program& prog) {
 
   bool has_exit = false;
   const int n = static_cast<int>(prog.code.size());
+
+  // Barriers armed anywhere in the program. A wait_mask bit with no setter
+  // at all can never clear on hardware (the scoreboard stays at zero only
+  // because nothing ever arms it — silicon blocks forever on the first
+  // elevated count a rescheduled kernel produces), so it is a hard error,
+  // not a lint warning. The setter may sit *after* the wait in program
+  // order: loop bodies legitimately wait at the top for a load issued at
+  // the bottom of the previous iteration.
+  std::uint32_t barriers_ever_set = 0;
+  for (const auto& inst : prog.code) {
+    if (inst.ctrl.write_barrier != kNoBarrier) barriers_ever_set |= 1u << inst.ctrl.write_barrier;
+    if (inst.ctrl.read_barrier != kNoBarrier) barriers_ever_set |= 1u << inst.ctrl.read_barrier;
+  }
+
   for (int pc = 0; pc < n; ++pc) {
     const auto& inst = prog.code[static_cast<std::size_t>(pc)];
     TC_CHECK(inst.ctrl.stall <= 15, "stall count out of range");
@@ -44,6 +58,13 @@ void validate(const Program& prog) {
     TC_CHECK(inst.ctrl.read_barrier == kNoBarrier || inst.ctrl.read_barrier < kNumBarriers,
              "bad read barrier index");
     TC_CHECK(inst.ctrl.wait_mask < (1u << kNumBarriers), "bad wait mask");
+    if (const std::uint32_t orphan = inst.ctrl.wait_mask & ~barriers_ever_set; orphan != 0) {
+      int b = 0;
+      while (((orphan >> b) & 1u) == 0) ++b;
+      TC_CHECK(false, opcode_name(inst.op) + " at pc " + std::to_string(pc) +
+                          " waits on scoreboard barrier B" + std::to_string(b) +
+                          " that no instruction ever sets; the wait could never clear");
+    }
     if (inst.ctrl.write_barrier != kNoBarrier || inst.ctrl.read_barrier != kNoBarrier) {
       TC_CHECK(is_variable_latency(inst.op),
                opcode_name(inst.op) + " at pc " + std::to_string(pc) +
@@ -287,10 +308,13 @@ std::vector<std::string> lint(const Program& prog, LatencyFn latency_of) {
 
       // Loop-carried check for single-block loops: the first consumer may be
       // at the top of the next iteration. Only under-protection is reported
-      // (slack across a back edge is not removable per-instruction).
+      // (slack across a back edge is not removable per-instruction). The scan
+      // includes j == i: a single-instruction loop body that reads its own
+      // destination depends on itself across the back edge, with exactly one
+      // full trip (loop_len) between issue and re-read.
       if (!resolved && self_loop) {
         const std::int64_t loop_len = t[static_cast<std::size_t>(e - s + 1)];
-        for (int j = s; j < i && !resolved; ++j) {
+        for (int j = s; j <= i && !resolved; ++j) {
           const auto& cinst = at(j);
           if (cinst.ctrl.wait_mask != 0) waits = true;
           if (reads_any(cinst, w)) {

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "mem/banked_smem.hpp"
 #include "sim/exec_core.hpp"
+#include "sim/probe.hpp"
 
 namespace tc::sim {
 
@@ -24,7 +25,8 @@ struct WarpRun {
 /// Runs one CTA to completion; returns (instructions, hmma_count).
 std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const Launch& launch,
                                                 std::uint32_t cta_x, std::uint32_t cta_y,
-                                                std::uint64_t max_warp_instructions) {
+                                                std::uint64_t max_warp_instructions,
+                                                StateProbe* probe) {
   const sass::Program& prog = *launch.program;
   const int num_warps = static_cast<int>(launch.warps_per_cta());
   mem::SharedMemory smem(prog.smem_bytes);
@@ -97,6 +99,11 @@ std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const L
       for (auto& w : warps) w.at_barrier = false;
     }
   }
+  if (probe != nullptr) {
+    for (int wi = 0; wi < num_warps; ++wi) {
+      probe->capture(*warps[static_cast<std::size_t>(wi)].regs, cta_x, cta_y, wi);
+    }
+  }
   return {instructions, hmma};
 }
 
@@ -136,7 +143,7 @@ FunctionalStats FunctionalExecutor::run(const Launch& launch,
         const auto cx = static_cast<std::uint32_t>(i % launch.grid_x);
         const auto cy = static_cast<std::uint32_t>(i / launch.grid_x);
         try {
-          const auto [insts, hm] = run_cta(gmem_, launch, cx, cy, max_warp_instructions);
+          const auto [insts, hm] = run_cta(gmem_, launch, cx, cy, max_warp_instructions, probe_);
           instructions.fetch_add(insts);
           hmma.fetch_add(hm);
         } catch (const std::exception& e) {

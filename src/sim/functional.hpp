@@ -15,6 +15,8 @@
 
 namespace tc::sim {
 
+class StateProbe;
+
 struct FunctionalStats {
   std::uint64_t instructions = 0;  // warp instructions across all CTAs
   std::uint64_t hmma_count = 0;
@@ -30,9 +32,14 @@ class FunctionalExecutor {
   FunctionalStats run(const Launch& launch,
                       std::uint64_t max_warp_instructions = 200'000'000);
 
+  /// Optional divergence probe: when set, each warp's final register and
+  /// predicate state is captured as its CTA completes (see sim/probe.hpp).
+  void set_probe(StateProbe* probe) { probe_ = probe; }
+
  private:
   mem::GlobalMemory& gmem_;
   int host_threads_;
+  StateProbe* probe_ = nullptr;
 };
 
 }  // namespace tc::sim

@@ -1,0 +1,101 @@
+#include "sim/probe.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace tc::sim {
+
+void StateProbe::set_num_regs(int num_regs) {
+  std::lock_guard lock(mutex_);
+  num_regs_ = num_regs;
+}
+
+void StateProbe::capture(const WarpRegs& regs, std::uint32_t cta_x, std::uint32_t cta_y,
+                         int warp_in_cta) {
+  WarpSnapshot snap;
+  snap.cta_x = cta_x;
+  snap.cta_y = cta_y;
+  snap.warp_in_cta = warp_in_cta;
+  std::lock_guard lock(mutex_);
+  snap.gprs.reserve(static_cast<std::size_t>(num_regs_) * kWarpSize);
+  for (int r = 0; r < num_regs_; ++r) {
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      snap.gprs.push_back(regs.read(sass::Reg{static_cast<std::uint8_t>(r)}, lane));
+    }
+  }
+  for (int p = 0; p < 7; ++p) {
+    std::uint32_t mask = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (regs.read_pred(sass::Pred{static_cast<std::uint8_t>(p)}, lane)) mask |= 1u << lane;
+    }
+    snap.preds[static_cast<std::size_t>(p)] = mask;
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+std::vector<WarpSnapshot> StateProbe::sorted() const {
+  std::lock_guard lock(mutex_);
+  std::vector<WarpSnapshot> out = snapshots_;
+  std::sort(out.begin(), out.end(), [](const WarpSnapshot& a, const WarpSnapshot& b) {
+    return std::tie(a.cta_y, a.cta_x, a.warp_in_cta) < std::tie(b.cta_y, b.cta_x, b.warp_in_cta);
+  });
+  return out;
+}
+
+void StateProbe::clear() {
+  std::lock_guard lock(mutex_);
+  snapshots_.clear();
+}
+
+std::string StateProbe::diff(const StateProbe& functional, const StateProbe& timed,
+                             int max_reports) {
+  const auto fa = functional.sorted();
+  const auto ta = timed.sorted();
+  if (fa.size() != ta.size()) {
+    return "warp count differs: functional captured " + std::to_string(fa.size()) +
+           ", timed captured " + std::to_string(ta.size());
+  }
+  std::string out;
+  int reports = 0;
+  const auto warp_name = [](const WarpSnapshot& w) {
+    return "cta(" + std::to_string(w.cta_x) + "," + std::to_string(w.cta_y) + ") warp " +
+           std::to_string(w.warp_in_cta);
+  };
+  for (std::size_t i = 0; i < fa.size() && reports < max_reports; ++i) {
+    const WarpSnapshot& f = fa[i];
+    const WarpSnapshot& t = ta[i];
+    if (std::tie(f.cta_x, f.cta_y, f.warp_in_cta) != std::tie(t.cta_x, t.cta_y, t.warp_in_cta)) {
+      return "warp keys differ at index " + std::to_string(i) + ": functional " + warp_name(f) +
+             " vs timed " + warp_name(t);
+    }
+    const std::size_t n = std::min(f.gprs.size(), t.gprs.size());
+    if (f.gprs.size() != t.gprs.size()) {
+      out += warp_name(f) + ": captured register counts differ\n";
+      ++reports;
+    }
+    for (std::size_t g = 0; g < n && reports < max_reports; ++g) {
+      if (f.gprs[g] != t.gprs[g]) {
+        const int reg = static_cast<int>(g) / kWarpSize;
+        const int lane = static_cast<int>(g) % kWarpSize;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "R%d lane %d: functional 0x%08x vs timed 0x%08x", reg,
+                      lane, f.gprs[g], t.gprs[g]);
+        out += warp_name(f) + ": " + buf + "\n";
+        ++reports;
+      }
+    }
+    for (std::size_t p = 0; p < f.preds.size() && reports < max_reports; ++p) {
+      if (f.preds[p] != t.preds[p]) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "P%zu lane mask: functional 0x%08x vs timed 0x%08x", p,
+                      f.preds[p], t.preds[p]);
+        out += warp_name(f) + ": " + buf + "\n";
+        ++reports;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tc::sim

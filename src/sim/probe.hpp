@@ -1,0 +1,53 @@
+// Final architectural state capture for differential testing.
+//
+// Both executors must agree bit-for-bit on what a kernel *computes*: the
+// committed register file, the predicate file, and global memory. A
+// StateProbe attached to a run records each warp's final state keyed by
+// (cta_x, cta_y, warp_in_cta) so the check layer (src/check) can diff a
+// functional run against a timed run of the same launch. The functional
+// executor runs CTAs on several host threads, so capture() locks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/reg_file.hpp"
+
+namespace tc::sim {
+
+struct WarpSnapshot {
+  std::uint32_t cta_x = 0;
+  std::uint32_t cta_y = 0;
+  int warp_in_cta = 0;
+  std::vector<std::uint32_t> gprs;       // num_regs x kWarpSize, register-major
+  std::array<std::uint32_t, 7> preds{};  // lane masks for P0..P6
+};
+
+class StateProbe {
+ public:
+  /// Registers [0, num_regs) are captured per warp; set before the run.
+  void set_num_regs(int num_regs);
+
+  /// Records the committed state of one warp (call after final settle).
+  void capture(const WarpRegs& regs, std::uint32_t cta_x, std::uint32_t cta_y, int warp_in_cta);
+
+  /// Snapshots sorted by (cta_y, cta_x, warp_in_cta).
+  [[nodiscard]] std::vector<WarpSnapshot> sorted() const;
+
+  void clear();
+
+  /// Empty string when both runs captured identical state; otherwise a
+  /// description of the first differences (bounded, human-readable).
+  static std::string diff(const StateProbe& functional, const StateProbe& timed,
+                          int max_reports = 4);
+
+ private:
+  int num_regs_ = 0;
+  std::vector<WarpSnapshot> snapshots_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace tc::sim

@@ -13,6 +13,7 @@
 #include "mem/token_bucket.hpp"
 #include "sim/exec_core.hpp"
 #include "sim/pipes.hpp"
+#include "sim/probe.hpp"
 
 namespace tc::sim {
 
@@ -621,9 +622,20 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
     ++now;
   }
 
-  // Flush remaining writebacks so functional state is complete.
+  // Flush remaining writebacks — registers AND predicates — so functional
+  // state is complete. Predicates used to be left pending here, which made
+  // an ISETP issued shortly before EXIT invisible in the final state (the
+  // differential fuzzer flags exactly this as a divergence).
   for (auto& w : warps) {
     w->regs.settle_all();
+    for (const auto& pp : w->pending_preds) {
+      w->regs.write_pred(pp.w.pred, pp.w.lane, pp.w.value);
+    }
+    w->pending_preds.clear();
+    if (im.cfg.probe != nullptr) {
+      const CtaCoord coord = cta_state[static_cast<std::size_t>(w->cta_index)].coord;
+      im.cfg.probe->capture(w->regs, coord.x, coord.y, w->warp_in_cta);
+    }
   }
 
   if (prof != nullptr) prof->end_run(now);

@@ -31,6 +31,8 @@ class Profiler;
 
 namespace tc::sim {
 
+class StateProbe;
+
 /// CTA coordinates resident on the simulated SM.
 struct CtaCoord {
   std::uint32_t x = 0;
@@ -67,6 +69,11 @@ struct TimedConfig {
   /// unchanged; when set, hardware-style counters, stall attribution and
   /// (if a TraceWriter is attached) a timeline are collected for this run.
   prof::Profiler* profiler = nullptr;
+
+  /// Optional divergence probe: when set, each warp's final committed
+  /// register and predicate state is captured after the end-of-run flush,
+  /// in the same format the functional executor produces (sim/probe.hpp).
+  StateProbe* probe = nullptr;
 };
 
 struct TimedStats {

@@ -58,16 +58,74 @@ TEST(Half, NanPropagation) {
   EXPECT_TRUE(std::isnan(n.to_float()));
 }
 
-TEST(Half, RoundTripAllBitPatterns) {
-  // Every half value must convert to float and back without change.
+TEST(Half, RoundTripAllBitPatternsExact) {
+  // Every one of the 65536 half patterns must survive to_float -> from_float
+  // bit-exactly — including NaNs: to_float widens the 10-bit payload into the
+  // float significand, and from_float narrows it back unchanged. (A previous
+  // version of from_float_bits OR'd in the quiet bit unconditionally, which
+  // corrupted signalling-NaN payloads on the round trip.)
   for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
     const half h = half::from_bits(static_cast<std::uint16_t>(b));
     const half back(h.to_float());
-    if (h.is_nan()) {
-      EXPECT_TRUE(back.is_nan()) << "bits=" << b;
-    } else {
-      EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
-    }
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+namespace {
+
+/// Independent double-precision reference for float -> binary16 RNE: snap to
+/// the binade's quantum with nearbyint (FE_TONEAREST is ties-to-even), then
+/// assemble the bit pattern directly.
+std::uint16_t ref_half_bits(float f) {
+  const std::uint16_t sign = std::signbit(f) ? 0x8000u : 0u;
+  if (std::isnan(f)) return 0;  // callers skip NaN inputs
+  if (std::isinf(f)) return sign | 0x7C00u;
+  const double mag = std::fabs(static_cast<double>(f));
+  if (mag == 0.0) return sign;
+  const int e = std::max(std::ilogb(mag), -14);
+  const double quantum = std::ldexp(1.0, e - 10);
+  const double r = std::nearbyint(mag / quantum) * quantum;  // exact: q is 2^k
+  if (r == 0.0) return sign;
+  if (r > 65504.0) return sign | 0x7C00u;
+  if (r < std::ldexp(1.0, -14)) {  // subnormal
+    return sign | static_cast<std::uint16_t>(r / std::ldexp(1.0, -24));
+  }
+  const int re = std::ilogb(r);
+  const auto mant = static_cast<std::uint16_t>(r / std::ldexp(1.0, re - 10));
+  return sign | static_cast<std::uint16_t>((re + 15) << 10) |
+         static_cast<std::uint16_t>(mant - 1024u);
+}
+
+}  // namespace
+
+TEST(Half, RandomizedConversionMatchesDoubleReference) {
+  Rng rng(2024);
+  int tested = 0;
+  while (tested < 200000) {
+    // Exponents drawn to hammer the interesting region: subnormal boundary
+    // (2^-26..2^-14), normals, and the overflow boundary near 2^16.
+    const int e = static_cast<int>(rng.next_int(-27, 17));
+    const double mant = 1.0 + static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+    const double sign = rng.next_below(2) == 0 ? 1.0 : -1.0;
+    const auto f = static_cast<float>(sign * mant * std::ldexp(1.0, e));
+    ASSERT_EQ(half(f).bits(), ref_half_bits(f))
+        << "f=" << f << " (exp " << e << ")";
+    ++tested;
+  }
+}
+
+TEST(Half, ConversionMatchesReferenceOnExactMidpoints) {
+  // Ties between adjacent halves must go to even, in both binades and in the
+  // subnormal range. Build the midpoint of every adjacent pair exactly.
+  for (std::uint32_t b = 0; b < 0x7BFFu; ++b) {  // up to the last finite pair
+    const float lo = half::from_bits(static_cast<std::uint16_t>(b)).to_float();
+    const float hi = half::from_bits(static_cast<std::uint16_t>(b + 1)).to_float();
+    const float mid = lo + (hi - lo) / 2.0f;  // exact: spacing is a power of two
+    const std::uint16_t rounded = half(mid).bits();
+    const std::uint16_t even = (b % 2 == 0) ? static_cast<std::uint16_t>(b)
+                                            : static_cast<std::uint16_t>(b + 1);
+    ASSERT_EQ(rounded, even) << "between bits " << b << " and " << b + 1;
+    ASSERT_EQ(half(-mid).bits(), 0x8000u | even) << "negative mid, bits " << b;
   }
 }
 

@@ -130,13 +130,27 @@ TEST(Lint, WarnsOnUnsynchronizedLoad) {
   EXPECT_NE(warnings[0].find("without a write barrier"), std::string::npos);
 }
 
-TEST(Lint, WarnsOnWaitWithoutSet) {
+TEST(Validator, RejectsWaitOnNeverSetBarrier) {
+  // A wait on a scoreboard barrier no instruction ever sets can never clear
+  // on hardware; the validator rejects it outright (it used to be a lint
+  // warning only).
   KernelBuilder b("lint2");
   b.nop().wait_on(3);
   b.exit();
-  const auto warnings = lint(b.finalize());
-  ASSERT_FALSE(warnings.empty());
-  EXPECT_NE(warnings[0].find("never set"), std::string::npos);
+  EXPECT_THROW(b.finalize(), Error);
+}
+
+TEST(Validator, AcceptsWaitOnBarrierSetLaterInProgramOrder) {
+  // Loop bodies legitimately wait at the top for a load issued at the bottom
+  // of the previous iteration: the setter sits AFTER the waiter in program
+  // order. Only barriers never set anywhere are rejected.
+  KernelBuilder b("wait_later");
+  b.label("top");
+  b.mov(Reg{8}, Reg{0}).wait_on(2).stall(6);
+  b.ldg(MemWidth::k32, Reg{0}, Reg{4}).write_bar(2).stall(1);
+  b.bra("top").stall(1);
+  b.exit();
+  EXPECT_NO_THROW(b.finalize());
 }
 
 TEST(Lint, CleanScheduleHasNoWarnings) {
@@ -267,6 +281,33 @@ TEST(LintSlack, ChecksAcrossLoopBackEdge) {
   bool found = false;
   for (const auto& s : w) found |= s.find("back-edge") != std::string::npos;
   EXPECT_TRUE(found);
+}
+
+TEST(LintSlack, SingleInstructionLoopBodySelfRaw) {
+  // A one-instruction loop body that reads its own result: the only producer
+  // of R8 across the back edge is the consumer itself (j == i in the
+  // loop-carried scan). The two-instruction loop takes 2 cycles per trip,
+  // far short of FADD's 6-cycle latency.
+  KernelBuilder b("slack7");
+  b.label("top");
+  b.fadd(Reg{8}, Reg{8}, Reg{5}).stall(1);
+  b.bra("top").stall(1);
+  b.exit();
+  const auto w = lint(b.finalize(), &test_latency);
+  bool found = false;
+  for (const auto& s : w) found |= s.find("back-edge") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(LintSlack, SingleInstructionLoopBodyWithCoveringStallIsClean) {
+  KernelBuilder b("slack8");
+  b.label("top");
+  b.fadd(Reg{8}, Reg{8}, Reg{5}).stall(5);
+  b.bra("top").stall(1);
+  b.exit();
+  // Loop length 6 cycles covers the 6-cycle FADD latency exactly.
+  const auto w = lint(b.finalize(), &test_latency);
+  for (const auto& s : w) EXPECT_EQ(s.find("back-edge"), std::string::npos) << s;
 }
 
 }  // namespace
