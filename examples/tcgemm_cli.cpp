@@ -34,6 +34,7 @@
 #include "core/profile.hpp"
 #include "core/reference.hpp"
 #include "driver/device.hpp"
+#include "model/validate.hpp"
 #include "prof/trace.hpp"
 #include "sass/validator.hpp"
 #include "sim/pipes.hpp"
@@ -54,6 +55,7 @@ struct Args {
   std::uint64_t seed = 1;
   std::string trace_out;
   std::string json;
+  std::string engine = "model";  // perf: "model" (WavePerf) or "device" (TimedDevice)
 };
 
 Args parse(int argc, char** argv) {
@@ -90,6 +92,10 @@ Args parse(int argc, char** argv) {
       a.trace_out = value();
     } else if (flag == "--json") {
       a.json = value();
+    } else if (flag == "--engine") {
+      a.engine = value();
+      TC_CHECK(a.engine == "model" || a.engine == "device",
+               "--engine must be 'model' or 'device'");
     } else {
       throw Error("unknown flag " + flag);
     }
@@ -102,7 +108,8 @@ int usage() {
       << "usage:\n"
          "  tcgemm_cli run    --m M --n N --k K [--device rtx2070|t4] [--check] [--baseline]\n"
          "  tcgemm_cli perf   --m M --n N --k K [--device rtx2070|t4] [--baseline]\n"
-         "                    [--profile] [--top N] [--trace-out trace.json]\n"
+         "                    [--engine model|device] [--profile] [--top N]\n"
+         "                    [--trace-out trace.json]\n"
          "  tcgemm_cli lint   [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli check  [--m M --n N --k K]\n"
@@ -210,6 +217,50 @@ int main(int argc, char** argv) {
       }
       finish_json();
       return rc;
+    }
+
+    if (args.command == "perf" && args.engine == "device") {
+      // Cycle-level multi-SM simulation of the whole grid (shared L2/DRAM,
+      // dynamic CTA dispatch). Cost scales with m*n*k — intended for the
+      // small shapes the cross-validation harness uses, not W = 16384.
+      const device::DeviceSpec spec = device::spec_by_name(args.device);
+      const GemmShape shape = contract_shape(args, cfg);
+      model::ValidateKernelInput kin;
+      kin.make_kernel = [&](const GemmShape& s) { return core::hgemm_kernel(cfg, s); };
+      kin.name = cfg.name();
+      kin.bm = cfg.bm;
+      kin.bn = cfg.bn;
+      kin.bk = cfg.bk;
+      kin.ctas_per_sm = core::surrogate_ctas_per_sm(spec, cfg);
+      kin.order = cfg.launch_order;
+      kin.swizzle_max_grid_x = cfg.swizzle_max_grid_x;
+      const model::WaveValidation v = model::validate_wave(spec, kin, shape);
+      const double seconds =
+          spec.cycles_to_seconds(static_cast<double>(v.device_cycles));
+      const double tflops = shape.flops() / seconds / 1e12;
+      std::cout << cfg.name() << " on " << spec.name << " for " << shape.m << " x " << shape.n
+                << " x " << shape.k << " (engine=device):\n"
+                << "  " << tflops << " TFLOPS, " << seconds * 1e3 << " ms, "
+                << v.device_cycles << " device cycles over " << v.sms_used << " SMs\n"
+                << v.report();
+      if (json) {
+        json->key("device_perf");
+        json->begin_object();
+        json->field("engine", "device");
+        json->field("tflops", tflops);
+        json->field("ms", seconds * 1e3);
+        json->field("device_cycles", v.device_cycles);
+        json->field("model_cycles", v.model_cycles);
+        json->field("rel_error", v.rel_error);
+        json->field("model_l2_hit_rate", v.model_l2_hit_rate);
+        json->field("device_l2_hit_rate", v.device_l2_hit_rate);
+        json->field("tail_imbalance", v.tail_imbalance);
+        json->field("sms_used", static_cast<std::uint64_t>(v.sms_used));
+        json->field("ctas_per_sm", static_cast<std::uint64_t>(kin.ctas_per_sm));
+        json->end_object();
+      }
+      finish_json();
+      return 0;
     }
 
     if (args.command == "perf") {

@@ -17,9 +17,10 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== schedule checks: kernel hazard scan + differential fuzz smoke =="
+echo "== schedule checks: kernel hazard scan + fuzz smoke + device xval =="
 ./build/examples/tcgemm_cli check
-ctest --test-dir build --output-on-failure -L fuzz_smoke
+# -L takes a regex; two -L flags would AND the labels and select nothing.
+ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval"
 
 if [[ "$FAST" == 1 ]]; then
   echo "== done (fast mode: sanitizer build skipped) =="

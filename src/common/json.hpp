@@ -2,8 +2,8 @@
 //
 // Produces machine-readable output for tcgemm_cli --json and the bench
 // binaries' --json files (see bench/bench_common.hpp for the shared bench
-// schema). Write-only by design: the repo never parses JSON, it only emits
-// it for downstream tooling (plotting scripts, CI diffing, Perfetto).
+// schema). The matching reader lives in common/json_parse.hpp and exists
+// only for the golden-file regression tests; production code is write-only.
 #pragma once
 
 #include <charconv>

@@ -16,6 +16,12 @@ sim::TimedStats Device::run_timed(const sim::Launch& launch,
   return sm.run(launch, ctas);
 }
 
+sim::DeviceResult Device::run_timed_device(const sim::Launch& launch,
+                                           const sim::TimedDeviceConfig& cfg) {
+  sim::TimedDevice dev(cfg, gmem_);
+  return dev.run(launch);
+}
+
 sim::TimedConfig Device::timing_whole_device() const {
   sim::TimedConfig cfg;
   cfg.spec = spec_;
@@ -29,6 +35,13 @@ sim::TimedConfig Device::timing_sm_share() const {
   cfg.spec = spec_;
   cfg.dram_bytes_per_cycle = spec_.dram_bytes_per_cycle_per_sm();
   cfg.l2_bytes_per_cycle = spec_.l2_bytes_per_cycle_per_sm();
+  return cfg;
+}
+
+sim::TimedDeviceConfig Device::timed_full_device(int ctas_per_sm) const {
+  sim::TimedDeviceConfig cfg;
+  cfg.spec = spec_;
+  cfg.ctas_per_sm = ctas_per_sm;
   return cfg;
 }
 

@@ -12,6 +12,7 @@
 #include "sass/program.hpp"
 #include "sim/functional.hpp"
 #include "sim/launch.hpp"
+#include "sim/timed_device.hpp"
 #include "sim/timed_sm.hpp"
 
 namespace tc::driver {
@@ -64,12 +65,22 @@ class Device {
   sim::TimedStats run_timed(const sim::Launch& launch, std::span<const sim::CtaCoord> ctas,
                             const sim::TimedConfig& cfg);
 
+  /// Runs the whole grid on the cycle-level multi-SM simulator (shared
+  /// L2/DRAM, dynamic CTA dispatch — see sim/timed_device.hpp). Functional
+  /// side effects land in this device's global memory, so results can be
+  /// downloaded and checked like after launch().
+  sim::DeviceResult run_timed_device(const sim::Launch& launch,
+                                     const sim::TimedDeviceConfig& cfg);
+
   /// A TimedConfig preset: full-device bandwidth budgets (single-kernel
   /// microbenchmark scope).
   [[nodiscard]] sim::TimedConfig timing_whole_device() const;
   /// A TimedConfig preset: one SM's fair share of bandwidth (steady-state
   /// full-occupancy scope).
   [[nodiscard]] sim::TimedConfig timing_sm_share() const;
+  /// A TimedDeviceConfig preset for run_timed_device: every SM of this
+  /// device, shared memory system, given occupancy.
+  [[nodiscard]] sim::TimedDeviceConfig timed_full_device(int ctas_per_sm) const;
 
  private:
   device::DeviceSpec spec_;

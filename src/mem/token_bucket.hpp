@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -72,6 +73,62 @@ class TokenBucket {
   double rate_;
   double cap_;
   double credit_;
+  double total_ = 0.0;
+};
+
+/// A bandwidth budget shared by several concurrently simulated clients
+/// (the SMs of a full-device simulation).
+///
+/// The single-client TokenBucket accrues credit from explicit tick() calls,
+/// which assumes one simulation loop owns the clock. Here each client carries
+/// its own cycle counter (bounded-skew, see sim::TimedDevice), so credit is
+/// accrued from the *timestamps* of the requests themselves: the bucket
+/// remembers the latest cycle it has seen and deposits `rate` bytes per
+/// elapsed cycle. Consumption uses the same debt semantics as
+/// TokenBucket::consume_with_debt — shortage delays a request's completion by
+/// debt/rate cycles without blocking the issuing pipe — which is what makes
+/// bandwidth *contention between SMs* emerge: every SM's withdrawals deepen
+/// the common debt, so each one's completions slip.
+///
+/// Thread-safe; arbitration is first-come-first-served in wall-clock order,
+/// which bounded clock skew keeps within one sync window of simulated-time
+/// order.
+class MultiClientBucket {
+ public:
+  explicit MultiClientBucket(double bytes_per_cycle, double burst_cycles = 64.0)
+      : rate_(bytes_per_cycle),
+        cap_(std::max(bytes_per_cycle * burst_cycles, 1024.0)),
+        credit_(cap_) {
+    TC_CHECK(bytes_per_cycle > 0.0, "bandwidth must be positive");
+  }
+
+  /// Withdraws `bytes` at the caller's cycle `now`, letting credit go
+  /// negative, and returns the completion delay in cycles (0 when credit
+  /// covered the request). Timestamps may arrive slightly out of order
+  /// across clients; elapsed time is measured against the max seen so far.
+  double consume(double bytes, double now) {
+    std::lock_guard lock(mutex_);
+    if (now > last_now_) {
+      credit_ = std::min(cap_, credit_ + rate_ * (now - last_now_));
+      last_now_ = now;
+    }
+    credit_ -= bytes;
+    total_ += bytes;
+    return credit_ >= 0.0 ? 0.0 : -credit_ / rate_;
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double total_consumed() const {
+    std::lock_guard lock(mutex_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  double rate_;
+  double cap_;
+  double credit_;
+  double last_now_ = 0.0;
   double total_ = 0.0;
 };
 

@@ -1,0 +1,137 @@
+#include "sim/timed_device.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace tc::sim {
+
+namespace {
+
+void accumulate(TimedStats& total, const TimedStats& s) {
+  total.instructions += s.instructions;
+  total.hmma_count += s.hmma_count;
+  total.tensor_busy += s.tensor_busy;
+  total.fma_busy += s.fma_busy;
+  total.alu_busy += s.alu_busy;
+  total.mio_busy += s.mio_busy;
+  total.mio_bw_stall += s.mio_bw_stall;
+  total.l1_bytes += s.l1_bytes;
+  total.l2_bytes += s.l2_bytes;
+  total.dram_bytes += s.dram_bytes;
+  total.smem_beats += s.smem_beats;
+  total.smem_phases += s.smem_phases;
+}
+
+}  // namespace
+
+TimedDevice::TimedDevice(TimedDeviceConfig cfg, mem::GlobalMemory& gmem)
+    : cfg_(cfg), gmem_(gmem) {
+  TC_CHECK(cfg_.ctas_per_sm > 0, "ctas_per_sm must be positive");
+  TC_CHECK(cfg_.sync_window > 0, "sync_window must be positive");
+}
+
+DeviceResult TimedDevice::run(const Launch& launch) {
+  TC_CHECK(launch.program != nullptr, "launch without a program");
+  const auto num_ctas = launch.num_ctas();
+  TC_CHECK(num_ctas > 0, "empty grid");
+
+  // Each SM needs at least one CTA to participate.
+  const int sms_used = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(cfg_.spec.num_sms), num_ctas));
+
+  GridCtaSource source(launch.grid_x, launch.grid_y);
+  SharedMemSystem shared(cfg_.spec);
+
+  std::vector<std::unique_ptr<TimedSm>> sms;
+  sms.reserve(static_cast<std::size_t>(sms_used));
+  for (int i = 0; i < sms_used; ++i) {
+    TimedConfig tc;
+    tc.spec = cfg_.spec;
+    tc.model_l1 = cfg_.model_l1;
+    tc.skip_mma_math = cfg_.skip_mma_math;
+    tc.forced_l2_hit_rate = cfg_.forced_l2_hit_rate;
+    tc.max_cycles = cfg_.max_cycles;
+    tc.shared = &shared;
+    tc.sm_id = i;
+    sms.push_back(std::make_unique<TimedSm>(tc, gmem_));
+  }
+  // Prime resident slots in SM order, matching hardware's initial wave
+  // placement (SM0 gets CTA 0..c-1, SM1 the next c, ...).
+  for (auto& sm : sms) sm->begin(launch, source, cfg_.ctas_per_sm);
+
+  const int threads = std::clamp(cfg_.threads, 1, sms_used);
+  if (threads == 1) {
+    // Deterministic lockstep: every SM advances exactly one cycle per round,
+    // so cross-SM arbitration order is cycle-exact and reproducible. The
+    // round's start index rotates each cycle — the shared buckets serve
+    // same-cycle requests in call order, and a fixed order would hand SM0 a
+    // standing bandwidth priority (measured: ~9-13% per-SM finish spread on
+    // DRAM-bound kernels at an exactly integral wave).
+    bool any = true;
+    std::uint64_t round = 0;
+    while (any) {
+      any = false;
+      for (int i = 0; i < sms_used; ++i) {
+        auto& sm = sms[static_cast<std::size_t>((i + round) % sms_used)];
+        if (!sm->done()) {
+          sm->step();
+          any = true;
+        }
+      }
+      ++round;
+    }
+  } else {
+    // Sharded pool with bounded skew: each worker steps its SMs through one
+    // sync window, then all workers rendezvous; no SM's clock can lead
+    // another's by more than sync_window cycles.
+    std::atomic<bool> all_done{false};
+    auto recheck = [&]() noexcept {
+      bool done = true;
+      for (auto& sm : sms) {
+        if (!sm->done()) {
+          done = false;
+          break;
+        }
+      }
+      all_done.store(done, std::memory_order_relaxed);
+    };
+    std::barrier bar(threads, recheck);
+    auto worker = [&](int t) {
+      while (!all_done.load(std::memory_order_relaxed)) {
+        for (int c = 0; c < cfg_.sync_window; ++c) {
+          for (int i = t; i < sms_used; i += threads) {
+            if (!sms[static_cast<std::size_t>(i)]->done()) {
+              sms[static_cast<std::size_t>(i)]->step();
+            }
+          }
+        }
+        bar.arrive_and_wait();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+  DeviceResult res;
+  res.sms_used = sms_used;
+  res.per_sm.reserve(sms.size());
+  for (auto& sm : sms) {
+    res.per_sm.push_back(sm->finish());
+    res.device_cycles = std::max(res.device_cycles, res.per_sm.back().cycles);
+    accumulate(res.total, res.per_sm.back());
+  }
+  res.total.cycles = res.device_cycles;
+  res.l2_hit_rate =
+      cfg_.forced_l2_hit_rate >= 0.0 ? cfg_.forced_l2_hit_rate : shared.l2_hit_rate();
+  res.ctas_run = source.issued();
+  return res;
+}
+
+}  // namespace tc::sim

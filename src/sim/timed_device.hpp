@@ -1,0 +1,81 @@
+// Cycle-level multi-SM device simulator.
+//
+// Runs one TimedSm per SM of the target device against *shared* DRAM/L2
+// bandwidth budgets and a shared L2 tag array (SharedMemSystem), with CTAs
+// handed out dynamically from a GridCtaSource as resident slots retire. The
+// full-device effects the wave model (model::WavePerf) only *assumes* —
+// bandwidth contention between SMs, wave quantization, uneven tail waves,
+// inter-CTA L2 reuse — all emerge here from simulation, which is what makes
+// this engine the validation oracle for the model (tests/test_device_xval).
+//
+// Threading: SMs are sharded across `threads` host workers, each stepping its
+// SMs one cycle at a time; workers synchronize on a barrier every
+// `sync_window` cycles, bounding clock skew between any two SMs to one
+// window. With threads == 1 (the default) every SM is stepped in lockstep
+// round-robin, so the global interleave is cycle-exact and the simulation is
+// fully deterministic; multi-threaded runs may reorder same-window bucket
+// withdrawals and L2 tag probes, shifting results by a bounded amount
+// (test_device_xval pins the allowed drift).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/spec.hpp"
+#include "mem/global_mem.hpp"
+#include "sim/launch.hpp"
+#include "sim/timed_sm.hpp"
+
+namespace tc::sim {
+
+struct TimedDeviceConfig {
+  device::DeviceSpec spec;
+
+  /// Resident CTA slots per SM. Use device::occupancy() for the kernel's
+  /// actual occupancy; the simulator does not re-derive it.
+  int ctas_per_sm = 1;
+
+  /// Host worker threads. 1 = deterministic lockstep (recommended and the
+  /// default; also what a single-core CI box can actually parallelize).
+  int threads = 1;
+
+  /// Cycles between cross-thread synchronization barriers (threads > 1).
+  int sync_window = 64;
+
+  /// Forwarded to each TimedSm (see TimedConfig).
+  bool model_l1 = true;
+  bool skip_mma_math = false;
+  double forced_l2_hit_rate = -1.0;
+  std::uint64_t max_cycles = 4'000'000'000ull;
+};
+
+struct DeviceResult {
+  /// Device kernel time: the cycle the last SM drained (max over SMs).
+  std::uint64_t device_cycles = 0;
+  /// Per-SM stats; `cycles` of an early-drained SM is its own finish time,
+  /// so the spread between min and max is the tail-wave imbalance.
+  std::vector<TimedStats> per_sm;
+  /// Sums over SMs (cycles field = device_cycles).
+  TimedStats total;
+  /// Emergent device-wide L2 sector hit rate (shared tag array).
+  double l2_hit_rate = 0.0;
+  /// CTAs dispensed (== grid size when the run completes).
+  std::uint64_t ctas_run = 0;
+  /// SMs that received at least one CTA.
+  int sms_used = 0;
+};
+
+class TimedDevice {
+ public:
+  TimedDevice(TimedDeviceConfig cfg, mem::GlobalMemory& gmem);
+
+  /// Simulates `launch` over the whole device to completion. Functional side
+  /// effects (global stores) are applied to the bound GlobalMemory.
+  DeviceResult run(const Launch& launch);
+
+ private:
+  TimedDeviceConfig cfg_;
+  mem::GlobalMemory& gmem_;
+};
+
+}  // namespace tc::sim

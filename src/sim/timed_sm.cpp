@@ -92,6 +92,10 @@ struct BarrierRelease {
   std::uint8_t barrier;
 };
 
+// Per-cycle warp-state scratch for stall attribution (profiling only).
+constexpr std::uint8_t kWarpEligible = 200;
+constexpr std::uint8_t kWarpDead = 255;
+
 }  // namespace
 
 struct TimedSm::Impl {
@@ -104,6 +108,33 @@ struct TimedSm::Impl {
   MemLatency lat;
   double forced_l2_accum = 0.0;
 
+  // --- run state (valid from begin() until finish()) -----------------------
+  const Launch* launch = nullptr;
+  const sass::Program* prog = nullptr;
+  CtaSource* source = nullptr;  // dynamic CTA refill; null = fixed resident set
+  int partitions = 0;
+  std::vector<TCta> cta_state;
+  std::vector<std::unique_ptr<TWarp>> warps;
+  int num_warps = 0;
+  int alive = 0;
+  prof::Profiler* prof = nullptr;
+  std::vector<std::uint8_t> warp_state;
+  std::vector<std::uint64_t> tensor_free;
+  std::vector<std::uint64_t> fma_free;
+  std::vector<std::uint64_t> alu_free;
+  std::vector<int> rr;  // scheduler rotation
+  std::deque<MioOp> mio_queue;
+  std::uint64_t mio_free = 0;
+  double port_free = 0.0;  // L2-to-SM return port availability
+  int outstanding = 0;     // in-flight global requests (MSHR occupancy)
+  std::vector<std::uint64_t> mshr_release;
+  std::vector<BarrierRelease> releases;
+  std::vector<int> free_slots;  // retired CTA slots awaiting refill
+  TimedStats stats;
+  CaptureSink sink;
+  std::uint64_t now = 0;
+  bool running = false;
+
   Impl(TimedConfig c, mem::GlobalMemory& g)
       : cfg(c),
         gmem(g),
@@ -114,10 +145,31 @@ struct TimedSm::Impl {
         l2_bw(c.l2_bytes_per_cycle > 0 ? c.l2_bytes_per_cycle : c.spec.l2_bytes_per_cycle()),
         lat(mem_latency(c.spec)) {}
 
+  // Round-robin partition assignment by global warp index, as on hardware.
+  [[nodiscard]] int partition_of(int w) const { return w % partitions; }
+
+  void settle_warp(TWarp& w) {
+    w.regs.settle(now);
+    if (!w.pending_preds.empty()) {
+      auto keep = w.pending_preds.begin();
+      for (auto it = w.pending_preds.begin(); it != w.pending_preds.end(); ++it) {
+        if (it->due <= now) {
+          w.regs.write_pred(it->w.pred, it->w.lane, it->w.value);
+        } else {
+          *keep++ = *it;
+        }
+      }
+      w.pending_preds.erase(keep, w.pending_preds.end());
+    }
+  }
+
   /// Classifies one global access: which bytes come from L1/L2/DRAM, what
   /// MIO cost and latency it has. Mutates cache tag state (done exactly once
-  /// per op).
-  void classify_global(MioOp& op, TimedStats& stats) {
+  /// per op). When bound to a SharedMemSystem the device-wide L2 tag array is
+  /// probed (under its mutex) instead of the private per-SM copy, so hits
+  /// produced by *other* SMs' traffic are observed — that is the inter-CTA
+  /// reuse WavePerf only models analytically.
+  void classify_global(MioOp& op) {
     const auto sectors =
         mem::coalesce_sectors(std::span(op.access.addrs), std::span(op.access.active),
                               op.access.width);
@@ -147,6 +199,9 @@ struct TimedSm::Impl {
         forced_l2_accum += cfg.forced_l2_hit_rate;
         l2_hit = forced_l2_accum >= 1.0;
         if (l2_hit) forced_l2_accum -= 1.0;
+      } else if (cfg.shared != nullptr) {
+        std::lock_guard lock(cfg.shared->l2_mutex);
+        l2_hit = cfg.shared->l2.access(s) == mem::HitLevel::kHit;
       } else {
         l2_hit = l2.access(s) == mem::HitLevel::kHit;
       }
@@ -171,7 +226,7 @@ struct TimedSm::Impl {
     }
   }
 
-  void classify_smem(MioOp& op, TimedStats& stats) {
+  void classify_smem(MioOp& op) {
     const auto cost = mem::smem_access_cost(std::span(op.access.addrs),
                                             std::span(op.access.active), op.access.width,
                                             op.access.is_store);
@@ -184,86 +239,115 @@ struct TimedSm::Impl {
       cfg.profiler->on_smem_classified(cost.beats, cost.phases);
     }
   }
-};
 
-TimedSm::TimedSm(TimedConfig cfg, mem::GlobalMemory& gmem)
-    : impl_(std::make_unique<Impl>(cfg, gmem)) {}
+  void begin(const Launch& l, std::span<const CtaCoord> initial, CtaSource* src) {
+    TC_CHECK(l.program != nullptr, "launch without a program");
+    TC_CHECK(!initial.empty(), "no CTAs to run");
+    TC_CHECK(!running, "begin() while a run is already active");
+    launch = &l;
+    prog = l.program;
+    source = src;
+    partitions = cfg.spec.processing_blocks_per_sm;
 
-TimedSm::~TimedSm() = default;
+    cta_state.clear();
+    cta_state.resize(initial.size());
+    warps.clear();
+    for (std::size_t c = 0; c < initial.size(); ++c) {
+      cta_state[c].coord = initial[c];
+      cta_state[c].smem = std::make_unique<mem::SharedMemory>(prog->smem_bytes);
+      cta_state[c].alive_warps = static_cast<int>(l.warps_per_cta());
+      for (std::uint32_t w = 0; w < l.warps_per_cta(); ++w) {
+        auto tw = std::make_unique<TWarp>();
+        tw->cta_index = static_cast<int>(c);
+        tw->warp_in_cta = static_cast<int>(w);
+        warps.push_back(std::move(tw));
+      }
+    }
+    num_warps = static_cast<int>(warps.size());
+    alive = num_warps;
 
-TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
-  TC_CHECK(launch.program != nullptr, "launch without a program");
-  TC_CHECK(!ctas.empty(), "no CTAs to run");
-  const sass::Program& prog = *launch.program;
-  Impl& im = *impl_;
-  const int partitions = im.cfg.spec.processing_blocks_per_sm;
+    // Profiling is off unless the caller attached a Profiler; every hook site
+    // below is guarded by this one pointer test.
+    prof = cfg.profiler;
+    if (prof != nullptr) prof->begin_run(*prog, partitions, num_warps);
+    warp_state.clear();
+    if (prof != nullptr) warp_state.assign(static_cast<std::size_t>(num_warps), kWarpDead);
 
-  // --- build resident state ------------------------------------------------
-  std::vector<TCta> cta_state(ctas.size());
-  std::vector<std::unique_ptr<TWarp>> warps;
-  for (std::size_t c = 0; c < ctas.size(); ++c) {
-    cta_state[c].coord = ctas[c];
-    cta_state[c].smem = std::make_unique<mem::SharedMemory>(prog.smem_bytes);
-    cta_state[c].alive_warps = static_cast<int>(launch.warps_per_cta());
-    for (std::uint32_t w = 0; w < launch.warps_per_cta(); ++w) {
-      auto tw = std::make_unique<TWarp>();
-      tw->cta_index = static_cast<int>(c);
-      tw->warp_in_cta = static_cast<int>(w);
-      warps.push_back(std::move(tw));
+    tensor_free.assign(static_cast<std::size_t>(partitions), 0);
+    fma_free.assign(static_cast<std::size_t>(partitions), 0);
+    alu_free.assign(static_cast<std::size_t>(partitions), 0);
+    rr.assign(static_cast<std::size_t>(partitions), 0);
+    mio_queue.clear();
+    mio_free = 0;
+    port_free = 0.0;
+    outstanding = 0;
+    mshr_release.clear();
+    releases.clear();
+    free_slots.clear();
+    stats = TimedStats{};
+    forced_l2_accum = 0.0;
+    now = 0;
+    running = true;
+  }
+
+  [[nodiscard]] bool is_done() const {
+    return !running || (alive == 0 && free_slots.empty());
+  }
+
+  /// A retired slot can be reused only once nothing in flight still names
+  /// its warps. Every in-flight hazard (pending MIO op with a write/read
+  /// barrier, scheduled BarrierRelease) holds a scoreboard count on its warp,
+  /// so all-zero scoreboards across the slot's warps is the full condition;
+  /// barrier-less stores still queued are timing-only and reference the slot
+  /// harmlessly (empty load_writes, no releases).
+  [[nodiscard]] bool slot_quiescent(int ci) const {
+    for (const auto& wptr : warps) {
+      if (wptr->cta_index != ci) continue;
+      for (int b = 0; b < sass::kNumBarriers; ++b) {
+        if (wptr->scoreboard[static_cast<std::size_t>(b)] > 0) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Relaunches a freed CTA slot with a new CTA (dynamic refill: the
+  /// GigaThread engine places a new CTA as soon as one retires — not
+  /// wave-by-wave — which is what makes uneven tail waves emerge).
+  void respawn_slot(int ci, CtaCoord coord) {
+    TCta& cta = cta_state[static_cast<std::size_t>(ci)];
+    cta.coord = coord;
+    cta.smem->clear();
+    cta.arrived = 0;
+    cta.alive_warps = static_cast<int>(launch->warps_per_cta());
+    for (auto& wptr : warps) {
+      if (wptr->cta_index != ci) continue;
+      TWarp& w = *wptr;
+      if (cfg.probe != nullptr) {
+        // Preserve the retiring CTA's final state for divergence probes.
+        w.regs.settle_all();
+        for (const auto& pp : w.pending_preds) {
+          w.regs.write_pred(pp.w.pred, pp.w.lane, pp.w.value);
+        }
+        w.pending_preds.clear();
+        cfg.probe->capture(w.regs, cta.coord.x, cta.coord.y, w.warp_in_cta);
+      }
+      w.regs = WarpRegs{};
+      w.pc = 0;
+      w.exited = false;
+      w.at_barrier = false;
+      w.ready_cycle = now + 1;  // launched CTA starts issuing next cycle
+      w.scoreboard.fill(0);
+      w.pending_preds.clear();
+      ++alive;
     }
   }
-  const int num_warps = static_cast<int>(warps.size());
-  int alive = num_warps;
 
-  // Profiling is off unless the caller attached a Profiler; every hook site
-  // below is guarded by this one pointer test.
-  prof::Profiler* const prof = im.cfg.profiler;
-  if (prof != nullptr) prof->begin_run(prog, partitions, num_warps);
-  // Per-cycle warp-state scratch for stall attribution (profiling only).
-  constexpr std::uint8_t kWarpEligible = 200;
-  constexpr std::uint8_t kWarpDead = 255;
-  std::vector<std::uint8_t> warp_state;
-  if (prof != nullptr) warp_state.assign(static_cast<std::size_t>(num_warps), kWarpDead);
-
-  // Round-robin partition assignment by global warp index, as on hardware.
-  auto partition_of = [&](int w) { return w % partitions; };
-
-  // --- pipes ----------------------------------------------------------------
-  std::vector<std::uint64_t> tensor_free(static_cast<std::size_t>(partitions), 0);
-  std::vector<std::uint64_t> fma_free(static_cast<std::size_t>(partitions), 0);
-  std::vector<std::uint64_t> alu_free(static_cast<std::size_t>(partitions), 0);
-  std::vector<int> rr(static_cast<std::size_t>(partitions), 0);  // scheduler rotation
-
-  std::deque<MioOp> mio_queue;
-  std::uint64_t mio_free = 0;
-  double port_free = 0.0;        // L2-to-SM return port availability
-  int outstanding = 0;           // in-flight global requests (MSHR occupancy)
-  std::vector<std::uint64_t> mshr_release;
-  std::vector<BarrierRelease> releases;
-
-  TimedStats stats;
-  CaptureSink sink;
-  std::uint64_t now = 0;
-
-  auto settle_warp = [&](TWarp& w) {
-    w.regs.settle(now);
-    if (!w.pending_preds.empty()) {
-      auto keep = w.pending_preds.begin();
-      for (auto it = w.pending_preds.begin(); it != w.pending_preds.end(); ++it) {
-        if (it->due <= now) {
-          w.regs.write_pred(it->w.pred, it->w.lane, it->w.value);
-        } else {
-          *keep++ = *it;
-        }
-      }
-      w.pending_preds.erase(keep, w.pending_preds.end());
+  void step_cycle() {
+    TC_CHECK(now < cfg.max_cycles, "timed simulation exceeded max_cycles (deadlock?)");
+    if (cfg.shared == nullptr) {
+      dram_bw.tick();
+      l2_bw.tick();
     }
-  };
-
-  while (alive > 0) {
-    TC_CHECK(now < im.cfg.max_cycles, "timed simulation exceeded max_cycles (deadlock?)");
-    im.dram_bw.tick();
-    im.l2_bw.tick();
 
     // --- scoreboard releases -----------------------------------------------
     if (!releases.empty()) {
@@ -298,9 +382,9 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
       MioOp& op = mio_queue.front();
       if (!op.classified) {
         if (op.access.is_global) {
-          im.classify_global(op, stats);
+          classify_global(op);
         } else {
-          im.classify_smem(op, stats);
+          classify_smem(op);
         }
         op.classified = true;
       }
@@ -308,7 +392,7 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
       // MSHRs are busy the LSU stalls (this backpressure is what the paper's
       // Table III LDG CPIs measure).
       const bool mshr_ok = !op.access.is_global || op.access.is_store ||
-                           op.port_bytes == 0.0 || outstanding < im.cfg.spec.mshr_limit;
+                           op.port_bytes == 0.0 || outstanding < cfg.spec.mshr_limit;
       if (mshr_ok) {
         const auto cost_cycles = static_cast<std::uint64_t>(op.cost + 0.999);
         mio_free = now + cost_cycles;
@@ -320,12 +404,20 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
         if (op.access.is_global && op.port_bytes > 0.0) {
           // Serialize through the L2-to-SM return port, then apply device
           // bandwidth debt (shortage delays completion, not the pipe).
-          const double port_busy = op.port_bytes / im.cfg.spec.l2_port_bytes_per_cycle;
+          const double port_busy = op.port_bytes / cfg.spec.l2_port_bytes_per_cycle;
           const double data_ready = std::max(static_cast<double>(now), port_free) + port_busy;
           port_free = data_ready;
-          const double bw_delay =
-              std::max(im.l2_bw.consume_with_debt(op.need_l2_tokens),
-                       im.dram_bw.consume_with_debt(op.need_dram_tokens));
+          double bw_delay;
+          if (cfg.shared != nullptr) {
+            // Device-shared budgets: all SMs' withdrawals deepen one common
+            // debt, so bandwidth contention between SMs emerges here.
+            bw_delay = std::max(
+                cfg.shared->l2_bw.consume(op.need_l2_tokens, static_cast<double>(now)),
+                cfg.shared->dram_bw.consume(op.need_dram_tokens, static_cast<double>(now)));
+          } else {
+            bw_delay = std::max(l2_bw.consume_with_debt(op.need_l2_tokens),
+                                dram_bw.consume_with_debt(op.need_dram_tokens));
+          }
           stats.mio_bw_stall += static_cast<std::uint64_t>(bw_delay);
           arrive = static_cast<std::uint64_t>(data_ready + bw_delay) +
                    static_cast<std::uint64_t>(op.latency);
@@ -379,7 +471,7 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
             state = static_cast<std::uint8_t>(prof::StallReason::kStallCount);
           } else {
             settle_warp(w);
-            const auto& inst = prog.code[static_cast<std::size_t>(w.pc)];
+            const auto& inst = prog->code[static_cast<std::size_t>(w.pc)];
             bool waiting = false;
             for (int b = 0; b < sass::kNumBarriers; ++b) {
               if (((inst.ctrl.wait_mask >> b) & 1) && w.scoreboard[b] > 0) {
@@ -406,7 +498,7 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
                     state = static_cast<std::uint8_t>(prof::StallReason::kPipeBusy);
                   break;
                 case sass::PipeClass::kMio:
-                  if (static_cast<int>(mio_queue.size()) >= im.cfg.mio_queue_depth)
+                  if (static_cast<int>(mio_queue.size()) >= cfg.mio_queue_depth)
                     state = static_cast<std::uint8_t>(prof::StallReason::kMioQueueFull);
                   break;
                 case sass::PipeClass::kControl:
@@ -428,7 +520,7 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
         TWarp& w = *warps[static_cast<std::size_t>(wi)];
         if (w.exited || w.at_barrier || w.ready_cycle > now) continue;
         settle_warp(w);
-        const auto& inst = prog.code[static_cast<std::size_t>(w.pc)];
+        const auto& inst = prog->code[static_cast<std::size_t>(w.pc)];
 
         // Scoreboard waits.
         bool waiting = false;
@@ -456,7 +548,7 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
             if (alu_free[static_cast<std::size_t>(p)] > now) continue;
             break;
           case sass::PipeClass::kMio:
-            if (static_cast<int>(mio_queue.size()) >= im.cfg.mio_queue_depth) continue;
+            if (static_cast<int>(mio_queue.size()) >= cfg.mio_queue_depth) continue;
             break;
           case sass::PipeClass::kControl:
             break;
@@ -469,15 +561,16 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
         ExecContext ctx;
         ctx.regs = &w.regs;
         ctx.smem = cta.smem.get();
-        ctx.gmem = &im.gmem;
-        ctx.launch = &launch;
+        ctx.gmem = &gmem;
+        ctx.launch = launch;
         ctx.cta_x = cta.coord.x;
         ctx.cta_y = cta.coord.y;
         ctx.warp_in_cta = w.warp_in_cta;
+        ctx.sm_id = cfg.sm_id;
         ctx.clock = now;
         sink.clear();
         StepResult r;
-        if (im.cfg.skip_mma_math && sass::is_mma(inst.op)) {
+        if (cfg.skip_mma_math && sass::is_mma(inst.op)) {
           // Timing-only fast path: the tensor pipe is occupied and the
           // destination writeback is scheduled below, but the math (and the
           // cost of emulating it) is skipped.
@@ -557,6 +650,9 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
             w.exited = true;
             --cta.alive_warps;
             --alive;
+            if (cta.alive_warps == 0 && source != nullptr) {
+              free_slots.push_back(w.cta_index);
+            }
             break;
         }
         issued_warp = wi;
@@ -619,29 +715,84 @@ TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
                "deadlock: warps wait at BAR.SYNC in an exited CTA");
     }
 
+    // --- dynamic CTA refill --------------------------------------------------
+    if (!free_slots.empty()) {
+      auto keep = free_slots.begin();
+      for (auto it = free_slots.begin(); it != free_slots.end(); ++it) {
+        if (!slot_quiescent(*it)) {
+          *keep++ = *it;  // in-flight hazards still name this slot; retry
+          continue;
+        }
+        if (auto next = source->next()) {
+          respawn_slot(*it, *next);
+        }
+        // Source drained: the slot stays empty for the rest of the run.
+      }
+      free_slots.erase(keep, free_slots.end());
+    }
+
     ++now;
   }
 
-  // Flush remaining writebacks — registers AND predicates — so functional
-  // state is complete. Predicates used to be left pending here, which made
-  // an ISETP issued shortly before EXIT invisible in the final state (the
-  // differential fuzzer flags exactly this as a divergence).
-  for (auto& w : warps) {
-    w->regs.settle_all();
-    for (const auto& pp : w->pending_preds) {
-      w->regs.write_pred(pp.w.pred, pp.w.lane, pp.w.value);
+  TimedStats finish() {
+    TC_CHECK(running, "finish() without begin()");
+    // Flush remaining writebacks — registers AND predicates — so functional
+    // state is complete. Predicates used to be left pending here, which made
+    // an ISETP issued shortly before EXIT invisible in the final state (the
+    // differential fuzzer flags exactly this as a divergence).
+    for (auto& w : warps) {
+      w->regs.settle_all();
+      for (const auto& pp : w->pending_preds) {
+        w->regs.write_pred(pp.w.pred, pp.w.lane, pp.w.value);
+      }
+      w->pending_preds.clear();
+      if (cfg.probe != nullptr) {
+        const CtaCoord coord = cta_state[static_cast<std::size_t>(w->cta_index)].coord;
+        cfg.probe->capture(w->regs, coord.x, coord.y, w->warp_in_cta);
+      }
     }
-    w->pending_preds.clear();
-    if (im.cfg.probe != nullptr) {
-      const CtaCoord coord = cta_state[static_cast<std::size_t>(w->cta_index)].coord;
-      im.cfg.probe->capture(w->regs, coord.x, coord.y, w->warp_in_cta);
-    }
+
+    if (prof != nullptr) prof->end_run(now);
+
+    stats.cycles = now;
+    running = false;
+    return stats;
   }
+};
 
-  if (prof != nullptr) prof->end_run(now);
+TimedSm::TimedSm(TimedConfig cfg, mem::GlobalMemory& gmem)
+    : impl_(std::make_unique<Impl>(cfg, gmem)) {}
 
-  stats.cycles = now;
-  return stats;
+TimedSm::~TimedSm() = default;
+
+TimedStats TimedSm::run(const Launch& launch, std::span<const CtaCoord> ctas) {
+  impl_->begin(launch, ctas, nullptr);
+  while (!impl_->is_done()) impl_->step_cycle();
+  return impl_->finish();
 }
+
+void TimedSm::begin(const Launch& launch, CtaSource& source, int resident_ctas) {
+  TC_CHECK(resident_ctas > 0, "need at least one resident CTA slot");
+  std::vector<CtaCoord> initial;
+  initial.reserve(static_cast<std::size_t>(resident_ctas));
+  for (int i = 0; i < resident_ctas; ++i) {
+    auto c = source.next();
+    if (!c) break;
+    initial.push_back(*c);
+  }
+  TC_CHECK(!initial.empty(), "CTA source drained before this SM got any work");
+  impl_->begin(launch, initial, &source);
+}
+
+bool TimedSm::step() {
+  if (!impl_->is_done()) impl_->step_cycle();
+  return !impl_->is_done();
+}
+
+bool TimedSm::done() const { return impl_->is_done(); }
+
+std::uint64_t TimedSm::now() const { return impl_->now; }
+
+TimedStats TimedSm::finish() { return impl_->finish(); }
 
 }  // namespace tc::sim

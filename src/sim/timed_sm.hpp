@@ -18,11 +18,15 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "device/spec.hpp"
 #include "mem/global_mem.hpp"
+#include "mem/sector_cache.hpp"
+#include "mem/token_bucket.hpp"
 #include "sim/launch.hpp"
 
 namespace tc::prof {
@@ -37,6 +41,65 @@ class StateProbe;
 struct CtaCoord {
   std::uint32_t x = 0;
   std::uint32_t y = 0;
+};
+
+/// Hands out CTAs to SMs as their resident slots free up — the GigaThread
+/// engine of a full-device simulation. Implementations must be thread-safe
+/// when shared between SMs running on different host threads.
+class CtaSource {
+ public:
+  virtual ~CtaSource() = default;
+  /// Next CTA to place in a freed slot, or nullopt when the grid is drained.
+  virtual std::optional<CtaCoord> next() = 0;
+};
+
+/// Dispenses a grid_x x grid_y grid in hardware launch order (x fastest).
+class GridCtaSource final : public CtaSource {
+ public:
+  GridCtaSource(std::uint32_t grid_x, std::uint32_t grid_y)
+      : grid_x_(grid_x), total_(static_cast<std::uint64_t>(grid_x) * grid_y) {}
+
+  std::optional<CtaCoord> next() override {
+    std::lock_guard lock(mutex_);
+    if (issued_ >= total_) return std::nullopt;
+    const std::uint64_t i = issued_++;
+    return CtaCoord{static_cast<std::uint32_t>(i % grid_x_),
+                    static_cast<std::uint32_t>(i / grid_x_)};
+  }
+
+  [[nodiscard]] std::uint64_t issued() const {
+    std::lock_guard lock(mutex_);
+    return issued_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint32_t grid_x_;
+  std::uint64_t total_;
+  std::uint64_t issued_ = 0;
+};
+
+/// Device-level memory resources shared by every SM of a full-device
+/// simulation: one DRAM budget, one L2 bandwidth budget and one L2 tag
+/// array. A TimedSm bound to a SharedMemSystem charges its global traffic
+/// here instead of to its private per-SM budgets, so bandwidth contention
+/// and inter-CTA L2 reuse across SMs emerge from simulation.
+struct SharedMemSystem {
+  explicit SharedMemSystem(const device::DeviceSpec& spec)
+      : dram_bw(spec.dram_bytes_per_cycle()),
+        l2_bw(spec.l2_bytes_per_cycle()),
+        l2(spec.l2_size_bytes, spec.l2_ways) {}
+
+  mem::MultiClientBucket dram_bw;
+  mem::MultiClientBucket l2_bw;
+  mem::SectorCache l2;  // guarded by l2_mutex
+  std::mutex l2_mutex;
+
+  /// Device-wide L2 sector hit rate observed so far.
+  [[nodiscard]] double l2_hit_rate() {
+    std::lock_guard lock(l2_mutex);
+    return l2.stats().hit_rate();
+  }
 };
 
 struct TimedConfig {
@@ -74,6 +137,15 @@ struct TimedConfig {
   /// register and predicate state is captured after the end-of-run flush,
   /// in the same format the functional executor produces (sim/probe.hpp).
   StateProbe* probe = nullptr;
+
+  /// When set, this SM is one client of a full-device simulation: global
+  /// traffic is charged to the shared DRAM/L2 budgets and the shared L2 tag
+  /// array instead of the private per-SM budgets above (which are then
+  /// unused). `forced_l2_hit_rate` and `sm_id` still apply.
+  SharedMemSystem* shared = nullptr;
+
+  /// Identity of this SM inside a TimedDevice (address hashing / debugging).
+  int sm_id = 0;
 };
 
 struct TimedStats {
@@ -112,6 +184,19 @@ class TimedSm {
   /// cycle-level statistics. Functional side effects (global stores) are
   /// applied to the bound GlobalMemory.
   TimedStats run(const Launch& launch, std::span<const CtaCoord> ctas);
+
+  /// Steppable interface, used by sim::TimedDevice to interleave several SMs
+  /// cycle-by-cycle on shared memory-system state. `begin` fills up to
+  /// `resident_ctas` CTA slots from `source`; each retired CTA's slot is
+  /// refilled from `source` until it is drained (dynamic refill, like the
+  /// GigaThread engine — not wave-by-wave). `step` advances one cycle and
+  /// returns false once the SM has drained; `finish` flushes writebacks and
+  /// returns the stats. run() == begin + step-until-done + finish.
+  void begin(const Launch& launch, CtaSource& source, int resident_ctas);
+  bool step();
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] std::uint64_t now() const;
+  TimedStats finish();
 
  private:
   struct Impl;

@@ -1,0 +1,265 @@
+// Cross-validation of model::WavePerf against sim::TimedDevice.
+//
+// Every kernel_gen kernel runs at several small full-device shapes on both
+// the analytic wave composition (surrogate steady state + ceil-quantized
+// waves, fair-share bandwidth, l2_reuse hit rate) and the cycle-level
+// multi-SM simulator (shared L2/DRAM buckets, dynamic CTA dispatch, emergent
+// reuse/contention). Tolerance bands — documented in docs/device_sim.md:
+//
+//  * whole-wave shapes (grid == W * num_sms * ctas_per_sm), tensor-bound
+//    smem-staged kernels: 10 %. Measured agreement is ~1-5 %; the band
+//    leaves room for platform libm noise.
+//  * whole-wave, DRAM-bound smem-staged operating points (cublas_like on
+//    T4): 15 %. Measured ~10-13 %: once the shared DRAM bucket is the
+//    bottleneck, queueing adds a per-SM finish spread (~2-5 %) on top of
+//    the fair-share rate the model assumes.
+//  * whole-wave, smem-less wmma_naive (DRAM-oversubscribed everywhere):
+//    40 %. Measured ~17-34 %, dominated by an emergent feedback loop the
+//    single-SM surrogate cannot represent: bandwidth-stalled SMs drift
+//    apart in co-resident access interleaving, lose L1 reuse, fetch more
+//    and stall more (probed: per-SM dram_bytes spread ~8 %, finish spread
+//    ~12 % at a pinned L2 rate and identical per-CTA work). Device time is
+//    the max over SMs; the model predicts the fast-SM time.
+//  * non-integral waves: 20 %. The model charges the tail wave as a full
+//    wave and ignores the wave-transition DRAM burst the device simulates;
+//    measured drift is ~10-15 %.
+//
+// The matrix runs with the device's L2 hit rate pinned to the model's
+// l2_reuse prediction (ValidateKernelInput::pin_l2_hit_rate, the default):
+// at these validation-scale shapes the whole A+B working set fits in L2, so
+// the emergent sector-cache rate runs ~2x the η-derated analytic rate that
+// l2_reuse calibrates for paper-scale working sets, and DRAM-bound kernels
+// (hgemm on T4, wmma everywhere) would diverge 20-70 % for reasons that are
+// a property of the shapes, not a bug in either engine. Pinning isolates
+// what the matrix is meant to validate — wave composition, shared-bandwidth
+// contention and CTA scheduling. EmergentL2ExceedsDeratedModel asserts the
+// divergence itself, so the live sector-cache path stays covered.
+//
+// On failure, WaveValidation::report() attributes the miss per component
+// (L2 hit rate, DRAM traffic, tensor utilization, tail imbalance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config.hpp"
+#include "core/kernel_gen.hpp"
+#include "core/profile.hpp"
+#include "device/occupancy.hpp"
+#include "mem/global_mem.hpp"
+#include "model/validate.hpp"
+#include "sim/timed_device.hpp"
+
+namespace tc {
+namespace {
+
+constexpr double kWholeWaveTol = 0.10;
+constexpr double kDramBoundTol = 0.15;
+constexpr double kMemBoundTol = 0.40;
+constexpr double kTailWaveTol = 0.20;
+
+model::ValidateKernelInput hgemm_input(const device::DeviceSpec& spec,
+                                       const core::HgemmConfig& cfg) {
+  model::ValidateKernelInput kin;
+  kin.make_kernel = [cfg](const GemmShape& s) { return core::hgemm_kernel(cfg, s); };
+  kin.name = cfg.name();
+  kin.bm = cfg.bm;
+  kin.bn = cfg.bn;
+  kin.bk = cfg.bk;
+  kin.ctas_per_sm = core::surrogate_ctas_per_sm(spec, cfg);
+  kin.order = cfg.launch_order;
+  kin.swizzle_max_grid_x = cfg.swizzle_max_grid_x;
+  return kin;
+}
+
+model::ValidateKernelInput wmma_input(const device::DeviceSpec& spec) {
+  model::ValidateKernelInput kin;
+  kin.make_kernel = [](const GemmShape& s) { return core::wmma_naive_kernel(s); };
+  kin.name = "wmma_naive";
+  kin.bm = 16;
+  kin.bn = 128;
+  kin.bk = 16;
+  const GemmShape probe{16, 128, 32};
+  kin.ctas_per_sm = device::occupancy(spec, core::wmma_naive_kernel(probe)).ctas_per_sm;
+  return kin;
+}
+
+/// A shape whose grid is exactly `waves` full device waves: num_sms factors
+/// as a x b (a <= b), grid_y = a * ctas_per_sm * waves along m, grid_x = b
+/// along n. `transpose` swaps the factor assignment for a different aspect
+/// ratio at the same CTA count.
+GemmShape whole_wave_shape(const device::DeviceSpec& spec,
+                           const model::ValidateKernelInput& kin, std::size_t k,
+                           int waves = 1, bool transpose = false) {
+  int a = 1;
+  for (int d = 1; d * d <= spec.num_sms; ++d) {
+    if (spec.num_sms % d == 0) a = d;
+  }
+  int b = spec.num_sms / a;
+  if (transpose) std::swap(a, b);
+  const auto grid_y = static_cast<std::size_t>(a * kin.ctas_per_sm * waves);
+  const auto grid_x = static_cast<std::size_t>(b);
+  return {grid_y * static_cast<std::size_t>(kin.bm),
+          grid_x * static_cast<std::size_t>(kin.bn), k};
+}
+
+void expect_xval(const device::DeviceSpec& spec, const model::ValidateKernelInput& kin,
+                 const GemmShape& shape, double tol) {
+  const auto v = model::validate_wave(spec, kin, shape);
+  EXPECT_LE(std::abs(v.rel_error), tol)
+      << kin.name << " on " << spec.name << " at " << shape.m << "x" << shape.n << "x"
+      << shape.k << ":\n"
+      << v.report();
+}
+
+/// Three whole-wave shapes per kernel/device: two k's at the default aspect
+/// ratio plus the transposed factorization (>= 3 sizes per the harness
+/// contract). `tol` is the regime band from the table above.
+void xval_matrix(const device::DeviceSpec& spec, const model::ValidateKernelInput& kin,
+                 std::size_t k_small, std::size_t k_large,
+                 double tol = kWholeWaveTol) {
+  expect_xval(spec, kin, whole_wave_shape(spec, kin, k_small), tol);
+  expect_xval(spec, kin, whole_wave_shape(spec, kin, k_large), tol);
+  expect_xval(spec, kin, whole_wave_shape(spec, kin, k_small, 1, true), tol);
+}
+
+TEST(DeviceXval, OptimizedRtx2070) {
+  const auto spec = device::rtx2070();
+  xval_matrix(spec, hgemm_input(spec, core::HgemmConfig::optimized()), 128, 256);
+}
+
+TEST(DeviceXval, OptimizedT4) {
+  const auto spec = device::t4();
+  xval_matrix(spec, hgemm_input(spec, core::HgemmConfig::optimized()), 128, 256);
+}
+
+TEST(DeviceXval, CublasLikeRtx2070) {
+  const auto spec = device::rtx2070();
+  xval_matrix(spec, hgemm_input(spec, core::HgemmConfig::cublas_like()), 128, 256);
+}
+
+TEST(DeviceXval, CublasLikeT4) {
+  // The cublas_like config on T4 is DRAM-bound at these shapes (T4 has
+  // ~45 % of the RTX 2070's per-SM DRAM share): shared-bucket queueing adds
+  // a measured 2-5 % per-SM finish spread over the model's fair share.
+  const auto spec = device::t4();
+  xval_matrix(spec, hgemm_input(spec, core::HgemmConfig::cublas_like()), 128, 256,
+              kDramBoundTol);
+}
+
+TEST(DeviceXval, WmmaNaiveRtx2070) {
+  // wmma_naive is smem-less and DRAM-oversubscribed on both devices; see
+  // the header for why the emergent per-SM spread forces the wide band.
+  const auto spec = device::rtx2070();
+  xval_matrix(spec, wmma_input(spec), 64, 128, kMemBoundTol);
+}
+
+TEST(DeviceXval, WmmaNaiveT4) {
+  const auto spec = device::t4();
+  xval_matrix(spec, wmma_input(spec), 64, 128, kMemBoundTol);
+}
+
+TEST(DeviceXval, EmergentL2ExceedsDeratedModel) {
+  // With the sector cache live, a one-wave working set that fits in L2 must
+  // beat the model's derated analytic rate — and the tensor-bound optimized
+  // kernel must stay within the headline band regardless of which L2 rate
+  // it sees (cycle count insensitive to the divergence).
+  const auto spec = device::rtx2070();
+  auto kin = hgemm_input(spec, core::HgemmConfig::optimized());
+  kin.pin_l2_hit_rate = false;
+  const auto v = model::validate_wave(spec, kin, whole_wave_shape(spec, kin, 128));
+  EXPECT_GT(v.device_l2_hit_rate, v.model_l2_hit_rate) << v.report();
+  EXPECT_LE(std::abs(v.rel_error), kWholeWaveTol) << v.report();
+}
+
+TEST(DeviceXval, TailWaveWithinWideBand) {
+  // A non-integral second wave: the model's ceil() and the device's dynamic
+  // refill disagree the most here; the drift must stay inside the wider
+  // documented band.
+  const auto spec = device::rtx2070();
+  const auto kin = hgemm_input(spec, core::HgemmConfig::optimized());
+  expect_xval(spec, kin, {2048, 2048, 256}, kTailWaveTol);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests re-asserted against TimedDevice (not just WavePerf): the
+// wave-quantization sawtooth and k-linearity of tests/test_property.cpp must
+// also hold for the emergent device simulation.
+
+std::uint64_t device_cycles(const device::DeviceSpec& spec,
+                            const model::ValidateKernelInput& kin, const GemmShape& shape) {
+  const sass::Program prog = kin.make_kernel(shape);
+  mem::GlobalMemory gmem;
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.grid_x = static_cast<std::uint32_t>(shape.n / static_cast<std::size_t>(kin.bn));
+  launch.grid_y = static_cast<std::uint32_t>(shape.m / static_cast<std::size_t>(kin.bm));
+  launch.params = {gmem.alloc(shape.m * shape.k * 2), gmem.alloc(shape.n * shape.k * 2),
+                   gmem.alloc(shape.m * shape.n * 2)};
+  sim::TimedDeviceConfig dc;
+  dc.spec = spec;
+  dc.ctas_per_sm = kin.ctas_per_sm;
+  dc.skip_mma_math = true;
+  sim::TimedDevice dev(dc, gmem);
+  return dev.run(launch).device_cycles;
+}
+
+TEST(DeviceXval, WaveQuantizationSawtoothEmerges) {
+  // One CTA row past a full wave costs nearly a whole extra wave.
+  const auto spec = device::rtx2070();
+  const auto kin = hgemm_input(spec, core::HgemmConfig::optimized());
+  const auto full = device_cycles(spec, kin, {1536, 1536, 128});   // 36 CTAs, 1 wave
+  const auto over = device_cycles(spec, kin, {1792, 1536, 128});   // 42 CTAs, 2 waves
+  EXPECT_GT(static_cast<double>(over), 1.3 * static_cast<double>(full));
+  EXPECT_LT(static_cast<double>(over), 2.6 * static_cast<double>(full));
+}
+
+TEST(DeviceXval, KLinearityEmerges) {
+  // Device cycles grow linearly in k: equal k increments cost equal cycles.
+  const auto spec = device::rtx2070();
+  const auto kin = hgemm_input(spec, core::HgemmConfig::optimized());
+  const auto c1 = device_cycles(spec, kin, {1536, 1536, 128});
+  const auto c2 = device_cycles(spec, kin, {1536, 1536, 256});
+  const auto c3 = device_cycles(spec, kin, {1536, 1536, 384});
+  const double s12 = static_cast<double>(c2 - c1);
+  const double s23 = static_cast<double>(c3 - c2);
+  EXPECT_GT(c2, c1);
+  EXPECT_GT(c3, c2);
+  EXPECT_NEAR(s23 / s12, 1.0, 0.25);
+}
+
+TEST(DeviceXval, ThreadShardingAgreesWithLockstep) {
+  // threads=2 reorders same-window shared-bucket withdrawals; bounded skew
+  // must keep the result within a small band of the deterministic interleave.
+  const auto spec = device::rtx2070();
+  const auto kin = hgemm_input(spec, core::HgemmConfig::optimized());
+  const GemmShape shape{1024, 512, 128};  // 8 CTAs
+  const sass::Program prog = kin.make_kernel(shape);
+
+  auto run = [&](int threads) {
+    mem::GlobalMemory gmem;
+    sim::Launch launch;
+    launch.program = &prog;
+    launch.grid_x = 2;
+    launch.grid_y = 4;
+    launch.params = {gmem.alloc(shape.m * shape.k * 2), gmem.alloc(shape.n * shape.k * 2),
+                     gmem.alloc(shape.m * shape.n * 2)};
+    sim::TimedDeviceConfig dc;
+    dc.spec = spec;
+    dc.ctas_per_sm = kin.ctas_per_sm;
+    dc.skip_mma_math = true;
+    dc.threads = threads;
+    sim::TimedDevice dev(dc, gmem);
+    return dev.run(launch).device_cycles;
+  };
+
+  const auto lockstep = run(1);
+  const auto sharded = run(2);
+  EXPECT_NEAR(static_cast<double>(sharded), static_cast<double>(lockstep),
+              0.05 * static_cast<double>(lockstep));
+
+  // threads=1 must be exactly reproducible.
+  EXPECT_EQ(run(1), lockstep);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,139 @@
+// Golden-file regression tests for the bench binaries' --json output.
+//
+// Each test runs a built bench binary with --json, parses the document, and
+// compares it structurally against a checked-in fixture in tests/golden/.
+// Strings and shapes (series names, columns, row counts) must match exactly;
+// numbers within a relative tolerance that absorbs cross-platform libm
+// drift while still catching any model or simulator behavior change.
+//
+// To regenerate fixtures after an *intentional* behavior change:
+//
+//   build/bench/table1_hmma        --json tests/golden/table1_hmma.json
+//   build/bench/table6_blocking    --json tests/golden/table6_blocking.json
+//   build/bench/fig4_sts_interleave --step 4096 \
+//                                  --json tests/golden/fig4_sts_interleave.json
+//
+// and explain the delta in the commit message.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json_parse.hpp"
+
+namespace tc {
+namespace {
+
+// Deterministic simulation: the only allowed drift is libm/format noise.
+constexpr double kRelTol = 1e-6;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Runs `<TC_BENCH_DIR>/<bench> <args> --json <tmp>` and parses the output.
+JsonValue run_bench_json(const std::string& bench, const std::string& args = "") {
+  const auto out = std::filesystem::temp_directory_path() / ("tc_golden_" + bench + ".json");
+  std::filesystem::remove(out);
+  const std::string cmd = std::string(TC_BENCH_DIR) + "/" + bench + " " + args + " --json " +
+                          out.string() + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << cmd;
+  const auto doc = json_parse(read_file(out));
+  std::filesystem::remove(out);
+  return doc;
+}
+
+JsonValue load_golden(const std::string& bench) {
+  const auto path = std::filesystem::path(TC_GOLDEN_DIR) / (bench + ".json");
+  return json_parse(read_file(path));
+}
+
+/// Recursive structural comparison: `path` names the location for failure
+/// messages (e.g. "series[1].rows[3][2]").
+void expect_json_near(const JsonValue& got, const JsonValue& want, const std::string& path) {
+  if (want.is_number()) {
+    ASSERT_TRUE(got.is_number()) << path << ": expected a number";
+    const double g = got.as_number();
+    const double w = want.as_number();
+    const double tol = kRelTol * std::max(1.0, std::abs(w));
+    EXPECT_NEAR(g, w, tol) << path;
+    return;
+  }
+  if (want.is_string()) {
+    ASSERT_TRUE(got.is_string()) << path << ": expected a string";
+    EXPECT_EQ(got.as_string(), want.as_string()) << path;
+    return;
+  }
+  if (want.is_array()) {
+    ASSERT_TRUE(got.is_array()) << path << ": expected an array";
+    const auto& ga = got.as_array();
+    const auto& wa = want.as_array();
+    ASSERT_EQ(ga.size(), wa.size()) << path << ": array length";
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      expect_json_near(ga[i], wa[i], path + "[" + std::to_string(i) + "]");
+    }
+    return;
+  }
+  if (want.is_object()) {
+    ASSERT_TRUE(got.is_object()) << path << ": expected an object";
+    const auto& go = got.as_object();
+    const auto& wo = want.as_object();
+    for (const auto& [k, v] : wo) {
+      ASSERT_TRUE(got.has(k)) << path << ": missing key '" << k << "'";
+      expect_json_near(got.at(k), v, path + "." + k);
+    }
+    for (const auto& [k, v] : go) {
+      EXPECT_TRUE(want.has(k)) << path << ": unexpected key '" << k << "'";
+    }
+    return;
+  }
+  EXPECT_EQ(got.is_null(), want.is_null()) << path;
+}
+
+void golden_roundtrip(const std::string& bench, const std::string& args = "") {
+  const auto got = run_bench_json(bench, args);
+  const auto want = load_golden(bench);
+  EXPECT_EQ(got.at("schema").as_string(), "tc-bench-v1");
+  expect_json_near(got, want, bench);
+}
+
+TEST(Golden, Table1Hmma) { golden_roundtrip("table1_hmma"); }
+
+TEST(Golden, Table6Blocking) { golden_roundtrip("table6_blocking"); }
+
+TEST(Golden, Fig4StsInterleave) { golden_roundtrip("fig4_sts_interleave", "--step 4096"); }
+
+// The parser itself: golden comparisons are only as trustworthy as the
+// reader, so pin its behavior on the writer's own corner cases.
+TEST(Golden, ParserRoundTripsWriterOutput) {
+  const auto doc = json_parse(R"({"schema":"tc-bench-v1","n":-1.5e3,"flag":true,)"
+                              R"("none":null,"s":"a\"b\\c\nd","rows":[[1,2],[]]})");
+  EXPECT_EQ(doc.at("schema").as_string(), "tc-bench-v1");
+  EXPECT_DOUBLE_EQ(doc.at("n").as_number(), -1500.0);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(doc.at("rows").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("rows").as_array()[0].as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(doc.at("rows").as_array()[1].as_array().empty());
+}
+
+TEST(Golden, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{\"a\":1} x"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("01a"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tc
