@@ -19,9 +19,10 @@ namespace {
 /// k = iterations * bk, fair bandwidth share, model-forced L2 hit rate.
 /// This mirrors core::run_steady_surrogate but is generic over the kernel
 /// generator (tc_model cannot depend on tc_core).
-/// The resident CTAs stack along grid_x (one row), matching the x-major
-/// dispenser: real co-residents are row neighbours sharing the A slab, and
-/// stacking them along grid_y instead would let the L1 deduplicate their
+/// The resident CTAs stack along grid_x (one row), matching TimedDevice's
+/// depth-first dispenser (each SM takes its resident CTAs consecutively from
+/// the x-major source): co-residents are row neighbours sharing the A slab.
+/// Stacking them along grid_y instead would let the L1 deduplicate their
 /// (identical) B columns — halving the surrogate's DRAM traffic for
 /// smem-less kernels like wmma_naive and skewing the steady state fast.
 sim::TimedStats run_surrogate(const device::DeviceSpec& spec, const ValidateKernelInput& kin,

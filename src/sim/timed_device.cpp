@@ -40,9 +40,20 @@ DeviceResult TimedDevice::run(const Launch& launch) {
   const auto num_ctas = launch.num_ctas();
   TC_CHECK(num_ctas > 0, "empty grid");
 
-  // Each SM needs at least one CTA to participate.
+  // Priming is depth-first: SM i takes the next ctas_per_sm CTAs from the
+  // x-major source, so co-residents are launch-order row neighbours — the
+  // residency the model's steady-state surrogate (model/validate.cpp) and
+  // the documented xval tolerance bands are calibrated against. Only as many
+  // SMs as the grid can actually feed participate: a sub-wave grid
+  // (num_ctas < num_sms * ctas_per_sm) concentrates onto
+  // ceil(num_ctas / ctas_per_sm) SMs instead of starving trailing SMs of
+  // their first CTA mid-priming. (Real GigaThread would spread a sub-wave
+  // grid breadth-first across all SMs, one CTA each; that placement also
+  // changes which operand slab co-residents share, so adopting it means
+  // re-calibrating the surrogate geometry and the xval bands with it.)
+  const auto per_sm = static_cast<std::uint64_t>(cfg_.ctas_per_sm);
   const int sms_used = static_cast<int>(std::min<std::uint64_t>(
-      static_cast<std::uint64_t>(cfg_.spec.num_sms), num_ctas));
+      static_cast<std::uint64_t>(cfg_.spec.num_sms), (num_ctas + per_sm - 1) / per_sm));
 
   GridCtaSource source(launch.grid_x, launch.grid_y);
   SharedMemSystem shared(cfg_.spec);
@@ -59,10 +70,8 @@ DeviceResult TimedDevice::run(const Launch& launch) {
     tc.shared = &shared;
     tc.sm_id = i;
     sms.push_back(std::make_unique<TimedSm>(tc, gmem_));
+    sms.back()->begin(launch, source, cfg_.ctas_per_sm);
   }
-  // Prime resident slots in SM order, matching hardware's initial wave
-  // placement (SM0 gets CTA 0..c-1, SM1 the next c, ...).
-  for (auto& sm : sms) sm->begin(launch, source, cfg_.ctas_per_sm);
 
   const int threads = std::clamp(cfg_.threads, 1, sms_used);
   if (threads == 1) {

@@ -315,15 +315,13 @@ struct TimedSm::Impl {
   /// wave-by-wave — which is what makes uneven tail waves emerge).
   void respawn_slot(int ci, CtaCoord coord) {
     TCta& cta = cta_state[static_cast<std::size_t>(ci)];
-    cta.coord = coord;
-    cta.smem->clear();
-    cta.arrived = 0;
-    cta.alive_warps = static_cast<int>(launch->warps_per_cta());
-    for (auto& wptr : warps) {
-      if (wptr->cta_index != ci) continue;
-      TWarp& w = *wptr;
-      if (cfg.probe != nullptr) {
-        // Preserve the retiring CTA's final state for divergence probes.
+    if (cfg.probe != nullptr) {
+      // Preserve the retiring CTA's final state for divergence probes —
+      // captured under the *retiring* coordinates, before the slot is
+      // relabelled with the incoming CTA's.
+      for (auto& wptr : warps) {
+        if (wptr->cta_index != ci) continue;
+        TWarp& w = *wptr;
         w.regs.settle_all();
         for (const auto& pp : w.pending_preds) {
           w.regs.write_pred(pp.w.pred, pp.w.lane, pp.w.value);
@@ -331,6 +329,14 @@ struct TimedSm::Impl {
         w.pending_preds.clear();
         cfg.probe->capture(w.regs, cta.coord.x, cta.coord.y, w.warp_in_cta);
       }
+    }
+    cta.coord = coord;
+    cta.smem->clear();
+    cta.arrived = 0;
+    cta.alive_warps = static_cast<int>(launch->warps_per_cta());
+    for (auto& wptr : warps) {
+      if (wptr->cta_index != ci) continue;
+      TWarp& w = *wptr;
       w.regs = WarpRegs{};
       w.pc = 0;
       w.exited = false;

@@ -227,6 +227,53 @@ TEST(DeviceXval, KLinearityEmerges) {
   EXPECT_NEAR(s23 / s12, 1.0, 0.25);
 }
 
+TEST(DeviceXval, SubWaveGridPrimesEverySm) {
+  // Regression: sms_used was min(num_sms, num_ctas) while priming filled SMs
+  // depth-first (each SM draining up to ctas_per_sm CTAs from the source in
+  // turn), so a sub-wave grid starved the trailing SMs and the launch aborted
+  // with "CTA source drained". A 2x2 grid at ctas_per_sm=2 must instead run
+  // on ceil(4 / 2) = 2 SMs, two CTAs each, every instantiated SM fed.
+  const auto spec = device::rtx2070();
+  const auto kin = hgemm_input(spec, core::HgemmConfig::optimized());
+  const GemmShape shape{2 * static_cast<std::size_t>(kin.bm),
+                        2 * static_cast<std::size_t>(kin.bn), 128};
+  const sass::Program prog = kin.make_kernel(shape);
+  mem::GlobalMemory gmem;
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.grid_x = 2;
+  launch.grid_y = 2;
+  launch.params = {gmem.alloc(shape.m * shape.k * 2), gmem.alloc(shape.n * shape.k * 2),
+                   gmem.alloc(shape.m * shape.n * 2)};
+  sim::TimedDeviceConfig dc;
+  dc.spec = spec;
+  dc.ctas_per_sm = 2;
+  dc.skip_mma_math = true;
+  sim::TimedDevice dev(dc, gmem);
+  const auto res = dev.run(launch);
+  EXPECT_EQ(res.sms_used, 2);
+  EXPECT_EQ(res.ctas_run, 4u);
+  ASSERT_EQ(res.per_sm.size(), 2u);
+  for (const auto& s : res.per_sm) EXPECT_GT(s.instructions, 0u);
+
+  // Odd remainder: 3 CTAs at 2/SM -> 2 SMs, the second primed with only one.
+  const GemmShape odd{3 * static_cast<std::size_t>(kin.bm),
+                      static_cast<std::size_t>(kin.bn), 128};
+  const sass::Program oprog = kin.make_kernel(odd);
+  mem::GlobalMemory ogmem;
+  sim::Launch olaunch;
+  olaunch.program = &oprog;
+  olaunch.grid_x = 1;
+  olaunch.grid_y = 3;
+  olaunch.params = {ogmem.alloc(odd.m * odd.k * 2), ogmem.alloc(odd.n * odd.k * 2),
+                    ogmem.alloc(odd.m * odd.n * 2)};
+  sim::TimedDevice odev(dc, ogmem);
+  const auto ores = odev.run(olaunch);
+  EXPECT_EQ(ores.sms_used, 2);
+  EXPECT_EQ(ores.ctas_run, 3u);
+  for (const auto& s : ores.per_sm) EXPECT_GT(s.instructions, 0u);
+}
+
 TEST(DeviceXval, ThreadShardingAgreesWithLockstep) {
   // threads=2 reorders same-window shared-bucket withdrawals; bounded skew
   // must keep the result within a small band of the deterministic interleave.

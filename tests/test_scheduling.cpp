@@ -9,6 +9,7 @@
 #include "core/reference.hpp"
 #include "driver/device.hpp"
 #include "sass/builder.hpp"
+#include "sim/probe.hpp"
 
 namespace tc {
 namespace {
@@ -167,6 +168,51 @@ TEST(Scheduling, UnevenTailWaveCostsAFullRound) {
   const double c6 = refill_cycles(6, 2);  // 3 even rounds
   EXPECT_GT(c5, c4 * 1.2);
   EXPECT_LE(c5, c6 * 1.02);
+}
+
+TEST(Scheduling, RespawnProbeCapturesRetiringCtaCoords) {
+  // Regression: respawn_slot used to relabel the slot with the incoming
+  // CTA's coordinates before the divergence-probe capture, so a retiring
+  // CTA's final registers were recorded under the wrong (x, y) — colliding
+  // with the finish()-time capture of the CTA that ends up owning them.
+  // A kernel that writes its own ctaid into registers makes any mis-keying
+  // visible: every snapshot's R4/R5 must equal its recorded coordinates.
+  sass::KernelBuilder b("ctaid_probe");
+  b.threads(32);
+  b.s2r(sass::Reg{4}, sass::SpecialReg::kCtaIdX).stall(13);
+  b.s2r(sass::Reg{5}, sass::SpecialReg::kCtaIdY).stall(13);
+  b.exit();
+  const auto prog = b.finalize();
+
+  mem::GlobalMemory gmem;
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.grid_x = 2;
+  launch.grid_y = 2;
+
+  sim::StateProbe probe;
+  probe.set_num_regs(prog.num_regs);
+  sim::TimedConfig tc;
+  tc.spec = device::rtx2070();
+  tc.probe = &probe;
+  sim::TimedSm sm(tc, gmem);
+  sim::GridCtaSource source(launch.grid_x, launch.grid_y);
+  sm.begin(launch, source, 2);  // 4 CTAs through 2 slots -> 2 respawn captures
+  while (sm.step()) {
+  }
+  sm.finish();
+
+  const auto snaps = probe.sorted();
+  ASSERT_EQ(snaps.size(), 4u);  // one per CTA, no coordinate collisions
+  for (const auto& s : snaps) {
+    ASSERT_GE(prog.num_regs, 6);
+    for (std::size_t lane = 0; lane < 32; ++lane) {
+      EXPECT_EQ(s.gprs[4 * 32 + lane], s.cta_x)
+          << "CTA (" << s.cta_x << "," << s.cta_y << ") lane " << lane;
+      EXPECT_EQ(s.gprs[5 * 32 + lane], s.cta_y)
+          << "CTA (" << s.cta_x << "," << s.cta_y << ") lane " << lane;
+    }
+  }
 }
 
 TEST(Scheduling, GridCtaSourceDispensesInLaunchOrder) {
