@@ -4,6 +4,7 @@
 //   tcgemm_cli perf --m 8192 --n 8192 --k 8192 [--device t4] [--baseline]
 //                   [--profile] [--top N] [--trace-out trace.json]
 //   tcgemm_cli lint [--m M --n N --k K] [--baseline]
+//   tcgemm_cli schedule [--m M --n N --k K] [--baseline] [--wmma] [--device rtx2070]
 //   tcgemm_cli disasm [--baseline]
 //   tcgemm_cli check [--m M --n N --k K]
 //   tcgemm_cli fuzz [--programs N] [--seed S]
@@ -14,6 +15,9 @@
 // the steady-state portion (pipe utilization, stall attribution, optional
 // Chrome-trace timeline for chrome://tracing / Perfetto); `lint` runs the
 // static schedule checks including the latency-table slack analysis;
+// `schedule` compares the automatic scheduler's minimal (no-reorder) and
+// full pipelines on the real kernel: pass statistics, single-CTA timed
+// cycles for each mode, and the stall-slack lint of the shipped schedule;
 // `disasm` dumps the generated SASS; `check` runs the scoreboard hazard
 // detector (src/check) over every built-in kernel and fails on any error;
 // `fuzz` differentially fuzzes the two executors (see docs/checking.md).
@@ -37,6 +41,7 @@
 #include "model/validate.hpp"
 #include "prof/trace.hpp"
 #include "sass/validator.hpp"
+#include "sched/schedule.hpp"
 #include "sim/pipes.hpp"
 
 using namespace tc;
@@ -49,6 +54,7 @@ struct Args {
   std::string device = "rtx2070";
   bool check = false;
   bool baseline = false;
+  bool wmma = false;
   bool profile = false;
   int top = 10;
   int programs = 200;
@@ -80,6 +86,8 @@ Args parse(int argc, char** argv) {
       a.check = true;
     } else if (flag == "--baseline") {
       a.baseline = true;
+    } else if (flag == "--wmma") {
+      a.wmma = true;
     } else if (flag == "--profile") {
       a.profile = true;
     } else if (flag == "--top") {
@@ -111,6 +119,8 @@ int usage() {
          "                    [--engine model|device] [--profile] [--top N]\n"
          "                    [--trace-out trace.json]\n"
          "  tcgemm_cli lint   [--m M --n N --k K] [--baseline]\n"
+         "  tcgemm_cli schedule [--m M --n N --k K] [--baseline] [--wmma]\n"
+         "                    [--device rtx2070|t4]\n"
          "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli check  [--m M --n N --k K]\n"
          "  tcgemm_cli fuzz   [--programs N] [--seed S]\n"
@@ -320,6 +330,96 @@ int main(int argc, char** argv) {
         json->begin_array();
         for (const auto& w : base) json->value(w);
         json->end_array();
+        json->key("slack_findings");
+        json->begin_array();
+        for (const auto& w : slack) json->value(w);
+        json->end_array();
+      }
+      finish_json();
+      return 0;
+    }
+
+    if (args.command == "schedule") {
+      // The scheduler's own before/after story on the real kernel: the
+      // minimal mode only inserts stalls/barriers into the semantic order,
+      // the full mode also hoists independent work into stall shadows.
+      const device::DeviceSpec spec = device::spec_by_name(args.device);
+      const GemmShape shape = args.wmma
+                                  ? GemmShape{16, 128, 64}
+                                  : contract_shape(args, cfg);
+      const std::string kernel_name = args.wmma ? "wmma_naive" : cfg.name();
+      const sass::Program virt = args.wmma ? core::wmma_naive_kernel_virtual(shape)
+                                           : core::hgemm_kernel_virtual(cfg, shape);
+
+      sched::ScheduleOptions minimal_opts;
+      minimal_opts.reorder = false;
+      sched::ScheduleStats minimal_stats;
+      sched::ScheduleStats full_stats;
+      const sass::Program minimal = sched::schedule(virt, minimal_opts, minimal_stats);
+      const sass::Program full = sched::schedule(virt, sched::ScheduleOptions{}, full_stats);
+
+      // Single-CTA timed cycles for each mode (grid (1,1), fixed seed).
+      const auto timed_cycles = [&](const sass::Program& prog) {
+        driver::Device dev(spec);
+        Rng rng(7);
+        HalfMatrix a(shape.m, shape.k), bt(shape.n, shape.k);
+        a.randomize(rng, -0.5f, 0.5f);
+        bt.randomize(rng, -0.5f, 0.5f);
+        auto da = dev.alloc<half>(a.size());
+        auto db = dev.alloc<half>(bt.size());
+        auto dc = dev.alloc<half>(shape.m * shape.n);
+        dev.upload(da, std::span<const half>(a.data(), a.size()));
+        dev.upload(db, std::span<const half>(bt.data(), bt.size()));
+        sim::Launch launch;
+        launch.program = &prog;
+        launch.params = {da.addr, db.addr, dc.addr};
+        const sim::CtaCoord cta{0, 0};
+        return dev.run_timed(launch, std::span(&cta, 1), dev.timing_whole_device()).cycles;
+      };
+      const std::uint64_t minimal_cycles = timed_cycles(minimal);
+      const std::uint64_t full_cycles = timed_cycles(full);
+      const auto slack = sass::lint(full, &sim::fixed_latency);
+
+      const auto print_stats = [](const char* mode, const sched::ScheduleStats& s,
+                                  std::uint64_t cycles) {
+        std::cout << "  " << mode << ": " << s.instructions << " instructions (" << s.nops_inserted
+                  << " NOPs), " << s.reordered << " reordered, " << s.barriers_used
+                  << " barriers, " << s.waits_placed << " waits (" << s.waits_elided
+                  << " elided, " << s.waits_dropped << " dropped, " << s.waits_hoisted
+                  << " hoisted), " << s.reuse_flags << " reuse flags, "
+                  << s.static_issue_cycles << " static issue cycles -> " << cycles
+                  << " timed cycles\n";
+      };
+      std::cout << kernel_name << " on " << spec.name << " for " << shape.m << " x " << shape.n
+                << " x " << shape.k << " (single CTA):\n";
+      print_stats("minimal (no reorder)", minimal_stats, minimal_cycles);
+      print_stats("full                ", full_stats, full_cycles);
+      std::cout << "  stall slack: " << slack.size()
+                << " findings from sass::lint over the shipped schedule\n";
+      for (const auto& w : slack) std::cout << "    [slack] " << w << "\n";
+
+      if (json) {
+        const auto stats_fields = [&](const char* key, const sched::ScheduleStats& s,
+                                      std::uint64_t cycles) {
+          json->key(key);
+          json->begin_object();
+          json->field("instructions", static_cast<std::uint64_t>(s.instructions));
+          json->field("nops_inserted", static_cast<std::uint64_t>(s.nops_inserted));
+          json->field("reordered", static_cast<std::uint64_t>(s.reordered));
+          json->field("barriers_used", static_cast<std::uint64_t>(s.barriers_used));
+          json->field("waits_placed", static_cast<std::uint64_t>(s.waits_placed));
+          json->field("waits_elided", static_cast<std::uint64_t>(s.waits_elided));
+          json->field("waits_dropped", static_cast<std::uint64_t>(s.waits_dropped));
+          json->field("waits_hoisted", static_cast<std::uint64_t>(s.waits_hoisted));
+          json->field("reuse_flags", static_cast<std::uint64_t>(s.reuse_flags));
+          json->field("static_issue_cycles",
+                      static_cast<std::uint64_t>(s.static_issue_cycles));
+          json->field("timed_cycles", cycles);
+          json->end_object();
+        };
+        json->field("kernel", kernel_name);
+        stats_fields("minimal", minimal_stats, minimal_cycles);
+        stats_fields("full", full_stats, full_cycles);
         json->key("slack_findings");
         json->begin_array();
         for (const auto& w : slack) json->value(w);

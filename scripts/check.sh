@@ -22,6 +22,19 @@ echo "== schedule checks: kernel hazard scan + fuzz smoke + device xval =="
 # -L takes a regex; two -L flags would AND the labels and select nothing.
 ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval"
 
+echo "== scheduler gate: virtual emission -> schedule -> hazard oracle =="
+# `schedule` re-schedules each kernel from its virtual (latency-agnostic)
+# form and hard-verifies the result through check::find_hazards — a non-zero
+# exit means the automatic scheduler regressed. The full config-ablation
+# sweep (layouts, interleave, prefetch, warp tiles) runs in tier-1 as the
+# SchedKernelGen.* tests; this exercises the headline kernels on both device
+# timing models.
+for dev in rtx2070 t4; do
+  ./build/examples/tcgemm_cli schedule --device "$dev" >/dev/null
+  ./build/examples/tcgemm_cli schedule --baseline --device "$dev" >/dev/null
+  ./build/examples/tcgemm_cli schedule --wmma --device "$dev" >/dev/null
+done
+
 if [[ "$FAST" == 1 ]]; then
   echo "== done (fast mode: sanitizer build skipped) =="
   exit 0

@@ -30,17 +30,19 @@
 #include <vector>
 
 #include "sass/diag.hpp"
+#include "sass/latency.hpp"
 #include "sass/program.hpp"
-#include "sass/validator.hpp"  // sass::LatencyFn
 
 namespace tc::check {
 
-/// Latency inputs for the analysis. The defaults mirror src/sim/pipes.hpp;
-/// tests substitute small deterministic tables.
+/// Latency inputs for the analysis. The defaults are the shared latency
+/// table (sass/latency.hpp) — the same one the timed simulator executes —
+/// so a default-constructed model IS the simulator's model. Tests substitute
+/// small deterministic tables.
 struct LatencyModel {
-  sass::LatencyFn fixed = nullptr;  // required: cycles until dst+off is readable
-  int branch_redirect = 10;         // min issue gap across a taken branch
-  int predicate_latency = 6;        // ISETP issue -> predicate visibility
+  sass::LatencyFn fixed = &sass::fixed_latency;  // cycles until dst+off is readable
+  int branch_redirect = sass::kBranchRedirectCycles;  // min issue gap across a taken branch
+  int predicate_latency = sass::kPredicateLatency;  // ISETP issue -> predicate visibility
 };
 
 /// The timed simulator's own latency table (sim::fixed_latency et al.).

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "sass/builder.hpp"
+#include "sched/schedule.hpp"
 
 namespace tc::core {
 
@@ -36,8 +37,6 @@ struct SlabPlan {
   int addr_reg = 0;        // global address register
   int sts_reg = 0;         // smem store-address register
   int frag_reg = 0;        // smem fragment-load-address register
-  int ldg_bar = 0;         // scoreboard barrier set by the LDG group
-  int sts_bar = 0;         // read barrier set by the STS group
 };
 
 /// Generates the blocked HGEMM per the plan in the header. Layout math
@@ -45,10 +44,16 @@ struct SlabPlan {
 /// their fragment-register word order, so LDS.32 with lane-linear addresses
 /// (lane*4) yields row-major A fragments and column-major B fragments
 /// directly (Fig. 1/2) — and covers banks 0..31 exactly once.
+///
+/// The generator emits the *virtual* program: semantic instruction order —
+/// including the paper's compute/memory interleave, which the scheduler
+/// preserves (memory ops are anchored) — but no stall counts, scoreboard
+/// barriers, or wait masks. tc::sched::schedule() derives all of those from
+/// the shared latency table; hgemm_kernel() is schedule(hgemm_kernel_virtual()).
 class HgemmGenerator {
  public:
   HgemmGenerator(const HgemmConfig& cfg, const GemmShape& shape, const Epilogue& ep)
-      : cfg_(cfg), shape_(shape), ep_(ep), b_(cfg.name()) {
+      : cfg_(cfg), shape_(shape), ep_(ep), b_(cfg.name(), /*unscheduled=*/true) {
     cfg_.check();
     TC_CHECK(shape.m % static_cast<std::size_t>(cfg.bm) == 0 &&
                  shape.n % static_cast<std::size_t>(cfg.bn) == 0 &&
@@ -98,11 +103,6 @@ class HgemmGenerator {
     t3_ = misc + 11;
     TC_CHECK(misc + 12 <= 254, "register budget exceeded for config " + cfg_.name());
     TC_CHECK(!half(ep_.beta).is_nan() && !half(ep_.alpha).is_nan(), "NaN GEMM scalars");
-
-    a_.ldg_bar = 0;
-    bb_.ldg_bar = 1;
-    a_.sts_bar = 2;
-    bb_.sts_bar = 3;
   }
 
   sass::Program generate() {
@@ -162,39 +162,38 @@ class HgemmGenerator {
     const auto n2 = static_cast<std::int32_t>(shape_.n) * 2;
 
     // lane7 = tid & 7 lives in t3_ for the whole slab-address section.
-    b_.s2r(R(t0_), SpecialReg::kTidX).stall(13);
-    b_.land_imm(R(t3_), R(t0_), 7).stall(6);
+    b_.s2r(R(t0_), SpecialReg::kTidX);
+    b_.land_imm(R(t3_), R(t0_), 7);
 
     // --- global-load and shared-store addresses per slab ----------------------
     for (SlabPlan* sp : {&a_, &bb_}) {
       SlabPlan& s = *sp;
       const bool is_a = sp == &a_;
       // addr = P + (blk*dim + w*8 + lane7)*k*2 + cbq*16
-      b_.mov_param(R(s.addr_reg), is_a ? 0 : 1).stall(1);
-      b_.s2r(R(s.sts_reg), SpecialReg::kTidX).stall(1);  // tid scratch
-      b_.s2r(R(t1_), is_a ? SpecialReg::kCtaIdY : SpecialReg::kCtaIdX).stall(13);
-      b_.imad_imm(R(t0_), R(t1_), (is_a ? cfg_.bm : cfg_.bn) * k2, R(s.addr_reg)).stall(6);
-      b_.shr(R(s.frag_reg), R(s.sts_reg), 5).stall(6);   // w
-      b_.shl(R(t2_), R(s.frag_reg), 3).stall(6);         // w8
-      b_.iadd3(R(t2_), R(t2_), R(t3_)).stall(6);         // w8 + lane7
-      b_.imad_imm(R(t0_), R(t2_), k2, R(t0_)).stall(6);
-      b_.land_imm(R(t1_), R(s.sts_reg), 31).stall(6);
-      b_.shr(R(t1_), R(t1_), 3).stall(6);                // cbq = (tid&31)>>3
-      b_.imad_imm(R(s.addr_reg), R(t1_), 16, R(t0_)).stall(6);
+      b_.mov_param(R(s.addr_reg), is_a ? 0 : 1);
+      b_.s2r(R(s.sts_reg), SpecialReg::kTidX);  // tid scratch
+      b_.s2r(R(t1_), is_a ? SpecialReg::kCtaIdY : SpecialReg::kCtaIdX);
+      b_.imad_imm(R(t0_), R(t1_), (is_a ? cfg_.bm : cfg_.bn) * k2, R(s.addr_reg));
+      b_.shr(R(s.frag_reg), R(s.sts_reg), 5);   // w
+      b_.shl(R(t2_), R(s.frag_reg), 3);         // w8
+      b_.iadd3(R(t2_), R(t2_), R(t3_));         // w8 + lane7
+      b_.imad_imm(R(t0_), R(t2_), k2, R(t0_));
+      b_.land_imm(R(t1_), R(s.sts_reg), 31);
+      b_.shr(R(t1_), R(t1_), 3);                // cbq = (tid&31)>>3
+      b_.imad_imm(R(s.addr_reg), R(t1_), 16, R(t0_));
 
       // STS base. Tile layouts: smem + w*tile_row_stride + cbq*128 + lane7*16.
       // Naive: smem + ((w8+lane7)*bk + cbq*8)*2.
       if (tile_layout()) {
-        b_.imad_imm(R(s.sts_reg), R(s.frag_reg), tile_row_stride(), RZ).stall(6);
-        b_.imad_imm(R(s.sts_reg), R(t1_), 128, R(s.sts_reg)).stall(6);
-        b_.imad_imm(R(s.sts_reg), R(t3_), 16, R(s.sts_reg)).stall(6);
+        b_.imad_imm(R(s.sts_reg), R(s.frag_reg), tile_row_stride(), RZ);
+        b_.imad_imm(R(s.sts_reg), R(t1_), 128, R(s.sts_reg));
+        b_.imad_imm(R(s.sts_reg), R(t3_), 16, R(s.sts_reg));
       } else {
-        b_.imad_imm(R(s.sts_reg), R(t2_), cfg_.bk * 2, RZ).stall(6);
-        b_.imad_imm(R(s.sts_reg), R(t1_), 16, R(s.sts_reg)).stall(6);
+        b_.imad_imm(R(s.sts_reg), R(t2_), cfg_.bk * 2, RZ);
+        b_.imad_imm(R(s.sts_reg), R(t1_), 16, R(s.sts_reg));
       }
       if (s.smem_base != 0) {
-        b_.iadd_imm(R(s.sts_reg), R(s.sts_reg), static_cast<std::int32_t>(s.smem_base))
-            .stall(6);
+        b_.iadd_imm(R(s.sts_reg), R(s.sts_reg), static_cast<std::int32_t>(s.smem_base));
       }
     }
 
@@ -202,115 +201,102 @@ class HgemmGenerator {
     // lane = tid&31, w = tid>>5, wy = w >> log2(bn/wn), wx = w & (bn/wn - 1).
     const int wn_cols = cfg_.bn / cfg_.wn;
     const int wx_shift = std::countr_zero(static_cast<unsigned>(wn_cols));
-    b_.s2r(R(t0_), SpecialReg::kTidX).stall(13);
-    b_.land_imm(R(t3_), R(t0_), 31).stall(6);  // lane
-    b_.shr(R(t0_), R(t0_), 5).stall(6);        // w
-    b_.shr(R(t2_), R(t0_), wx_shift).stall(6); // wy
-    b_.land_imm(R(t1_), R(t0_), wn_cols - 1).stall(6);  // wx
+    b_.s2r(R(t0_), SpecialReg::kTidX);
+    b_.land_imm(R(t3_), R(t0_), 31);  // lane
+    b_.shr(R(t0_), R(t0_), 5);        // w
+    b_.shr(R(t2_), R(t0_), wx_shift); // wy
+    b_.land_imm(R(t1_), R(t0_), wn_cols - 1);  // wx
 
     if (tile_layout()) {
-      b_.imad_imm(R(a_.frag_reg), R(t2_), (cfg_.wm / 8) * tile_row_stride(), RZ).stall(6);
-      b_.imad_imm(R(a_.frag_reg), R(t3_), 4, R(a_.frag_reg)).stall(6);
-      b_.imad_imm(R(bb_.frag_reg), R(t1_), (cfg_.wn / 8) * tile_row_stride(), RZ).stall(6);
-      b_.imad_imm(R(bb_.frag_reg), R(t3_), 4, R(bb_.frag_reg)).stall(6);
+      b_.imad_imm(R(a_.frag_reg), R(t2_), (cfg_.wm / 8) * tile_row_stride(), RZ);
+      b_.imad_imm(R(a_.frag_reg), R(t3_), 4, R(a_.frag_reg));
+      b_.imad_imm(R(bb_.frag_reg), R(t1_), (cfg_.wn / 8) * tile_row_stride(), RZ);
+      b_.imad_imm(R(bb_.frag_reg), R(t3_), 4, R(bb_.frag_reg));
     } else {
       // lane part of a naive 8x8-tile access: (l/4)*bk*2 + (l%4)*4.
-      b_.shr(R(t0_), R(t3_), 2).stall(6);
-      b_.imad_imm(R(t0_), R(t0_), cfg_.bk * 2, RZ).stall(6);
-      b_.land_imm(R(rCAddr_), R(t3_), 3).stall(6);
-      b_.imad_imm(R(t0_), R(rCAddr_), 4, R(t0_)).stall(6);
-      b_.imad_imm(R(a_.frag_reg), R(t2_), cfg_.wm * cfg_.bk * 2, R(t0_)).stall(6);
-      b_.imad_imm(R(bb_.frag_reg), R(t1_), cfg_.wn * cfg_.bk * 2, R(t0_)).stall(6);
+      b_.shr(R(t0_), R(t3_), 2);
+      b_.imad_imm(R(t0_), R(t0_), cfg_.bk * 2, RZ);
+      b_.land_imm(R(rCAddr_), R(t3_), 3);
+      b_.imad_imm(R(t0_), R(rCAddr_), 4, R(t0_));
+      b_.imad_imm(R(a_.frag_reg), R(t2_), cfg_.wm * cfg_.bk * 2, R(t0_));
+      b_.imad_imm(R(bb_.frag_reg), R(t1_), cfg_.wn * cfg_.bk * 2, R(t0_));
     }
     if (bb_.smem_base != 0) {
-      b_.iadd_imm(R(bb_.frag_reg), R(bb_.frag_reg), static_cast<std::int32_t>(bb_.smem_base))
-          .stall(6);
+      b_.iadd_imm(R(bb_.frag_reg), R(bb_.frag_reg), static_cast<std::int32_t>(bb_.smem_base));
     }
 
     // --- C epilogue base ----------------------------------------------------
     // cAddr = C + ((by*bm + wy*wm + l/4)*n + bx*bn + wx*wn + 2*(l%4))*2.
     // t2 = wy, t1 = wx, t3 = lane at this point.
-    b_.mov_param(R(rCAddr_), 2).stall(1);
-    b_.s2r(R(t0_), SpecialReg::kCtaIdY).stall(13);
-    b_.imad_imm(R(t0_), R(t0_), cfg_.bm, RZ).stall(6);
-    b_.imad_imm(R(t0_), R(t2_), cfg_.wm, R(t0_)).stall(6);
-    b_.shr(R(t2_), R(t3_), 2).stall(6);  // l/4 (wy no longer needed)
-    b_.iadd3(R(t0_), R(t0_), R(t2_)).stall(6);
-    b_.imad_imm(R(t0_), R(t0_), n2, R(rCAddr_)).stall(6);
-    b_.s2r(R(t2_), SpecialReg::kCtaIdX).stall(13);
-    b_.imad_imm(R(t0_), R(t2_), cfg_.bn * 2, R(t0_)).stall(6);
-    b_.imad_imm(R(t0_), R(t1_), cfg_.wn * 2, R(t0_)).stall(6);
-    b_.land_imm(R(t1_), R(t3_), 3).stall(6);  // l%4
-    b_.imad_imm(R(rCAddr_), R(t1_), 4, R(t0_)).stall(6);
+    b_.mov_param(R(rCAddr_), 2);
+    b_.s2r(R(t0_), SpecialReg::kCtaIdY);
+    b_.imad_imm(R(t0_), R(t0_), cfg_.bm, RZ);
+    b_.imad_imm(R(t0_), R(t2_), cfg_.wm, R(t0_));
+    b_.shr(R(t2_), R(t3_), 2);  // l/4 (wy no longer needed)
+    b_.iadd3(R(t0_), R(t0_), R(t2_));
+    b_.imad_imm(R(t0_), R(t0_), n2, R(rCAddr_));
+    b_.s2r(R(t2_), SpecialReg::kCtaIdX);
+    b_.imad_imm(R(t0_), R(t2_), cfg_.bn * 2, R(t0_));
+    b_.imad_imm(R(t0_), R(t1_), cfg_.wn * 2, R(t0_));
+    b_.land_imm(R(t1_), R(t3_), 3);  // l%4
+    b_.imad_imm(R(rCAddr_), R(t1_), 4, R(t0_));
 
     // --- zero the accumulators ------------------------------------------------
-    for (int r = 0; r < nC_; ++r) b_.mov_imm(R(rC_ + r), 0).stall(1);
-    b_.nop().stall(6);
+    for (int r = 0; r < nC_; ++r) b_.mov_imm(R(rC_ + r), 0);
 
     // --- slab 0: load, store, sync ---------------------------------------------
-    emit_ldg_group(a_, /*wait_sts=*/false, /*guard=*/-1);
-    emit_ldg_group(bb_, false, -1);
+    emit_ldg_group(a_, /*guard=*/-1);
+    emit_ldg_group(bb_, -1);
     emit_addr_advance();
-    emit_sts_group(a_, /*wait_ldg=*/true);
-    emit_sts_group(bb_, true);
-    b_.bar_sync().stall(1);
+    emit_sts_group(a_);
+    emit_sts_group(bb_);
+    b_.bar_sync();
 
     if (cfg_.prefetch) {
-      emit_ldg_group(a_, /*wait_sts=*/true, -1);  // slab 1 into staging
-      emit_ldg_group(bb_, true, -1);
+      emit_ldg_group(a_, -1);  // slab 1 into staging
+      emit_ldg_group(bb_, -1);
       emit_addr_advance();
     }
 
     emit_lds_group(/*kstep=*/0, /*buf=*/0);  // fragments for k-step 0
 
-    b_.mov_imm(R(rIter_), iters_).stall(6);
+    b_.mov_imm(R(rIter_), iters_);
   }
 
   // --- groups -----------------------------------------------------------------
 
   /// One prefetch LDG.128. `guard` < 0 means unguarded; otherwise the
   /// predicate index gating it (P1 = "two more iterations exist" on the
-  /// prefetch path, P0 = "one more iteration exists" without prefetch).
-  /// `wait_sts` makes it wait for this slab's STS group to have consumed the
-  /// staging registers (WAR protection via the read barrier).
-  void emit_ldg(const SlabPlan& s, int t, int guard, bool wait_sts) {
+  /// prefetch path, P0 = "one more iteration exists" without prefetch). The
+  /// WAR protection against the STS group still reading the staging
+  /// registers is the scheduler's job (read-barrier demand on the STS,
+  /// waited at its first overwriter — exactly this LDG).
+  void emit_ldg(const SlabPlan& s, int t, int guard) {
     b_.ldg(MemWidth::k128, R(s.stage_base + 4 * t), R(s.addr_reg), ldg_offset(s, t),
-           CacheOp::kCa)
-        .write_bar(s.ldg_bar)
-        .stall(1);
-    if (wait_sts) b_.wait_on(s.sts_bar);
+           CacheOp::kCa);
     if (guard >= 0) b_.pred(Pred{static_cast<std::uint8_t>(guard)});
   }
 
-  void emit_ldg_group(const SlabPlan& s, bool wait_sts, int guard) {
-    for (int t = 0; t < s.ldg_slots; ++t) {
-      emit_ldg(s, t, guard, wait_sts && t == 0);
-    }
+  void emit_ldg_group(const SlabPlan& s, int guard) {
+    for (int t = 0; t < s.ldg_slots; ++t) emit_ldg(s, t, guard);
   }
 
   void emit_addr_advance() {
-    b_.iadd_imm(R(a_.addr_reg), R(a_.addr_reg), cfg_.bk * 2).stall(1);
-    b_.iadd_imm(R(bb_.addr_reg), R(bb_.addr_reg), cfg_.bk * 2).stall(1);
+    b_.iadd_imm(R(a_.addr_reg), R(a_.addr_reg), cfg_.bk * 2);
+    b_.iadd_imm(R(bb_.addr_reg), R(bb_.addr_reg), cfg_.bk * 2);
   }
 
   void emit_sts(const SlabPlan& s, int t) {
-    b_.sts(MemWidth::k128, R(s.sts_reg), R(s.stage_base + 4 * t), sts_offset(s, t))
-        .read_bar(s.sts_bar)
-        .stall(1);
+    b_.sts(MemWidth::k128, R(s.sts_reg), R(s.stage_base + 4 * t), sts_offset(s, t));
   }
 
-  void emit_sts_group(const SlabPlan& s, bool wait_ldg) {
-    for (int t = 0; t < s.ldg_slots; ++t) {
-      emit_sts(s, t);
-      if (t == 0 && wait_ldg) b_.wait_on(s.ldg_bar);
-    }
+  void emit_sts_group(const SlabPlan& s) {
+    for (int t = 0; t < s.ldg_slots; ++t) emit_sts(s, t);
   }
 
   void emit_lds(const SlabPlan& s, int frag_index, int kstep, int buf) {
     const int base = (&s == &a_) ? rA_[buf] : rB_[buf];
-    b_.lds(MemWidth::k32, R(base + frag_index), R(s.frag_reg), frag_offset(frag_index, kstep))
-        .write_bar(4)
-        .stall(1);
+    b_.lds(MemWidth::k32, R(base + frag_index), R(s.frag_reg), frag_offset(frag_index, kstep));
   }
 
   void emit_lds_group(int kstep, int buf) {
@@ -383,16 +369,16 @@ class HgemmGenerator {
         emitted_mem = true;
       }
       // Prefetch LDGs for slab i+2, each slab's group as soon as its STS
-      // group has consumed the staging registers (guarded by the read
-      // barrier), one LDG every other HMMA.
+      // group has consumed the staging registers (the scheduler's read
+      // barriers enforce the WAR), one LDG every other HMMA.
       if (interleave_sts && !emitted_mem && (h >= H || hmma_since_ldg >= 2)) {
         if (next_ldg_a < a_.ldg_slots && static_cast<int>(next_sts) >= sts_a_count) {
-          emit_ldg(a_, next_ldg_a, /*guard=*/1, /*wait_sts=*/next_ldg_a == 0);
+          emit_ldg(a_, next_ldg_a, /*guard=*/1);
           ++next_ldg_a;
           hmma_since_ldg = 0;
           emitted_mem = true;
         } else if (next_ldg_b < bb_.ldg_slots && next_sts == sts_ops.size()) {
-          emit_ldg(bb_, next_ldg_b, 1, next_ldg_b == 0);
+          emit_ldg(bb_, next_ldg_b, 1);
           ++next_ldg_b;
           hmma_since_ldg = 0;
           emitted_mem = true;
@@ -402,7 +388,7 @@ class HgemmGenerator {
       // then the new slab's first fragment group, one load per HMMA slot.
       if (interleave_sts && next_sts == sts_ops.size()) {
         if (!bar_emitted) {
-          b_.bar_sync().stall(1);
+          b_.bar_sync();
           bar_emitted = true;
         }
         while (next_lds0 < lds0_ops.size()) {
@@ -418,11 +404,11 @@ class HgemmGenerator {
       // Final flush must also drain the prefetch LDGs.
       if (h >= H) {
         while (next_ldg_a < a_.ldg_slots) {
-          emit_ldg(a_, next_ldg_a, 1, next_ldg_a == 0);
+          emit_ldg(a_, next_ldg_a, 1);
           ++next_ldg_a;
         }
         while (next_ldg_b < bb_.ldg_slots) {
-          emit_ldg(bb_, next_ldg_b, 1, next_ldg_b == 0);
+          emit_ldg(bb_, next_ldg_b, 1);
           ++next_ldg_b;
         }
       }
@@ -432,8 +418,7 @@ class HgemmGenerator {
       for (int nj = 0; nj < cfg_.wn / 8; ++nj) {
         const int h = mi * (cfg_.wn / 8) + nj;
         const int cpair = rC_ + h * 2;
-        b_.hmma_1688_f16(R(cpair), R(rA_[buf] + 2 * mi), R(rB_[buf] + nj), R(cpair)).stall(1);
-        if (h == 0) b_.wait_on(4);
+        b_.hmma_1688_f16(R(cpair), R(rA_[buf] + 2 * mi), R(rB_[buf] + nj), R(cpair));
         ++hmma_since_sts;
         emit_pending(h + 1);
       }
@@ -445,12 +430,12 @@ class HgemmGenerator {
 
   void emit_body() {
     b_.label("body");
-    // The ISETPs read the decremented counter: the ALU latency (6 cycles)
-    // must elapse before they issue, or they observe the stale value and the
-    // loop runs one extra iteration (a real SASS hazard).
-    b_.iadd_imm(R(rIter_), R(rIter_), -1).stall(6);
-    b_.isetp_imm(Pred{0}, CmpOp::kGt, R(rIter_), 0).stall(1);
-    b_.isetp_imm(Pred{1}, CmpOp::kGt, R(rIter_), 1).stall(1);
+    // The ISETPs read the decremented counter — on silicon the ALU latency
+    // must elapse first or the loop runs one extra iteration. The scheduler
+    // derives that spacing (and the predicate-to-BRA gap) from the table.
+    b_.iadd_imm(R(rIter_), R(rIter_), -1);
+    b_.isetp_imm(Pred{0}, CmpOp::kGt, R(rIter_), 0);
+    b_.isetp_imm(Pred{1}, CmpOp::kGt, R(rIter_), 1);
 
     if (!cfg_.prefetch) {
       // Ablation path: compute first, then load the next slab with the DRAM
@@ -458,15 +443,15 @@ class HgemmGenerator {
       for (int s = 0; s < ksteps_; ++s) {
         emit_kstep(s, /*interleave_lds=*/s + 1 < ksteps_, /*interleave_sts=*/false);
       }
-      emit_ldg_group(a_, /*wait_sts=*/true, /*guard=*/0);   // P0: one more iteration
-      emit_ldg_group(bb_, true, 0);
+      emit_ldg_group(a_, /*guard=*/0);   // P0: one more iteration
+      emit_ldg_group(bb_, 0);
       emit_addr_advance();
-      b_.bar_sync().stall(1);  // every warp done reading the old slab
-      emit_sts_group(a_, /*wait_ldg=*/true);
-      emit_sts_group(bb_, true);
-      b_.bar_sync().stall(1);
+      b_.bar_sync();  // every warp done reading the old slab
+      emit_sts_group(a_);
+      emit_sts_group(bb_);
+      b_.bar_sync();
       emit_lds_group(0, 0);
-      b_.bra("body").pred(Pred{0}).stall(1);
+      b_.bra("body").pred(Pred{0});
       return;
     }
 
@@ -475,21 +460,20 @@ class HgemmGenerator {
       emit_kstep(s, /*interleave_lds=*/true, /*interleave_sts=*/false);
     }
 
-    // Store k-step. Arriving at the barrier implies this warp's fragment
-    // loads completed (wait 4) and its staging registers hold slab i+1
-    // (waits 0/1), so after the barrier the slab can be overwritten. The
-    // k-step itself interleaves STS, a mid-stream barrier and the new slab's
-    // k-step-0 fragment loads (see emit_kstep).
-    b_.bar_sync().wait_on(4).wait_on(a_.ldg_bar).wait_on(bb_.ldg_bar).stall(1);
+    // Store k-step. Arriving at the barrier means the old slab can be
+    // overwritten; the scheduler drains this warp's in-flight fragment reads
+    // at the BAR.SYNC and holds the STS group on the staging registers'
+    // write barriers. The k-step itself interleaves STS, a mid-stream
+    // barrier and the new slab's k-step-0 fragment loads (see emit_kstep).
+    b_.bar_sync();
     emit_kstep(ksteps_ - 1, /*interleave_lds=*/false, /*interleave_sts=*/true);
     emit_addr_advance();
-    b_.bra("body").pred(Pred{0}).stall(1);
+    b_.bra("body").pred(Pred{0});
   }
 
   // --- epilogue -----------------------------------------------------------------
 
   void emit_epilogue() {
-    b_.nop().stall(15);  // drain the last HMMA writebacks
     const auto n2 = static_cast<std::int32_t>(shape_.n) * 2;
     const bool scaled = !ep_.is_default();
     const bool reload = half(ep_.beta).to_float() != 0.0f;
@@ -497,8 +481,8 @@ class HgemmGenerator {
       // alpha/beta as packed half2 immediates (each lane scales two halves).
       const half ah(ep_.alpha);
       const half bh(ep_.beta);
-      b_.mov_imm(R(t1_), static_cast<std::int32_t>(half2{ah, ah}.pack())).stall(1);
-      b_.mov_imm(R(t2_), static_cast<std::int32_t>(half2{bh, bh}.pack())).stall(6);
+      b_.mov_imm(R(t1_), static_cast<std::int32_t>(half2{ah, ah}.pack()));
+      b_.mov_imm(R(t2_), static_cast<std::int32_t>(half2{bh, bh}.pack()));
     }
     for (int mi = 0; mi < cfg_.wm / 16; ++mi) {
       for (int nj = 0; nj < cfg_.wn / 8; ++nj) {
@@ -506,18 +490,18 @@ class HgemmGenerator {
         for (int part = 0; part < 2; ++part) {
           const std::int32_t off = mi * 16 * n2 + nj * 8 * 2 + part * 8 * n2;
           if (!scaled) {
-            b_.stg(MemWidth::k32, R(rCAddr_), R(cpair + part), off).stall(1);
+            b_.stg(MemWidth::k32, R(rCAddr_), R(cpair + part), off);
             continue;
           }
           // val = round(beta*Cold) then round(alpha*acc + val), per element.
           if (reload) {
-            b_.ldg(MemWidth::k32, R(t0_), R(rCAddr_), off).write_bar(0).stall(1);
-            b_.hmul2(R(t3_), R(t2_), R(t0_)).wait_on(0).stall(6);
+            b_.ldg(MemWidth::k32, R(t0_), R(rCAddr_), off);
+            b_.hmul2(R(t3_), R(t2_), R(t0_));
           } else {
-            b_.mov_imm(R(t3_), 0).stall(6);
+            b_.mov_imm(R(t3_), 0);
           }
-          b_.hfma2(R(t3_), R(t1_), R(cpair + part), R(t3_)).stall(6);
-          b_.stg(MemWidth::k32, R(rCAddr_), R(t3_), off).stall(1);
+          b_.hfma2(R(t3_), R(t1_), R(cpair + part), R(t3_));
+          b_.stg(MemWidth::k32, R(rCAddr_), R(t3_), off);
         }
       }
     }
@@ -549,15 +533,20 @@ class HgemmGenerator {
 
 }  // namespace
 
-sass::Program hgemm_kernel(const HgemmConfig& cfg, const GemmShape& shape,
-                           const Epilogue& epilogue) {
+sass::Program hgemm_kernel_virtual(const HgemmConfig& cfg, const GemmShape& shape,
+                                   const Epilogue& epilogue) {
   return HgemmGenerator(cfg, shape, epilogue).generate();
 }
 
-sass::Program wmma_naive_kernel(const GemmShape& shape) {
+sass::Program hgemm_kernel(const HgemmConfig& cfg, const GemmShape& shape,
+                           const Epilogue& epilogue) {
+  return sched::schedule(hgemm_kernel_virtual(cfg, shape, epilogue));
+}
+
+sass::Program wmma_naive_kernel_virtual(const GemmShape& shape) {
   TC_CHECK(shape.m % 16 == 0 && shape.n % 128 == 0 && shape.k % 16 == 0,
            "wmma_naive needs m%16 == 0, n%128 == 0, k%16 == 0 (the hgemm API pads)");
-  KernelBuilder b("hgemm_wmma_naive");
+  KernelBuilder b("hgemm_wmma_naive", /*unscheduled=*/true);
   b.threads(256);
 
   // Each warp computes one 16x16 C tile at (by*16, bx*128 + w*16), loading
@@ -565,71 +554,74 @@ sass::Program wmma_naive_kernel(const GemmShape& shape) {
   const auto k2 = static_cast<std::int32_t>(shape.k) * 2;
   const auto n2 = static_cast<std::int32_t>(shape.n) * 2;
 
-  b.s2r(R(40), SpecialReg::kTidX).stall(1);
-  b.s2r(R(41), SpecialReg::kCtaIdX).stall(1);
-  b.s2r(R(42), SpecialReg::kCtaIdY).stall(13);
+  b.s2r(R(40), SpecialReg::kTidX);
+  b.s2r(R(41), SpecialReg::kCtaIdX);
+  b.s2r(R(42), SpecialReg::kCtaIdY);
 
-  b.land_imm(R(43), R(40), 31).stall(6);  // lane
-  b.shr(R(44), R(43), 2).stall(6);        // l/4
-  b.land_imm(R(45), R(43), 3).stall(6);   // l%4
-  b.shr(R(46), R(40), 5).stall(6);        // warp
+  b.land_imm(R(43), R(40), 31);  // lane
+  b.shr(R(44), R(43), 2);        // l/4
+  b.land_imm(R(45), R(43), 3);   // l%4
+  b.shr(R(46), R(40), 5);        // warp
 
   // A fragment address: A + ((by*16 + l/4)*k + 2*(l%4))*2; hi tile +8 rows.
-  b.mov_param(R(32), 0).stall(13);
-  b.imad_imm(R(47), R(42), 16, RZ).stall(6);
-  b.iadd3(R(47), R(47), R(44)).stall(6);
-  b.imad_imm(R(47), R(47), k2, R(32)).stall(6);
-  b.imad_imm(R(32), R(45), 4, R(47)).stall(6);
+  b.mov_param(R(32), 0);
+  b.imad_imm(R(47), R(42), 16, RZ);
+  b.iadd3(R(47), R(47), R(44));
+  b.imad_imm(R(47), R(47), k2, R(32));
+  b.imad_imm(R(32), R(45), 4, R(47));
 
   // B fragment address: Bt + ((bx*128 + w*16 + l/4)*k + 2*(l%4))*2.
-  b.mov_param(R(33), 1).stall(13);
-  b.imad_imm(R(48), R(41), 128, RZ).stall(6);
-  b.imad_imm(R(48), R(46), 16, R(48)).stall(6);
-  b.iadd3(R(48), R(48), R(44)).stall(6);
-  b.imad_imm(R(48), R(48), k2, R(33)).stall(6);
-  b.imad_imm(R(33), R(45), 4, R(48)).stall(6);
+  b.mov_param(R(33), 1);
+  b.imad_imm(R(48), R(41), 128, RZ);
+  b.imad_imm(R(48), R(46), 16, R(48));
+  b.iadd3(R(48), R(48), R(44));
+  b.imad_imm(R(48), R(48), k2, R(33));
+  b.imad_imm(R(33), R(45), 4, R(48));
 
   // C address: C + ((by*16 + l/4)*n + bx*128 + w*16 + 2*(l%4))*2.
-  b.mov_param(R(34), 2).stall(13);
-  b.imad_imm(R(49), R(42), 16, RZ).stall(6);
-  b.iadd3(R(49), R(49), R(44)).stall(6);
-  b.imad_imm(R(49), R(49), n2, R(34)).stall(6);
-  b.imad_imm(R(49), R(41), 256, R(49)).stall(6);
-  b.imad_imm(R(49), R(46), 32, R(49)).stall(6);
-  b.imad_imm(R(34), R(45), 4, R(49)).stall(6);
+  b.mov_param(R(34), 2);
+  b.imad_imm(R(49), R(42), 16, RZ);
+  b.iadd3(R(49), R(49), R(44));
+  b.imad_imm(R(49), R(49), n2, R(34));
+  b.imad_imm(R(49), R(41), 256, R(49));
+  b.imad_imm(R(49), R(46), 32, R(49));
+  b.imad_imm(R(34), R(45), 4, R(49));
 
-  for (int r = 12; r <= 15; ++r) b.mov_imm(R(r), 0).stall(1);
-  b.mov_imm(R(35), static_cast<std::int32_t>(shape.k / 16)).stall(6);
+  for (int r = 12; r <= 15; ++r) b.mov_imm(R(r), 0);
+  b.mov_imm(R(35), static_cast<std::int32_t>(shape.k / 16));
 
   b.label("loop");
-  b.iadd_imm(R(35), R(35), -1).stall(6);  // ALU latency before the compare
-  b.isetp_imm(Pred{0}, CmpOp::kGt, R(35), 0).stall(1);
+  b.iadd_imm(R(35), R(35), -1);
+  b.isetp_imm(Pred{0}, CmpOp::kGt, R(35), 0);
   // A 16x16 = {lo,hi} x {k0,k1} tiles; B 16x16 likewise by column group.
-  b.ldg(MemWidth::k32, R(2), R(32), 0).write_bar(0).stall(1);             // A lo k0
-  b.ldg(MemWidth::k32, R(4), R(32), 16).write_bar(0).stall(1);            // A lo k1
-  b.ldg(MemWidth::k32, R(3), R(32), 8 * k2).write_bar(0).stall(1);        // A hi k0
-  b.ldg(MemWidth::k32, R(5), R(32), 8 * k2 + 16).write_bar(0).stall(1);   // A hi k1
-  b.ldg(MemWidth::k32, R(8), R(33), 0).write_bar(1).stall(1);             // B c0-7 k0
-  b.ldg(MemWidth::k32, R(9), R(33), 16).write_bar(1).stall(1);            // B c0-7 k1
-  b.ldg(MemWidth::k32, R(10), R(33), 8 * k2).write_bar(1).stall(1);       // B c8-15 k0
-  b.ldg(MemWidth::k32, R(11), R(33), 8 * k2 + 16).write_bar(1).stall(1);  // B c8-15 k1
-  b.iadd_imm(R(32), R(32), 32).stall(1);
-  b.iadd_imm(R(33), R(33), 32).stall(1);
-  // Interleave the two accumulator pairs so the 8-cycle HMMA pipe spacing
-  // covers the 14-cycle in-place accumulation latency.
-  b.hmma_1688_f16(R(12), R(2), R(8), R(12)).wait_on(0).wait_on(1).stall(8);
-  b.hmma_1688_f16(R(14), R(2), R(10), R(14)).stall(8);
-  b.hmma_1688_f16(R(12), R(4), R(9), R(12)).stall(8);
-  b.hmma_1688_f16(R(14), R(4), R(11), R(14)).stall(8);
-  b.bra("loop").pred(Pred{0}).stall(1);
+  b.ldg(MemWidth::k32, R(2), R(32), 0);             // A lo k0
+  b.ldg(MemWidth::k32, R(4), R(32), 16);            // A lo k1
+  b.ldg(MemWidth::k32, R(3), R(32), 8 * k2);        // A hi k0
+  b.ldg(MemWidth::k32, R(5), R(32), 8 * k2 + 16);   // A hi k1
+  b.ldg(MemWidth::k32, R(8), R(33), 0);             // B c0-7 k0
+  b.ldg(MemWidth::k32, R(9), R(33), 16);            // B c0-7 k1
+  b.ldg(MemWidth::k32, R(10), R(33), 8 * k2);       // B c8-15 k0
+  b.ldg(MemWidth::k32, R(11), R(33), 8 * k2 + 16);  // B c8-15 k1
+  b.iadd_imm(R(32), R(32), 32);
+  b.iadd_imm(R(33), R(33), 32);
+  // Interleave the two accumulator pairs so the in-place accumulation
+  // latency overlaps the other pair's issue (the scheduler spaces them).
+  b.hmma_1688_f16(R(12), R(2), R(8), R(12));
+  b.hmma_1688_f16(R(14), R(2), R(10), R(14));
+  b.hmma_1688_f16(R(12), R(4), R(9), R(12));
+  b.hmma_1688_f16(R(14), R(4), R(11), R(14));
+  b.bra("loop").pred(Pred{0});
 
-  b.nop().stall(15);
-  b.stg(MemWidth::k32, R(34), R(12), 0).stall(1);
-  b.stg(MemWidth::k32, R(34), R(13), 8 * n2).stall(1);
-  b.stg(MemWidth::k32, R(34), R(14), 16).stall(1);
-  b.stg(MemWidth::k32, R(34), R(15), 8 * n2 + 16).stall(1);
+  b.stg(MemWidth::k32, R(34), R(12), 0);
+  b.stg(MemWidth::k32, R(34), R(13), 8 * n2);
+  b.stg(MemWidth::k32, R(34), R(14), 16);
+  b.stg(MemWidth::k32, R(34), R(15), 8 * n2 + 16);
   b.exit();
   return b.finalize();
+}
+
+sass::Program wmma_naive_kernel(const GemmShape& shape) {
+  return sched::schedule(wmma_naive_kernel_virtual(shape));
 }
 
 }  // namespace tc::core

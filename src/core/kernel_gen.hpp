@@ -35,10 +35,20 @@ struct Epilogue {
 [[nodiscard]] sass::Program hgemm_kernel(const HgemmConfig& cfg, const GemmShape& shape,
                                          const Epilogue& epilogue = {});
 
+/// The latency-agnostic form of hgemm_kernel before tc::sched::schedule():
+/// semantic instruction order with default control words. hgemm_kernel() is
+/// exactly schedule() of this program; the CLI's `schedule` subcommand uses
+/// it to compare scheduling modes on the real kernels.
+[[nodiscard]] sass::Program hgemm_kernel_virtual(const HgemmConfig& cfg, const GemmShape& shape,
+                                                 const Epilogue& epilogue = {});
+
 /// Naive WMMA-API-style kernel: each warp computes one 16x16 C tile, loading
 /// fragments straight from global memory (no shared memory staging, no
 /// prefetch) — the ~10%-of-peak baseline reported by Markidis et al. [5].
 /// Grid: (n/128) x (m/16); CTA = 8 warps side by side.
 [[nodiscard]] sass::Program wmma_naive_kernel(const GemmShape& shape);
+
+/// Latency-agnostic form of wmma_naive_kernel (see hgemm_kernel_virtual).
+[[nodiscard]] sass::Program wmma_naive_kernel_virtual(const GemmShape& shape);
 
 }  // namespace tc::core

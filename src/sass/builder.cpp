@@ -7,7 +7,14 @@
 
 namespace tc::sass {
 
-KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+KernelBuilder::KernelBuilder(std::string name, bool unscheduled)
+    : name_(std::move(name)), unscheduled_(unscheduled) {}
+
+void KernelBuilder::check_scheduled_mode(const char* what) const {
+  TC_CHECK(!unscheduled_, std::string("builder '") + name_ + "' is in unscheduled mode: " + what +
+                              " is owned by the scheduler (tc::sched) and must not be set "
+                              "manually");
+}
 
 int KernelBuilder::emit(Instruction inst) {
   TC_CHECK(!finalized_, "builder already finalized");
@@ -28,6 +35,7 @@ Instruction& KernelBuilder::push(Opcode op) {
 }
 
 KernelBuilder& KernelBuilder::stall(int cycles) {
+  check_scheduled_mode("the stall count");
   TC_CHECK(cycles >= 0 && cycles <= 15, "stall count must be 0..15");
   last().ctrl.stall = static_cast<std::uint8_t>(cycles);
   return *this;
@@ -37,26 +45,31 @@ KernelBuilder& KernelBuilder::yield() {
   return *this;
 }
 KernelBuilder& KernelBuilder::write_bar(int idx) {
+  check_scheduled_mode("a write barrier");
   TC_CHECK(idx >= 0 && idx < kNumBarriers, "write barrier must be 0..5");
   last().ctrl.write_barrier = static_cast<std::uint8_t>(idx);
   return *this;
 }
 KernelBuilder& KernelBuilder::read_bar(int idx) {
+  check_scheduled_mode("a read barrier");
   TC_CHECK(idx >= 0 && idx < kNumBarriers, "read barrier must be 0..5");
   last().ctrl.read_barrier = static_cast<std::uint8_t>(idx);
   return *this;
 }
 KernelBuilder& KernelBuilder::wait(std::uint8_t mask) {
+  check_scheduled_mode("a wait mask");
   TC_CHECK(mask < (1u << kNumBarriers), "wait mask has 6 bits");
   last().ctrl.wait_mask |= mask;
   return *this;
 }
 KernelBuilder& KernelBuilder::wait_on(int idx) {
+  check_scheduled_mode("a wait mask");
   TC_CHECK(idx >= 0 && idx < kNumBarriers, "barrier index must be 0..5");
   last().ctrl.wait_mask |= static_cast<std::uint8_t>(1u << idx);
   return *this;
 }
 KernelBuilder& KernelBuilder::reuse(std::uint8_t flags) {
+  check_scheduled_mode("reuse flags");
   last().ctrl.reuse = flags;
   return *this;
 }

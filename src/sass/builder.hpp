@@ -20,7 +20,12 @@ namespace tc::sass {
 
 class KernelBuilder {
  public:
-  explicit KernelBuilder(std::string name);
+  /// `unscheduled` puts the builder in *virtual emission* mode for the
+  /// automatic scheduler (tc::sched): control words stay at their defaults
+  /// and the manual scheduling setters (stall/write_bar/read_bar/wait/
+  /// wait_on/reuse) throw. Predicates and yield hints remain allowed —
+  /// they are semantic, not scheduling.
+  explicit KernelBuilder(std::string name, bool unscheduled = false);
 
   // --- raw emission -------------------------------------------------------
   /// Appends an instruction verbatim and returns its index.
@@ -101,6 +106,7 @@ class KernelBuilder {
 
  private:
   Instruction& push(Opcode op);
+  void check_scheduled_mode(const char* what) const;
 
   std::string name_;
   std::vector<Instruction> code_;
@@ -108,6 +114,7 @@ class KernelBuilder {
   std::vector<std::pair<int, std::string>> fixups_;  // (inst index, label)
   std::uint32_t smem_bytes_ = 0;
   std::uint32_t cta_threads_ = 32;
+  bool unscheduled_ = false;
   bool finalized_ = false;
 };
 

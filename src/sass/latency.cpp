@@ -1,0 +1,22 @@
+#include "sass/latency.hpp"
+
+#include "sass/isa.hpp"
+
+namespace tc::sass {
+
+int fixed_latency(const Instruction& inst, int dreg_offset) {
+  switch (pipe_class(inst.op)) {
+    case PipeClass::kTensor: {
+      const auto counts = mma_reg_counts(inst.op);
+      return dreg_offset < (counts.d + 1) / 2 ? kMmaLatencyLow : kMmaLatencyHigh;
+    }
+    case PipeClass::kFma:
+      return kFmaLatency;
+    case PipeClass::kSpecial:
+      return kSpecialLatency;
+    default:
+      return kAluLatency;
+  }
+}
+
+}  // namespace tc::sass

@@ -1,0 +1,43 @@
+// The single shared latency table of the modeled Turing SM.
+//
+// Every layer that reasons about *when a result becomes readable* — the timed
+// simulator (sim/pipes), the static hazard detector (check/hazard), the
+// stall-slack lint (sass/validator), and the control-word scheduler
+// (sched/schedule) — consumes these constants. They used to be duplicated
+// between sim/pipes.hpp and check::LatencyModel; keeping one copy here is
+// what makes "scheduler output is hazard-free by the detector's rules, and
+// correct under the simulator's rules" a single coherent claim.
+//
+// Sources (paper Table I and Section IV):
+//  * ALU / FMA results land 6 cycles after issue.
+//  * S2R / CS2R / param reads land 12 cycles after issue.
+//  * HMMA destination halves land 10 (low) / 14 (high) cycles after issue.
+//  * Predicates written by ISETP travel the ALU path: 6 cycles.
+//  * A taken branch blocks further issue for 10 cycles (fetch redirect).
+#pragma once
+
+#include "sass/instruction.hpp"
+
+namespace tc::sass {
+
+inline constexpr int kAluLatency = 6;
+inline constexpr int kFmaLatency = 6;
+inline constexpr int kSpecialLatency = 12;  // S2R / CS2R / param reads
+/// HMMA destination halves (paper Table I).
+inline constexpr int kMmaLatencyLow = 10;
+inline constexpr int kMmaLatencyHigh = 14;
+/// ISETP results travel the ALU datapath; guards read them at issue.
+inline constexpr int kPredicateLatency = kAluLatency;
+/// Cycles a taken branch blocks further issue of its warp (fetch redirect).
+inline constexpr int kBranchRedirectCycles = 10;
+
+/// Signature shared by every latency oracle: cycles from issue until
+/// destination register `dst + dreg_offset` of `inst` holds the result.
+using LatencyFn = int (*)(const Instruction& inst, int dreg_offset);
+
+/// The table above as a LatencyFn. Memory loads are variable-latency and are
+/// protected by scoreboard barriers, not stalls; for them this returns the
+/// fixed-pipe default, which callers must not rely on.
+[[nodiscard]] int fixed_latency(const Instruction& inst, int dreg_offset);
+
+}  // namespace tc::sass

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sass/latency.hpp"
 #include "sass/program.hpp"
 
 namespace tc::sass {
@@ -24,12 +25,6 @@ void validate(const Program& prog);
 
 /// Returns human-readable scheduling warnings (empty = clean).
 std::vector<std::string> lint(const Program& prog);
-
-/// Latency oracle for the slack analysis: cycles from issue of `inst` until
-/// destination register `dst + dreg_offset` is readable. The signature
-/// matches tc::sim::fixed_latency exactly, so callers pass the simulator's
-/// latency table straight in (this layer cannot depend on sim).
-using LatencyFn = int (*)(const Instruction& inst, int dreg_offset);
 
 /// Stall-slack analysis on top of lint(): for every fixed-latency
 /// producer/first-consumer pair inside a straight-line segment it compares

@@ -19,7 +19,7 @@ struct WarpRun {
   std::int32_t pc = 0;
   bool exited = false;
   bool at_barrier = false;
-  std::uint64_t executed = 0;
+  std::uint64_t executed = 0;  // lifetime instruction count (budget + stats)
 };
 
 /// Runs one CTA to completion; returns (instructions, hmma_count).
@@ -61,6 +61,9 @@ std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const L
       ImmediateSink sink(*w.regs);
 
       while (true) {
+        // Lifetime budget per warp: `executed` is never reset, so a runaway
+        // loop is caught even when its body contains a BAR.SYNC (where the
+        // warp repeatedly leaves and re-enters this inner stretch).
         TC_CHECK(w.executed < max_warp_instructions,
                  "warp exceeded instruction budget (runaway loop?) in kernel '" + prog.name +
                      "'");
@@ -86,10 +89,6 @@ std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const L
         }
         break;
       }
-      instructions += w.executed;
-      w.executed = 0;  // executed folded into `instructions`; reuse as budget? keep simple:
-      // budget is per-stretch; the runaway guard still catches infinite loops
-      // because a loop with no barrier/exit never leaves the inner while.
       if (w.at_barrier) ++arrived;
     }
 
@@ -99,6 +98,7 @@ std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const L
       for (auto& w : warps) w.at_barrier = false;
     }
   }
+  for (const auto& w : warps) instructions += w.executed;
   if (probe != nullptr) {
     for (int wi = 0; wi < num_warps; ++wi) {
       probe->capture(*warps[static_cast<std::size_t>(wi)].regs, cta_x, cta_y, wi);

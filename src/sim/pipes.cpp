@@ -34,22 +34,6 @@ int pipe_occupancy(const sass::Instruction& inst) {
   }
 }
 
-int fixed_latency(const sass::Instruction& inst, int dreg_offset) {
-  using sass::Opcode;
-  switch (sass::pipe_class(inst.op)) {
-    case sass::PipeClass::kTensor: {
-      const auto counts = sass::mma_reg_counts(inst.op);
-      return dreg_offset < (counts.d + 1) / 2 ? kMmaLatencyLow : kMmaLatencyHigh;
-    }
-    case sass::PipeClass::kFma:
-      return kFmaLatency;
-    case sass::PipeClass::kSpecial:
-      return kSpecialLatency;
-    default:
-      return kAluLatency;
-  }
-}
-
 int smem_base_cost(sass::Opcode op, sass::MemWidth width) {
   const bool store = op == sass::Opcode::kSts;
   switch (width) {

@@ -16,30 +16,34 @@
 
 #include "device/spec.hpp"
 #include "sass/instruction.hpp"
+#include "sass/latency.hpp"
 
 namespace tc::sim {
 
 // --- fixed-latency pipes --------------------------------------------------
 
-/// Result latency of fixed-latency instructions (cycles from issue to
-/// register visibility). Consumers must be protected by stall counts.
-inline constexpr int kAluLatency = 6;
-inline constexpr int kFmaLatency = 6;
-inline constexpr int kSpecialLatency = 12;  // S2R / CS2R / param reads
+// Result latencies (cycles from issue to register visibility) live in the
+// shared table sass/latency.hpp, consumed identically by this simulator, the
+// static hazard detector, the stall-slack lint, and the scheduler. The sim::
+// names below are aliases kept for existing call sites.
+inline constexpr int kAluLatency = sass::kAluLatency;
+inline constexpr int kFmaLatency = sass::kFmaLatency;
+inline constexpr int kSpecialLatency = sass::kSpecialLatency;
 /// HMMA destination halves (paper Table I).
-inline constexpr int kMmaLatencyLow = 10;
-inline constexpr int kMmaLatencyHigh = 14;
+inline constexpr int kMmaLatencyLow = sass::kMmaLatencyLow;
+inline constexpr int kMmaLatencyHigh = sass::kMmaLatencyHigh;
 
 /// Cycles a taken branch blocks further issue of its warp (fetch redirect).
-inline constexpr int kBranchRedirectCycles = 10;
+inline constexpr int kBranchRedirectCycles = sass::kBranchRedirectCycles;
 
 /// Issue-to-issue occupancy of the per-partition pipes (warp CPI).
 [[nodiscard]] int pipe_occupancy(const sass::Instruction& inst);
 
 /// Fixed-latency writeback delay for `inst`'s destination register `dreg`
 /// (its index relative to inst.dst). Memory loads are variable-latency and
-/// handled by the MIO unit instead.
-[[nodiscard]] int fixed_latency(const sass::Instruction& inst, int dreg_offset);
+/// handled by the MIO unit instead. This IS the shared table's oracle —
+/// a using-declaration, so &sim::fixed_latency == &sass::fixed_latency.
+using sass::fixed_latency;
 
 // --- MIO pipe ---------------------------------------------------------------
 

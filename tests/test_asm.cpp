@@ -10,6 +10,8 @@
 #include "driver/device.hpp"
 #include "kernels/micro.hpp"
 #include "sass/asm_parser.hpp"
+#include "sched/fuzz.hpp"
+#include "sched/schedule.hpp"
 
 namespace tc {
 namespace {
@@ -102,6 +104,8 @@ void expect_same_program(const sass::Program& a, const sass::Program& b) {
     EXPECT_EQ(x.ctrl.wait_mask, y.ctrl.wait_mask) << "pc " << pc;
     EXPECT_EQ(x.ctrl.write_barrier, y.ctrl.write_barrier) << "pc " << pc;
     EXPECT_EQ(x.ctrl.read_barrier, y.ctrl.read_barrier) << "pc " << pc;
+    EXPECT_EQ(x.ctrl.yield, y.ctrl.yield) << "pc " << pc;
+    EXPECT_EQ(x.ctrl.reuse, y.ctrl.reuse) << "pc " << pc;
   }
 }
 
@@ -138,6 +142,24 @@ INSTANTIATE_TEST_SUITE_P(Kernels, AsmRoundTrip,
                          ::testing::Values("hgemm_optimized", "hgemm_cublas", "hgemm_axpby",
                                            "wmma_naive", "micro_hmma", "micro_lds"),
                          [](const auto& info) { return std::string(info.param); });
+
+TEST(AsmRoundTripScheduled, ControlWordsSurviveOnFuzzCorpus) {
+  // Scheduler output exercises the whole control-word surface — stalls 1-15,
+  // NOP padding, multi-bit wait masks, both barrier kinds, hoisted loop
+  // waits, reuse flags. Every one of them must survive disasm -> assemble
+  // bit-exactly across a varied scheduled corpus.
+  for (std::uint64_t seed = 900; seed < 925; ++seed) {
+    const auto fuzz_case = sched::generate_virtual_case(seed, {});
+    const auto scheduled = sched::schedule(fuzz_case.prog);
+    const std::string text = ".kernel " + scheduled.name + "\n.threads " +
+                             std::to_string(scheduled.cta_threads) + "\n.smem " +
+                             std::to_string(scheduled.smem_bytes) + "\n" +
+                             scheduled.disassemble();
+    const sass::Program back = sass::assemble(text);
+    expect_same_program(scheduled, back);
+    if (::testing::Test::HasFailure()) FAIL() << "round trip broke at seed " << seed;
+  }
+}
 
 TEST(Asm, AssembledHgemmComputesCorrectly) {
   // Round-trip the optimized kernel through text, then run the *assembled*

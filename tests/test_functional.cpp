@@ -148,6 +148,46 @@ TEST(Functional, RunawayLoopGuard) {
   EXPECT_THROW(exec.run(launch, /*max_warp_instructions=*/10000), Error);
 }
 
+TEST(Functional, RunawayLoopGuardSpansBarriers) {
+  // The instruction budget is per warp over its whole lifetime, not per
+  // barrier-to-barrier stretch: an infinite loop whose body contains a
+  // BAR.SYNC re-enters the executor's inner stretch each iteration and must
+  // still trip the guard instead of spinning forever.
+  KernelBuilder b("forever_bar");
+  b.threads(32);
+  b.label("x");
+  b.bar_sync();
+  b.bra("x");
+  b.exit();
+  const auto prog = b.finalize();
+  auto dev = make_device();
+  sim::Launch launch;
+  launch.program = &prog;
+  sim::FunctionalExecutor exec(dev.gmem());
+  EXPECT_THROW(exec.run(launch, /*max_warp_instructions=*/10000), Error);
+}
+
+TEST(Functional, InstructionStatsSurviveBarrierStretches) {
+  // Per-warp counts accumulate across barrier stretches into the run stats:
+  // 2 warps x (s2r + 3x(bar + nop) + bar + exit) = 2 x 9 instructions.
+  KernelBuilder b("bar_count");
+  b.threads(64);
+  b.s2r(Reg{0}, SpecialReg::kTidX);
+  for (int i = 0; i < 3; ++i) {
+    b.bar_sync();
+    b.nop();
+  }
+  b.bar_sync();
+  b.exit();
+  const auto prog = b.finalize();
+  auto dev = make_device();
+  sim::Launch launch;
+  launch.program = &prog;
+  sim::FunctionalExecutor exec(dev.gmem());
+  const auto stats = exec.run(launch, /*max_warp_instructions=*/1000);
+  EXPECT_EQ(stats.instructions, 18u);
+}
+
 // --- full kernels -------------------------------------------------------------
 
 class HgemmFunctional : public ::testing::TestWithParam<core::HgemmConfig> {};

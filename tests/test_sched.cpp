@@ -1,0 +1,296 @@
+// Unit tests for the automatic control-word scheduler (src/sched/schedule.*):
+// virtual-input enforcement, latency-covering stall assignment, scoreboard
+// allocation for loads, stall-shadow hoisting, and determinism. The
+// whole-kernel acceptance gates (every kernel_gen config hazard-free and no
+// slower than the hand-scheduled baseline) live in the Sched.KernelGen*
+// tests below.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "check/hazard.hpp"
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/kernel_gen.hpp"
+#include "driver/device.hpp"
+#include "sass/builder.hpp"
+#include "sass/latency.hpp"
+#include "sched/fuzz.hpp"
+#include "sched/schedule.hpp"
+
+namespace tc::sched {
+namespace {
+
+using sass::KernelBuilder;
+using sass::MemWidth;
+using sass::Opcode;
+using sass::Reg;
+
+/// Index of the first instruction matching `pred`, or -1.
+template <typename Fn>
+int find_inst(const sass::Program& p, Fn&& pred) {
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    if (pred(p.code[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Sum of stall counts over [from, to): issue-cycle distance between the
+/// instruction at `from` and the one at `to` in a straight-line region.
+int stall_distance(const sass::Program& p, int from, int to) {
+  int d = 0;
+  for (int i = from; i < to; ++i) {
+    d += p.code[static_cast<std::size_t>(i)].ctrl.stall;
+  }
+  return d;
+}
+
+TEST(Sched, RejectsManuallyScheduledInput) {
+  KernelBuilder b("manual");
+  b.mov_imm(Reg{8}, 1).stall(4);
+  b.exit();
+  EXPECT_THROW((void)schedule(b.finalize()), tc::Error);
+}
+
+TEST(Sched, UnscheduledBuilderRejectsManualControl) {
+  KernelBuilder b("virtual", /*unscheduled=*/true);
+  b.nop();
+  EXPECT_THROW(b.stall(2), tc::Error);
+  EXPECT_THROW(b.write_bar(0), tc::Error);
+  EXPECT_THROW(b.read_bar(1), tc::Error);
+  EXPECT_THROW(b.wait(0x3), tc::Error);
+  EXPECT_THROW(b.wait_on(0), tc::Error);
+  EXPECT_THROW(b.reuse(0x1), tc::Error);
+  // Predicates and yield are semantic, not scheduling: still allowed.
+  b.pred(sass::Pred{0});
+  b.yield();
+}
+
+TEST(Sched, StraightLineChainGetsLatencyCoveringStalls) {
+  KernelBuilder b("chain", /*unscheduled=*/true);
+  b.mov_imm(Reg{8}, 7);
+  b.iadd3(Reg{9}, Reg{8}, Reg{8});
+  b.exit();
+  ScheduleStats stats;
+  const auto out = schedule(b.finalize(), ScheduleOptions{}, stats);
+  const int prod = find_inst(out, [](const sass::Instruction& i) {
+    return i.op == Opcode::kMov && i.has_imm;
+  });
+  const int cons = find_inst(out, [](const sass::Instruction& i) {
+    return i.op == Opcode::kIadd3;
+  });
+  ASSERT_GE(prod, 0);
+  ASSERT_GT(cons, prod);
+  EXPECT_GE(stall_distance(out, prod, cons), sass::kAluLatency);
+  EXPECT_EQ(stats.barriers_used, 0);
+}
+
+TEST(Sched, LoadConsumerGetsScoreboardBarrierAndWait) {
+  KernelBuilder b("load", /*unscheduled=*/true);
+  b.mov_param(Reg{2}, 0);
+  b.ldg(MemWidth::k32, Reg{8}, Reg{2});
+  b.iadd3(Reg{9}, Reg{8}, Reg{8});
+  b.mov_param(Reg{3}, 1);
+  b.stg(MemWidth::k32, Reg{3}, Reg{9});
+  b.exit();
+  ScheduleStats stats;
+  const auto out = schedule(b.finalize(), ScheduleOptions{}, stats);
+  const int ld = find_inst(out, [](const sass::Instruction& i) {
+    return i.op == Opcode::kLdg;
+  });
+  const int cons = find_inst(out, [](const sass::Instruction& i) {
+    return i.op == Opcode::kIadd3;
+  });
+  ASSERT_GE(ld, 0);
+  ASSERT_GT(cons, ld);
+  const auto bar = out.code[static_cast<std::size_t>(ld)].ctrl.write_barrier;
+  ASSERT_LT(bar, sass::kNumBarriers);
+  // Some instruction after the load and no later than the consumer must wait
+  // on that barrier (the detector handles waits before reads).
+  bool waited = false;
+  for (int i = ld + 1; i <= cons; ++i) {
+    waited |= (out.code[static_cast<std::size_t>(i)].ctrl.wait_mask >> bar) & 1u;
+  }
+  EXPECT_TRUE(waited);
+  EXPECT_GE(stats.barriers_used, 1);
+  EXPECT_GE(stats.waits_placed, 1);
+}
+
+TEST(Sched, ReorderHoistsIndependentWorkIntoStallShadows) {
+  auto make = [] {
+    KernelBuilder b("hoist", /*unscheduled=*/true);
+    b.mov_imm(Reg{8}, 1);
+    b.iadd3(Reg{9}, Reg{8}, Reg{8});  // 6-cycle shadow behind the MOV
+    b.mov_imm(Reg{10}, 2);            // independent fillers
+    b.mov_imm(Reg{11}, 3);
+    b.mov_imm(Reg{12}, 4);
+    b.mov_imm(Reg{13}, 5);
+    b.exit();
+    return b.finalize();
+  };
+  ScheduleStats base_stats;
+  ScheduleStats reorder_stats;
+  ScheduleOptions base_opts;
+  base_opts.reorder = false;
+  (void)schedule(make(), base_opts, base_stats);
+  (void)schedule(make(), ScheduleOptions{}, reorder_stats);
+  EXPECT_GT(reorder_stats.reordered, 0);
+  EXPECT_LT(reorder_stats.static_issue_cycles, base_stats.static_issue_cycles);
+}
+
+TEST(Sched, SchedulingIsDeterministic) {
+  const auto virt = generate_virtual_case(2026, SchedFuzzOptions{}).prog;
+  const auto a = schedule(virt);
+  const auto b = schedule(virt);
+  EXPECT_EQ(a.disassemble(), b.disassemble());
+}
+
+TEST(Sched, ScheduledVirtualProgramsRunEquivalently) {
+  // A handful of fixed seeds through the full pipeline: virtual generation,
+  // both scheduling modes, hazard scan, functional-vs-timed bitwise
+  // comparison. The broad sweep lives in the fuzz_smoke-labeled target.
+  const auto rep = run_sched_fuzz(7, 8);
+  EXPECT_EQ(rep.programs, 8);
+  std::string why;
+  for (const auto& f : rep.failures) {
+    why += "seed " + std::to_string(f.seed) + " [" + f.phase +
+           (f.reordered ? ", reordered" : "") + "]: " + f.detail + "\n" +
+           f.program + "\n";
+  }
+  EXPECT_TRUE(rep.ok()) << why;
+}
+
+// --- whole-kernel acceptance gates -------------------------------------------
+
+/// Every HgemmConfig variant kernel_gen can produce: the two headline
+/// kernels plus one ablation per knob (shared-memory layout, STS interleave,
+/// prefetch, warp-tile shape).
+std::vector<core::HgemmConfig> all_hgemm_configs() {
+  std::vector<core::HgemmConfig> cfgs;
+  cfgs.push_back(core::HgemmConfig::optimized());
+  cfgs.push_back(core::HgemmConfig::cublas_like());
+  auto naive = core::HgemmConfig::optimized();
+  naive.layout = core::SmemLayout::kNaiveRowMajor;
+  cfgs.push_back(naive);
+  auto tile = core::HgemmConfig::optimized();
+  tile.layout = core::SmemLayout::kTileMajor;
+  cfgs.push_back(tile);
+  auto sts2 = core::HgemmConfig::optimized();
+  sts2.sts_interleave = 2;
+  cfgs.push_back(sts2);
+  auto nopf = core::HgemmConfig::optimized();
+  nopf.prefetch = false;
+  cfgs.push_back(nopf);
+  auto narrow = core::HgemmConfig::optimized();
+  narrow.wm = 64;
+  narrow.wn = 64;
+  cfgs.push_back(narrow);
+  return cfgs;
+}
+
+GemmShape shape_for(const core::HgemmConfig& cfg) {
+  return {static_cast<std::size_t>(cfg.bm), static_cast<std::size_t>(cfg.bn),
+          static_cast<std::size_t>(2 * cfg.bk)};
+}
+
+TEST(SchedKernelGen, VirtualProgramsCarryNoManualScheduling) {
+  // The refactored generator emits pure semantic streams: every control word
+  // at its default, no hand-picked stalls or barrier indices anywhere.
+  auto expect_virtual = [](const sass::Program& virt) {
+    for (std::size_t pc = 0; pc < virt.code.size(); ++pc) {
+      const auto& c = virt.code[pc].ctrl;
+      EXPECT_EQ(c.stall, 1) << virt.name << " pc " << pc;
+      EXPECT_EQ(c.write_barrier, sass::kNoBarrier) << virt.name << " pc " << pc;
+      EXPECT_EQ(c.read_barrier, sass::kNoBarrier) << virt.name << " pc " << pc;
+      EXPECT_EQ(c.wait_mask, 0) << virt.name << " pc " << pc;
+      EXPECT_EQ(c.reuse, 0) << virt.name << " pc " << pc;
+    }
+  };
+  for (const auto& cfg : all_hgemm_configs()) {
+    expect_virtual(core::hgemm_kernel_virtual(cfg, shape_for(cfg)));
+  }
+  expect_virtual(core::wmma_naive_kernel_virtual({16, 128, 64}));
+}
+
+TEST(SchedKernelGen, EveryConfigSchedulesHazardFree) {
+  // schedule() already hard-gates through find_hazards; assert the oracle's
+  // verdict independently here so a future verify=false shortcut cannot
+  // silently ship a hazardous kernel.
+  for (const auto& cfg : all_hgemm_configs()) {
+    const auto prog = core::hgemm_kernel(cfg, shape_for(cfg));
+    const auto diags = check::find_hazards(prog, check::LatencyModel{});
+    EXPECT_TRUE(diags.empty()) << cfg.name() << ": " << diags.size() << " diagnostics, first: "
+                               << (diags.empty() ? "" : diags.front().message);
+  }
+  const auto wmma = core::wmma_naive_kernel({16, 128, 64});
+  EXPECT_TRUE(check::find_hazards(wmma, check::LatencyModel{}).empty());
+}
+
+/// Timed single-CTA cycles on `spec` for one grid-(1x1) launch, inputs from
+/// Rng seed 7 — the harness the hand-scheduled baselines were recorded with.
+std::uint64_t timed_cycles(const device::DeviceSpec& spec, const sass::Program& prog,
+                           const GemmShape& s) {
+  driver::Device dev(spec);
+  Rng rng(7);
+  HalfMatrix a(s.m, s.k), bt(s.n, s.k);
+  a.randomize(rng, -0.5f, 0.5f);
+  bt.randomize(rng, -0.5f, 0.5f);
+  auto da = dev.alloc<half>(a.size());
+  auto db = dev.alloc<half>(bt.size());
+  auto dc = dev.alloc<half>(s.m * s.n);
+  dev.upload(da, std::span<const half>(a.data(), a.size()));
+  dev.upload(db, std::span<const half>(bt.data(), bt.size()));
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {da.addr, db.addr, dc.addr};
+  const sim::CtaCoord cta{0, 0};
+  return dev.run_timed(launch, std::span(&cta, 1), dev.timing_whole_device()).cycles;
+}
+
+TEST(SchedKernelGen, NoSlowerThanHandScheduledBaselines) {
+  // Cycle counts of the hand-scheduled generator (the pre-scheduler
+  // implementation) on RTX 2070, same harness as timed_cycles(). The
+  // scheduler must stay within 1% of each — it is currently strictly faster
+  // on every shape.
+  struct Case {
+    const char* what;
+    core::HgemmConfig cfg;
+    GemmShape shape;
+    std::uint64_t hand_cycles;
+  };
+  const Case cases[] = {
+      {"optimized 256x256x64", core::HgemmConfig::optimized(), {256, 256, 64}, 16093},
+      {"optimized 256x256x128", core::HgemmConfig::optimized(), {256, 256, 128}, 24999},
+      {"cublas_like 128x128x128", core::HgemmConfig::cublas_like(), {128, 128, 128}, 9216},
+      {"cublas_like 128x128x256", core::HgemmConfig::cublas_like(), {128, 128, 256}, 15074},
+  };
+  const auto spec = device::rtx2070();
+  for (const auto& c : cases) {
+    const auto prog = core::hgemm_kernel(c.cfg, c.shape);
+    const auto got = timed_cycles(spec, prog, c.shape);
+    EXPECT_LE(got, c.hand_cycles + c.hand_cycles / 100) << c.what;
+  }
+  const auto wmma = core::wmma_naive_kernel({16, 128, 64});
+  EXPECT_LE(timed_cycles(spec, wmma, {16, 128, 64}), 2450u + 2450u / 100) << "wmma 16x128x64";
+}
+
+TEST(SchedKernelGen, OptimizedKernelRunsTimedOnBothSpecs) {
+  // The scheduled kernel must complete (no deadlocked waits, no runaway
+  // stalls) under both device timing models, not just the one it was tuned
+  // against.
+  const auto cfg = core::HgemmConfig::optimized();
+  const GemmShape s{256, 256, 64};
+  const auto prog = core::hgemm_kernel(cfg, s);
+  const auto on_2070 = timed_cycles(device::rtx2070(), prog, s);
+  const auto on_t4 = timed_cycles(device::t4(), prog, s);
+  EXPECT_GT(on_2070, 0u);
+  EXPECT_GT(on_t4, 0u);
+  EXPECT_LT(on_t4, 200'000u);
+  EXPECT_LT(on_2070, 200'000u);
+}
+
+}  // namespace
+}  // namespace tc::sched
