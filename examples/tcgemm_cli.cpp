@@ -8,6 +8,8 @@
 //   tcgemm_cli disasm [--baseline]
 //   tcgemm_cli check [--m M --n N --k K]
 //   tcgemm_cli fuzz [--programs N] [--seed S]
+//   tcgemm_cli tune [--m M --n N --k K] [--device rtx2070|t4] [--budget N]
+//                   [--explore N] [--seed S] [--threads N] [--engine device|model]
 //
 // `run` executes the kernel functionally on the simulator (optionally
 // validating against the bit-exact reference); `perf` prints the estimated
@@ -20,7 +22,9 @@
 // cycles for each mode, and the stall-slack lint of the shipped schedule;
 // `disasm` dumps the generated SASS; `check` runs the scoreboard hazard
 // detector (src/check) over every built-in kernel and fails on any error;
-// `fuzz` differentially fuzzes the two executors (see docs/checking.md).
+// `fuzz` differentially fuzzes the two executors (see docs/checking.md);
+// `tune` runs the model-guided autotuner over the legal config space and
+// prints the ranked candidates (see docs/tuning.md).
 // All commands accept --json <path> for machine-readable output.
 #include <cstring>
 #include <fstream>
@@ -43,6 +47,7 @@
 #include "sass/validator.hpp"
 #include "sched/schedule.hpp"
 #include "sim/pipes.hpp"
+#include "tune/tune.hpp"
 
 using namespace tc;
 
@@ -62,6 +67,11 @@ struct Args {
   std::string trace_out;
   std::string json;
   std::string engine = "model";  // perf: "model" (WavePerf) or "device" (TimedDevice)
+  bool shape_set = false;        // any of --m/--n/--k given
+  bool engine_set = false;
+  int budget = 24;   // tune: timed evaluations
+  int explore = -1;  // tune: seeded off-rank picks (-1 = budget/4)
+  int threads = 1;   // tune: host evaluation threads
 };
 
 Args parse(int argc, char** argv) {
@@ -76,10 +86,13 @@ Args parse(int argc, char** argv) {
     };
     if (flag == "--m") {
       a.m = std::stoul(value());
+      a.shape_set = true;
     } else if (flag == "--n") {
       a.n = std::stoul(value());
+      a.shape_set = true;
     } else if (flag == "--k") {
       a.k = std::stoul(value());
+      a.shape_set = true;
     } else if (flag == "--device") {
       a.device = value();
     } else if (flag == "--check") {
@@ -102,11 +115,25 @@ Args parse(int argc, char** argv) {
       a.json = value();
     } else if (flag == "--engine") {
       a.engine = value();
+      a.engine_set = true;
       TC_CHECK(a.engine == "model" || a.engine == "device",
                "--engine must be 'model' or 'device'");
+    } else if (flag == "--budget") {
+      a.budget = std::stoi(value());
+    } else if (flag == "--explore") {
+      a.explore = std::stoi(value());
+    } else if (flag == "--threads") {
+      a.threads = std::stoi(value());
     } else {
       throw Error("unknown flag " + flag);
     }
+  }
+  if (a.command == "tune" && !a.shape_set) {
+    // tune defaults to the shape the recorded single-CTA baselines use, so
+    // `tcgemm_cli tune` is directly comparable to the hand-derived 16090.
+    a.m = 256;
+    a.n = 256;
+    a.k = 64;
   }
   return a;
 }
@@ -124,17 +151,16 @@ int usage() {
          "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli check  [--m M --n N --k K]\n"
          "  tcgemm_cli fuzz   [--programs N] [--seed S]\n"
+         "  tcgemm_cli tune   [--m M --n N --k K] [--device rtx2070|t4] [--budget N]\n"
+         "                    [--explore N] [--seed S] [--threads N] [--engine device|model]\n"
+         "                    [--top N]\n"
          "common: --json <path> writes machine-readable results\n";
   return 2;
 }
 
 /// The padded kernel-contract shape for disasm/lint.
 GemmShape contract_shape(const Args& args, const core::HgemmConfig& cfg) {
-  const auto round_up = [](std::size_t v, std::size_t to) { return (v + to - 1) / to * to; };
-  return {round_up(args.m, static_cast<std::size_t>(cfg.bm)),
-          round_up(args.n, static_cast<std::size_t>(cfg.bn)),
-          std::max(round_up(args.k, static_cast<std::size_t>(cfg.bk)),
-                   2 * static_cast<std::size_t>(cfg.bk))};
+  return cfg.contract_shape({args.m, args.n, args.k});
 }
 
 void json_profile_fields(JsonWriter& j, const prof::Profiler& p, int top_n) {
@@ -516,6 +542,92 @@ int main(int argc, char** argv) {
       }
       finish_json();
       return rep.ok() ? 0 : 1;
+    }
+
+    if (args.command == "tune") {
+      const device::DeviceSpec spec = device::spec_by_name(args.device);
+      tune::TuneOptions opt;
+      opt.shape = {args.m, args.n, args.k};
+      opt.budget = args.budget;
+      opt.explore = args.explore;
+      opt.seed = args.seed;
+      opt.threads = args.threads;
+      // Timed-device is the tuner's default engine (the acceptance metric);
+      // --engine model switches to the wave pipeline for paper-scale shapes.
+      opt.engine = args.engine_set && args.engine == "model" ? tune::Engine::kWaveModel
+                                                            : tune::Engine::kTimedDevice;
+      const tune::TuneResult r = tune::tune(spec, opt);
+      const tune::Candidate& best = r.best();
+
+      std::cout << "tuned " << spec.name << " @ " << args.m << " x " << args.n << " x "
+                << args.k << " (engine=" << tune::engine_name(opt.engine) << ", seed "
+                << opt.seed << "): " << r.prune.raw << " raw -> " << r.prune.legal
+                << " legal -> " << r.prune.evaluated << " evaluated\n"
+                << "pruned: " << r.prune.tiling << " tiling, " << r.prune.generator
+                << " generator, " << r.prune.registers << " registers, " << r.prune.resources
+                << " resources\n";
+      TablePrinter t({"config", "regs", "CTAs/SM", "model rank", "model cycles", "sim cycles",
+                      "TFLOPS"});
+      int shown = 0;
+      for (const auto& c : r.ranked) {
+        if (!c.evaluated || shown++ >= args.top) continue;
+        t.add_row({c.name + (c.explored ? " *" : ""), std::to_string(c.regs),
+                   std::to_string(c.occ.ctas_per_sm), std::to_string(c.model_rank),
+                   fmt_fixed(c.model.cycles, 0), std::to_string(c.sim_cycles),
+                   fmt_fixed(c.tflops, 2)});
+      }
+      t.print(std::cout);
+      std::cout << "(* = seeded exploration pick)\n"
+                << "best: " << best.name << " at " << best.sim_cycles << " simulated cycles ("
+                << fmt_fixed(best.tflops, 2) << " TFLOPS, " << best.occ.ctas_per_sm
+                << " CTAs/SM, model rank " << best.model_rank << ")\n"
+                << "model-vs-simulated rank inversion rate: "
+                << fmt_fixed(tune::rank_inversion_rate(r), 3) << "\n";
+
+      if (json) {
+        json->key("tune");
+        json->begin_object();
+        json->field("engine", tune::engine_name(opt.engine));
+        json->field("budget", static_cast<std::uint64_t>(opt.budget));
+        json->field("seed", opt.seed);
+        json->field("inversion_rate", tune::rank_inversion_rate(r));
+        json->key("prune");
+        json->begin_object();
+        json->field("raw", static_cast<std::uint64_t>(r.prune.raw));
+        json->field("tiling", static_cast<std::uint64_t>(r.prune.tiling));
+        json->field("generator", static_cast<std::uint64_t>(r.prune.generator));
+        json->field("registers", static_cast<std::uint64_t>(r.prune.registers));
+        json->field("resources", static_cast<std::uint64_t>(r.prune.resources));
+        json->field("legal", static_cast<std::uint64_t>(r.prune.legal));
+        json->field("evaluated", static_cast<std::uint64_t>(r.prune.evaluated));
+        json->end_object();
+        const auto candidate_fields = [&](const tune::Candidate& c) {
+          json->begin_object();
+          json->field("config", c.name);
+          json->field("regs", static_cast<std::uint64_t>(c.regs));
+          json->field("ctas_per_sm", static_cast<std::uint64_t>(c.occ.ctas_per_sm));
+          json->field("limiter", device::limiter_name(c.occ.limiter));
+          json->field("model_rank", static_cast<std::uint64_t>(c.model_rank));
+          json->field("model_cycles", c.model.cycles);
+          json->field("sim_cycles", c.sim_cycles);
+          json->field("tflops", c.tflops);
+          json->field("sms_used", static_cast<std::uint64_t>(c.sms_used));
+          json->field("explored", c.explored);
+          json->field("hazard_diags", static_cast<std::uint64_t>(c.hazard_diags));
+          json->end_object();
+        };
+        json->key("best");
+        candidate_fields(best);
+        json->key("candidates");
+        json->begin_array();
+        for (const auto& c : r.ranked) {
+          if (c.evaluated) candidate_fields(c);
+        }
+        json->end_array();
+        json->end_object();
+      }
+      finish_json();
+      return 0;
     }
 
     return usage();

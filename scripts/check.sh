@@ -22,6 +22,16 @@ echo "== schedule checks: kernel hazard scan + fuzz smoke + device xval =="
 # -L takes a regex; two -L flags would AND the labels and select nothing.
 ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval"
 
+echo "== tuner smoke: ranked search on both specs + regression labels =="
+# Small-budget end-to-end search on each device: every evaluated kernel is
+# hard-gated through sass::validate + check::find_hazards inside the tuner,
+# so a non-zero exit means the search or a generated kernel regressed. The
+# deeper determinism/baseline suite runs under the tune_smoke CTest label.
+for dev in rtx2070 t4; do
+  ./build/examples/tcgemm_cli tune --device "$dev" --budget 6 >/dev/null
+done
+ctest --test-dir build --output-on-failure -L "tune_smoke|examples_smoke" -j "$JOBS"
+
 echo "== scheduler gate: virtual emission -> schedule -> hazard oracle =="
 # `schedule` re-schedules each kernel from its virtual (latency-agnostic)
 # form and hard-verifies the result through check::find_hazards — a non-zero

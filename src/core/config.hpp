@@ -2,10 +2,12 @@
 // memory layout, instruction interleaving and prefetch policy.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/matrix.hpp"
 #include "model/l2_reuse.hpp"
 
 namespace tc::core {
@@ -77,6 +79,17 @@ struct HgemmConfig {
   }
   [[nodiscard]] std::uint32_t smem_bytes() const { return slab_bytes(bm) + slab_bytes(bn); }
 
+  /// The padded shape the generated kernel actually computes for a user
+  /// shape: m/n round up to whole block tiles, k to whole bk slabs with at
+  /// least two slabs (the double-buffered main loop needs >= 2 iterations).
+  [[nodiscard]] GemmShape contract_shape(const GemmShape& s) const {
+    const auto round_up = [](std::size_t v, std::size_t to) { return (v + to - 1) / to * to; };
+    return {round_up(s.m, static_cast<std::size_t>(bm)),
+            round_up(s.n, static_cast<std::size_t>(bn)),
+            std::max(round_up(s.k, static_cast<std::size_t>(bk)),
+                     static_cast<std::size_t>(2 * bk))};
+  }
+
   /// Validates divisibility constraints the generator relies on.
   void check() const {
     TC_CHECK(wk == 8, "wk must be 8 (HMMA.1688 depth)");
@@ -87,6 +100,11 @@ struct HgemmConfig {
     const int ldg_instrs = (bm / 8) * (bk / 8) / 4;
     TC_CHECK(ldg_instrs % warps() == 0, "global loads must divide evenly among warps");
     TC_CHECK((bn / 8) * (bk / 8) / 4 % warps() == 0, "B loads must divide evenly");
+    // The staging-store address pattern assigns each warp a whole number of
+    // slab tile-rows; fewer tile-rows than warps would make the generator's
+    // per-warp row quotient zero.
+    TC_CHECK((bm / 8) % warps() == 0 && (bn / 8) % warps() == 0,
+             "each warp must cover a whole number of slab tile rows");
     TC_CHECK(sts_interleave >= 1, "sts_interleave must be >= 1");
   }
 

@@ -61,16 +61,14 @@ HalfMatrix launch_and_collect(driver::Device& dev, const sass::Program& prog,
 HalfMatrix run_hgemm(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt,
                      const HgemmConfig& cfg) {
   TC_CHECK(a.cols() == bt.cols(), "A (m x k) and B^T (n x k): k mismatch");
-  const std::size_t mp = round_up(a.rows(), static_cast<std::size_t>(cfg.bm));
-  const std::size_t np = round_up(bt.rows(), static_cast<std::size_t>(cfg.bn));
-  const std::size_t kp =
-      std::max(round_up(a.cols(), static_cast<std::size_t>(cfg.bk)),
-               static_cast<std::size_t>(2 * cfg.bk));
+  const GemmShape shape = cfg.contract_shape({a.rows(), bt.rows(), a.cols()});
+  const std::size_t mp = shape.m;
+  const std::size_t np = shape.n;
+  const std::size_t kp = shape.k;
 
   const HalfMatrix a_pad = pad_matrix(a, mp, kp);
   const HalfMatrix bt_pad = pad_matrix(bt, np, kp);
 
-  const GemmShape shape{mp, np, kp};
   const sass::Program prog = hgemm_kernel(cfg, shape);
   return launch_and_collect(dev, prog, a_pad, bt_pad,
                             static_cast<std::uint32_t>(np) / static_cast<std::uint32_t>(cfg.bn),
@@ -83,17 +81,15 @@ HalfMatrix run_hgemm_axpby(driver::Device& dev, const HalfMatrix& a, const HalfM
                            const HgemmConfig& cfg) {
   TC_CHECK(a.cols() == bt.cols(), "A (m x k) and B^T (n x k): k mismatch");
   TC_CHECK(c_in.rows() == a.rows() && c_in.cols() == bt.rows(), "C shape mismatch");
-  const std::size_t mp = round_up(a.rows(), static_cast<std::size_t>(cfg.bm));
-  const std::size_t np = round_up(bt.rows(), static_cast<std::size_t>(cfg.bn));
-  const std::size_t kp =
-      std::max(round_up(a.cols(), static_cast<std::size_t>(cfg.bk)),
-               static_cast<std::size_t>(2 * cfg.bk));
+  const GemmShape shape = cfg.contract_shape({a.rows(), bt.rows(), a.cols()});
+  const std::size_t mp = shape.m;
+  const std::size_t np = shape.n;
+  const std::size_t kp = shape.k;
 
   const HalfMatrix a_pad = pad_matrix(a, mp, kp);
   const HalfMatrix bt_pad = pad_matrix(bt, np, kp);
   const HalfMatrix c_pad = pad_matrix(c_in, mp, np);
 
-  const GemmShape shape{mp, np, kp};
   const sass::Program prog = hgemm_kernel(cfg, shape, Epilogue{alpha, beta});
   return launch_and_collect(dev, prog, a_pad, bt_pad,
                             static_cast<std::uint32_t>(np) / static_cast<std::uint32_t>(cfg.bn),

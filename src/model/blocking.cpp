@@ -41,6 +41,14 @@ int min_hmma_between_sts128(const CpiSet& cpi) {
   return static_cast<int>(std::ceil(4.0 * cpi.sts128 / cpi.hmma));
 }
 
+double sts_exposed_cycles(const BlockConfig& b, const CpiSet& cpi, int sts_interleave) {
+  TC_CHECK(sts_interleave >= 1, "sts_interleave must be >= 1");
+  const int needed = min_hmma_between_sts128(cpi);
+  if (sts_interleave >= needed) return 0.0;
+  const double sts = static_cast<double>(b.bm + b.bn) * b.bk * 2.0 / (32.0 * 16.0) * cpi.sts128;
+  return sts * (1.0 - static_cast<double>(sts_interleave) / needed);
+}
+
 std::vector<TableVIRow> table_vi(const CpiSet& cpi) {
   const std::vector<BlockConfig> configs = {
       {128, 128, 32, 64, 64, 8},  {128, 128, 32, 128, 64, 8},

@@ -51,6 +51,14 @@ struct BlockConfig {
 /// STS.128 so the 4 partitions' compute covers the store's MIO occupancy.
 [[nodiscard]] int min_hmma_between_sts128(const CpiSet& cpi);
 
+/// Per-iteration STS.128 MIO cycles left uncovered by compute when the
+/// interleave spacing falls short of Eq. (6)'s minimum: with i HMMAs between
+/// consecutive stores the Tensor pipe covers i/min of each store's MIO
+/// occupancy and the remainder stalls issue (the Fig. 4 effect). Zero when
+/// sts_interleave >= min_hmma_between_sts128.
+[[nodiscard]] double sts_exposed_cycles(const BlockConfig& b, const CpiSet& cpi,
+                                        int sts_interleave);
+
 /// The rows of Table VI.
 struct TableVIRow {
   BlockConfig config;

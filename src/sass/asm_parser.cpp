@@ -14,9 +14,14 @@ namespace tc::sass {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& msg) {
-  throw Error("asm line " + std::to_string(line) + ": " + msg);
-}
+/// Internal parse failure carrying the 1-based source line; converted to a
+/// throwing tc::Error by assemble() or a structured Diag by try_assemble().
+struct AsmError {
+  int line;
+  std::string msg;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) { throw AsmError{line, msg}; }
 
 /// Splits the instruction body into comma-separated operand strings.
 std::vector<std::string> split_operands(const std::string& s) {
@@ -369,9 +374,9 @@ void parse_instruction(ParseState& st, std::string body, const ControlInfo& ctrl
   st.prog.code.push_back(inst);
 }
 
-}  // namespace
-
-Program assemble(const std::string& source) {
+/// Parses and validates; throws AsmError on syntax errors, tc::Error on
+/// post-parse ISA validation failures.
+Program assemble_impl(const std::string& source) {
   ParseState st;
   st.prog.name = "asm";
   st.prog.cta_threads = 32;
@@ -421,7 +426,7 @@ Program assemble(const std::string& source) {
     // Labels.
     if (line.back() == ':' && line.find(' ') == std::string::npos) {
       const std::string label = line.substr(0, line.size() - 1);
-      TC_CHECK(!st.labels.contains(label), "duplicate label " + label);
+      if (st.labels.contains(label)) fail(line_no, "duplicate label " + label);
       st.labels[label] = static_cast<int>(st.prog.code.size());
       continue;
     }
@@ -479,6 +484,33 @@ Program assemble(const std::string& source) {
 
   validate(st.prog);
   return st.prog;
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  try {
+    return assemble_impl(source);
+  } catch (const AsmError& e) {
+    throw Error("asm line " + std::to_string(e.line) + ": " + e.msg);
+  }
+}
+
+std::optional<Program> try_assemble(const std::string& source, Diag* diag) {
+  try {
+    return assemble_impl(source);
+  } catch (const AsmError& e) {
+    if (diag != nullptr) {
+      *diag = Diag{DiagSeverity::kError, "asm-parse", -1, e.line,
+                   "line " + std::to_string(e.line) + ": " + e.msg};
+    }
+    return std::nullopt;
+  } catch (const Error& e) {
+    if (diag != nullptr) {
+      *diag = Diag{DiagSeverity::kError, "asm-validate", -1, -1, e.what()};
+    }
+    return std::nullopt;
+  }
 }
 
 }  // namespace tc::sass

@@ -15,8 +15,10 @@
 // absolute instruction index. `//` starts a comment.
 #pragma once
 
+#include <optional>
 #include <string>
 
+#include "sass/diag.hpp"
 #include "sass/program.hpp"
 
 namespace tc::sass {
@@ -24,5 +26,13 @@ namespace tc::sass {
 /// Parses a whole kernel; throws tc::Error with a line number on syntax
 /// errors. The result is validated like KernelBuilder output.
 [[nodiscard]] Program assemble(const std::string& source);
+
+/// Non-throwing form for tooling: returns the program, or nullopt with a
+/// structured diagnostic in *diag (if non-null). Parse/syntax failures get
+/// kind "asm-parse" with consumer_pc holding the 1-based *source line*;
+/// programs that parse but fail ISA validation get kind "asm-validate" with
+/// consumer_pc -1 (the validator reports instruction pcs in its message).
+[[nodiscard]] std::optional<Program> try_assemble(const std::string& source,
+                                                  Diag* diag = nullptr);
 
 }  // namespace tc::sass

@@ -1,0 +1,144 @@
+#include "tune/space.hpp"
+
+#include <bit>
+
+namespace tc::tune {
+
+std::int64_t SearchSpace::raw_points() const {
+  return static_cast<std::int64_t>(bm.size()) * static_cast<std::int64_t>(bn.size()) *
+         static_cast<std::int64_t>(bk.size()) * static_cast<std::int64_t>(wm.size()) *
+         static_cast<std::int64_t>(wn.size()) * static_cast<std::int64_t>(layouts.size()) *
+         static_cast<std::int64_t>(sts_interleave.size()) *
+         static_cast<std::int64_t>(prefetch.size());
+}
+
+const char* reject_name(Reject r) {
+  switch (r) {
+    case Reject::kNone: return "legal";
+    case Reject::kTiling: return "tiling";
+    case Reject::kGenerator: return "generator";
+    case Reject::kRegisters: return "registers";
+    case Reject::kResources: return "resources";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mirror of HgemmConfig::check() as a predicate (check() throws).
+bool tiling_ok(const core::HgemmConfig& c) {
+  if (c.bm <= 0 || c.bn <= 0 || c.bk <= 0 || c.wm <= 0 || c.wn <= 0) return false;
+  if (c.wk != 8) return false;
+  if (c.bm % c.wm != 0 || c.bn % c.wn != 0 || c.bk % c.wk != 0) return false;
+  if (c.wm % 16 != 0 || c.wn % 8 != 0) return false;
+  if (c.bm % 8 != 0 || c.bn % 8 != 0 || c.bk % 32 != 0) return false;
+  const int warps = c.warps();
+  if (c.threads() < 32 || c.threads() > 1024) return false;
+  if ((c.bm / 8) * (c.bk / 8) / 4 % warps != 0) return false;
+  if ((c.bn / 8) * (c.bk / 8) / 4 % warps != 0) return false;
+  if ((c.bm / 8) % warps != 0 || (c.bn / 8) % warps != 0) return false;
+  return c.sts_interleave >= 1;
+}
+
+/// Structural demands of HgemmGenerator beyond check().
+bool generator_ok(const core::HgemmConfig& c) {
+  return std::has_single_bit(static_cast<unsigned>(c.bn / c.wn));
+}
+
+}  // namespace
+
+int predicted_regs(const core::HgemmConfig& cfg) {
+  // Mirror of HgemmGenerator's register map (kernel_gen.cpp): fragment
+  // double-buffers, aligned C accumulators, per-slab staging slots, then 12
+  // misc registers; Program::num_regs is the highest index used + 1.
+  const auto align4 = [](int r) { return (r + 3) & ~3; };
+  const int a_frags = cfg.wm / 8;
+  const int b_frags = cfg.wn / 8;
+  const int acc_base = align4(2 * a_frags + 2 * b_frags);
+  const int acc_count = (cfg.wm / 16) * (cfg.wn / 8) * 2;
+  const int a_slots = (cfg.bm / 8) * (cfg.bk / 8) / 4 / cfg.warps();
+  const int b_slots = (cfg.bn / 8) * (cfg.bk / 8) / 4 / cfg.warps();
+  const int misc = align4(acc_base + acc_count) + 4 * (a_slots + b_slots);
+  return misc + 12;
+}
+
+Legality classify(const device::DeviceSpec& spec, const core::HgemmConfig& cfg) {
+  Legality v;
+  if (!tiling_ok(cfg)) {
+    v.reject = Reject::kTiling;
+    return v;
+  }
+  if (!generator_ok(cfg)) {
+    v.reject = Reject::kGenerator;
+    return v;
+  }
+  v.regs = predicted_regs(cfg);
+  // The generator's own budget is R0..R253 (num_regs <= 254); the spec may
+  // cap lower still.
+  if (v.regs > 254 || v.regs > spec.max_regs_per_thread) {
+    v.reject = Reject::kRegisters;
+    return v;
+  }
+  // Fit pre-check so device::occupancy() (which throws on zero fit) is only
+  // called for configs that land on the SM.
+  const int regs_per_cta = device::allocated_regs_per_thread(v.regs) * cfg.threads();
+  if (cfg.smem_bytes() > spec.smem_per_sm || cfg.threads() > spec.max_threads_per_sm ||
+      regs_per_cta > spec.regs_per_sm) {
+    v.reject = Reject::kResources;
+    return v;
+  }
+  sass::Program footprint;
+  footprint.name = cfg.name();
+  footprint.num_regs = v.regs;
+  footprint.smem_bytes = cfg.smem_bytes();
+  footprint.cta_threads = static_cast<std::uint32_t>(cfg.threads());
+  v.occ = device::occupancy(spec, footprint);
+  return v;
+}
+
+std::vector<core::HgemmConfig> enumerate(const device::DeviceSpec& spec,
+                                         const SearchSpace& space, PruneStats* stats) {
+  PruneStats local;
+  std::vector<core::HgemmConfig> out;
+  for (int bm : space.bm) {
+    for (int bn : space.bn) {
+      for (int bk : space.bk) {
+        for (int wm : space.wm) {
+          for (int wn : space.wn) {
+            for (core::SmemLayout layout : space.layouts) {
+              for (int il : space.sts_interleave) {
+                for (bool pf : space.prefetch) {
+                  ++local.raw;
+                  core::HgemmConfig cfg;
+                  cfg.bm = bm;
+                  cfg.bn = bn;
+                  cfg.bk = bk;
+                  cfg.wm = wm;
+                  cfg.wn = wn;
+                  cfg.layout = layout;
+                  cfg.sts_interleave = il;
+                  cfg.prefetch = pf;
+                  const Legality v = classify(spec, cfg);
+                  switch (v.reject) {
+                    case Reject::kTiling: ++local.tiling; break;
+                    case Reject::kGenerator: ++local.generator; break;
+                    case Reject::kRegisters: ++local.registers; break;
+                    case Reject::kResources: ++local.resources; break;
+                    case Reject::kNone:
+                      ++local.legal;
+                      out.push_back(cfg);
+                      break;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tc::tune

@@ -1,0 +1,91 @@
+// Legal kernel-configuration space of the blocked HGEMM generator.
+//
+// The tuner must never hand the builder a config it will reject, so the
+// legality filter here mirrors *every* structural constraint downstream of
+// it: HgemmConfig::check(), the generator's own demands (bn/wn a power of
+// two, the misc+12 <= 254 register budget), and the device limits
+// device::occupancy() enforces (per-thread registers, shared memory, the
+// one-CTA-must-fit rule). tests/test_property.cpp asserts the mirror is
+// exact: every config enumerate() emits builds and schedules cleanly, and
+// the predicted register count / occupancy equal the built program's.
+//
+// LDG width is deliberately not a dimension: the generator stages slabs
+// with LDG.128/STS.128 only (four 8-half tiles per instruction), so
+// narrower widths would be a different generator, not a different config.
+// docs/tuning.md discusses this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "device/occupancy.hpp"
+#include "device/spec.hpp"
+
+namespace tc::tune {
+
+/// Grids of candidate values per HgemmConfig knob; enumerate() takes their
+/// cartesian product and filters. Defaults cover the paper's Table VI
+/// blocking space plus the layout / interleave / prefetch ablations of
+/// Figs. 4-5 and Table VII.
+struct SearchSpace {
+  std::vector<int> bm{64, 128, 256};
+  std::vector<int> bn{64, 128, 256};
+  std::vector<int> bk{32, 64, 128};
+  std::vector<int> wm{16, 32, 64, 128, 256};
+  std::vector<int> wn{8, 16, 32, 64, 128, 256};
+  std::vector<core::SmemLayout> layouts{core::SmemLayout::kPaddedTile,
+                                        core::SmemLayout::kTileMajor,
+                                        core::SmemLayout::kNaiveRowMajor};
+  std::vector<int> sts_interleave{1, 2, 5, 8};
+  std::vector<bool> prefetch{true, false};
+
+  /// Number of raw cartesian points (before any legality filtering).
+  [[nodiscard]] std::int64_t raw_points() const;
+};
+
+/// Why a raw cartesian point was rejected (prune accounting).
+enum class Reject {
+  kNone,
+  kTiling,     // divisibility / warp-coverage rules of HgemmConfig::check()
+  kGenerator,  // generator structure: bn/wn must be a power of two
+  kRegisters,  // register budget (builder's R254 cap or spec's per-thread cap)
+  kResources,  // smem over per-SM capacity, or zero CTAs fit on the SM
+};
+
+[[nodiscard]] const char* reject_name(Reject r);
+
+/// Verdict of the static legality filter for one config.
+struct Legality {
+  Reject reject = Reject::kNone;
+  int regs = 0;             // predicted Program::num_regs (valid unless kTiling/kGenerator)
+  device::Occupancy occ{};  // valid only when ok()
+  [[nodiscard]] bool ok() const { return reject == Reject::kNone; }
+};
+
+/// Exact register count of the program hgemm_kernel() would emit for `cfg`
+/// (mirrors the generator's register map; see kernel_gen.cpp).
+[[nodiscard]] int predicted_regs(const core::HgemmConfig& cfg);
+
+/// Classifies `cfg` against the full constraint stack without building it.
+[[nodiscard]] Legality classify(const device::DeviceSpec& spec, const core::HgemmConfig& cfg);
+
+/// Per-reason prune counters for one enumeration.
+struct PruneStats {
+  std::int64_t raw = 0;
+  std::int64_t tiling = 0;
+  std::int64_t generator = 0;
+  std::int64_t registers = 0;
+  std::int64_t resources = 0;
+  std::int64_t legal = 0;
+  std::int64_t evaluated = 0;  // filled by tune(): configs run on the simulator
+};
+
+/// All legal configs of `space` on `spec`, in deterministic enumeration
+/// order (bm-major, prefetch-minor). `stats`, when given, receives the
+/// prune accounting.
+[[nodiscard]] std::vector<core::HgemmConfig> enumerate(const device::DeviceSpec& spec,
+                                                       const SearchSpace& space,
+                                                       PruneStats* stats = nullptr);
+
+}  // namespace tc::tune

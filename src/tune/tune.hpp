@@ -1,0 +1,120 @@
+// Model-guided HGEMM autotuner over the scheduled kernel space.
+//
+// The paper's Table VI workflow, automated: enumerate every legal blocking /
+// layout / interleave / prefetch configuration (space.hpp), rank all of them
+// with the analytical pipe model (Eqs. (3)-(6) plus occupancy and wave
+// composition — microseconds per candidate), then spend the timed-evaluation
+// budget on the most promising survivors. Timed evaluation runs the fully
+// scheduled kernel (PR 4's tc::sched, via core::hgemm_kernel) on the
+// cycle-level simulator; every evaluated program is hard-gated through
+// sass::validate and check::find_hazards first.
+//
+// Determinism: candidate enumeration, model ranking and the final sort use
+// only fixed tie-broken orderings; exploration picks come from tc::Rng with
+// the caller's seed; every simulator run uses the single-threaded lockstep
+// device (sim threads = 1) regardless of how many *host* threads evaluate
+// candidates concurrently. Same options in, bitwise-identical TuneResult
+// out — tests/test_tune.cpp holds this across host thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/config.hpp"
+#include "device/occupancy.hpp"
+#include "device/spec.hpp"
+#include "tune/space.hpp"
+
+namespace tc::tune {
+
+/// How the timed budget is spent.
+enum class Engine {
+  /// sim::TimedDevice full-grid makespan at the candidate's padded contract
+  /// shape (skip_mma_math, model-pinned L2 hit rate — the same harness as
+  /// `tcgemm_cli perf --engine device`). Cycle-level; intended for the
+  /// small probe shapes the recorded baselines use.
+  kTimedDevice,
+  /// core::PerfEstimator: measured steady-state surrogate + wave
+  /// composition. Handles paper-scale shapes (W = 4096+) where full-grid
+  /// simulation is infeasible; this is what bench/table6_autotune uses.
+  kWaveModel,
+};
+
+/// Analytic prediction for one candidate at the evaluation shape.
+struct ModelScore {
+  double cycles = 0.0;          // predicted kernel cycles (ranking key)
+  double iter_cycles = 0.0;     // per-SM cycles per main-loop iteration
+  double tensor_cycles = 0.0;   // Eq. (3), per CTA-iteration
+  double memio_cycles = 0.0;    // Eqs. (4)+(5) with layout/interleave penalties
+  double overhead_cycles = 0.0; // modeled prologue/epilogue per wave
+  double waves = 0.0;
+  double l2_hit_rate = 0.0;     // l2_reuse prediction used for DRAM demand
+};
+
+struct Candidate {
+  core::HgemmConfig cfg;
+  std::string name;  // cfg.name() plus "_nopf" when prefetch is disabled
+  int regs = 0;
+  device::Occupancy occ{};
+  ModelScore model{};
+  int model_rank = 0;  // 0-based position in the pure model ranking
+  bool evaluated = false;
+  bool explored = false;  // chosen by seeded exploration, not model rank
+  // Valid when evaluated:
+  std::uint64_t sim_cycles = 0;
+  double seconds = 0.0;
+  double tflops = 0.0;
+  int sms_used = 0;
+  std::size_t hazard_diags = 0;  // always 0 — the hard gate rejects otherwise
+};
+
+struct TuneOptions {
+  GemmShape shape{256, 256, 64};
+  /// Timed evaluations to spend. The acceptance bar (ISSUE 5) is finding
+  /// the recorded optimized-kernel cycles within 64.
+  int budget = 24;
+  /// Of the budget, how many picks are drawn (seeded) from outside the
+  /// model's top ranks — insurance against model blind spots. -1 = budget/4.
+  int explore = -1;
+  std::uint64_t seed = 1;
+  /// Host threads evaluating candidates concurrently. Does not affect
+  /// results: each evaluation owns its memory and a lockstep simulator.
+  int threads = 1;
+  Engine engine = Engine::kTimedDevice;
+  SearchSpace space{};
+};
+
+struct TuneResult {
+  device::DeviceSpec spec;
+  TuneOptions opt;
+  /// Evaluated candidates first, ascending sim_cycles; then unevaluated
+  /// ones, ascending model cycles. Ties broken by (model cycles, name).
+  std::vector<Candidate> ranked;
+  PruneStats prune;
+
+  /// The winner (ranked.front()); throws if nothing was evaluated.
+  [[nodiscard]] const Candidate& best() const;
+};
+
+/// Analytic score of one legal candidate (exposed for tests/benches).
+[[nodiscard]] ModelScore model_score(const device::DeviceSpec& spec,
+                                     const core::HgemmConfig& cfg,
+                                     const device::Occupancy& occ, const GemmShape& shape);
+
+/// Runs the full search. Deterministic for fixed options (see file header).
+[[nodiscard]] TuneResult tune(const device::DeviceSpec& spec, const TuneOptions& opt);
+
+/// Fraction of evaluated candidate pairs whose model ordering disagrees
+/// with the simulated ordering (0 = model ranks perfectly). The regression
+/// suite bounds this so model drift is caught.
+[[nodiscard]] double rank_inversion_rate(const TuneResult& r);
+
+/// Display name for a config under tuning (adds the prefetch suffix that
+/// HgemmConfig::name() omits).
+[[nodiscard]] std::string candidate_name(const core::HgemmConfig& cfg);
+
+[[nodiscard]] const char* engine_name(Engine e);
+
+}  // namespace tc::tune

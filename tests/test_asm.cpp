@@ -90,6 +90,71 @@ TEST(Asm, RejectsBadOperands) {
   EXPECT_THROW(sass::assemble("ISETP.GT P7, R1, 0\nEXIT\n"), Error);  // PT not writable
 }
 
+// try_assemble's structured negative paths: each malformed input must produce
+// a sass::Diag whose consumer_pc is the 1-based *source line* of the offense,
+// so tools can anchor the finding without scraping exception text.
+struct AsmDiagCase {
+  const char* label;
+  const char* source;
+  int line;                   // expected Diag::consumer_pc
+  const char* msg_substring;  // expected fragment of Diag::message
+};
+
+class AsmDiagTest : public ::testing::TestWithParam<AsmDiagCase> {};
+
+TEST_P(AsmDiagTest, MalformedSourceYieldsAnchoredDiag) {
+  const AsmDiagCase& c = GetParam();
+  sass::Diag diag;
+  const auto prog = sass::try_assemble(c.source, &diag);
+  ASSERT_FALSE(prog.has_value()) << c.label;
+  EXPECT_EQ(diag.kind, "asm-parse") << c.label;
+  EXPECT_EQ(diag.severity, sass::DiagSeverity::kError) << c.label;
+  EXPECT_EQ(diag.consumer_pc, c.line) << c.label;
+  EXPECT_NE(diag.message.find(c.msg_substring), std::string::npos)
+      << c.label << ": message was '" << diag.message << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NegativePaths, AsmDiagTest,
+    ::testing::Values(
+        // Malformed control words.
+        AsmDiagCase{"stall_range", "NOP\nMOV R1, R2 ; {S:99}\nEXIT\n", 2, "bad stall"},
+        AsmDiagCase{"ctrl_token", "MOV R1, R2 ; {Q:1}\nNOP\nEXIT\n", 1, "unknown control"},
+        AsmDiagCase{"wait_digits", "NOP\nNOP\nMOV R1, R2 ; {W:07}\nEXIT\n", 3, "bad wait mask"},
+        // Out-of-range barrier indices (kNumBarriers == 6).
+        AsmDiagCase{"write_barrier", "NOP\nLDG.128 R4, [R2] ; {WB6}\nEXIT\n", 2,
+                    "bad write barrier"},
+        AsmDiagCase{"read_barrier", "NOP\nNOP\nSTS.128 [R2], R4 ; {RB9}\nEXIT\n", 3,
+                    "bad read barrier"},
+        // Unknown opcodes and opcode-shaped mistakes.
+        AsmDiagCase{"unknown_opcode", ".kernel k\nNOP\nFROB R1, R2\nEXIT\n", 3,
+                    "unknown opcode 'FROB'"},
+        AsmDiagCase{"unknown_mma", "HMMA.1684.F16 R0, R2, R4, R0\nEXIT\n", 1,
+                    "unknown MMA variant"},
+        AsmDiagCase{"unknown_directive", ".kernel k\n.regs 40\nNOP\nEXIT\n", 2,
+                    "unknown directive"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Asm, TryAssembleReportsValidateFailuresWithoutALine) {
+  // Parses fine but trips the ISA validator (barrier waited on, never
+  // signalled): the diag must be tagged asm-validate with no source anchor.
+  sass::Diag diag;
+  const auto prog = sass::try_assemble("NOP ; {W:3}\nEXIT\n", &diag);
+  ASSERT_FALSE(prog.has_value());
+  EXPECT_EQ(diag.kind, "asm-validate");
+  EXPECT_EQ(diag.consumer_pc, -1);
+}
+
+TEST(Asm, TryAssembleSucceedsOnGoodSourceAndMatchesAssemble) {
+  const std::string src = ".kernel ok\n.threads 64\nMOV R1, 0x7\nEXIT\n";
+  sass::Diag diag;
+  const auto prog = sass::try_assemble(src, &diag);
+  ASSERT_TRUE(prog.has_value());
+  EXPECT_EQ(prog->name, "ok");
+  EXPECT_EQ(prog->code.size(), sass::assemble(src).code.size());
+  EXPECT_EQ(diag.kind, "");  // untouched on success
+}
+
 void expect_same_program(const sass::Program& a, const sass::Program& b) {
   ASSERT_EQ(a.code.size(), b.code.size());
   EXPECT_EQ(a.num_regs, b.num_regs);

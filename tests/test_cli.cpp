@@ -1,0 +1,168 @@
+// CLI contract tests (ISSUE 5): every tcgemm_cli subcommand that advertises
+// --json must exit zero and emit a parseable tc-cli-v1 document with the
+// stable header plus its command-specific payload keys. These are the keys
+// external tooling (and tests/test_golden.cpp-style goldens) anchor on, so
+// renaming one is a breaking schema change and should fail here first.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json_parse.hpp"
+
+namespace tc {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Runs `tcgemm_cli <args> --json <tmp>`, expects exit 0, returns the parsed
+/// document.
+JsonValue run_cli(const std::string& args) {
+  const auto out = std::filesystem::temp_directory_path() /
+                   ("tc_cli_" + std::to_string(std::hash<std::string>{}(args)) + ".json");
+  std::filesystem::remove(out);
+  const std::string cmd =
+      std::string(TC_CLI_BIN) + " " + args + " --json " + out.string() + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << cmd;
+  const auto doc = json_parse(read_file(out));
+  std::filesystem::remove(out);
+  return doc;
+}
+
+/// The tc-cli-v1 header every command writes before its payload.
+void expect_header(const JsonValue& doc, const std::string& command) {
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").as_string(), "tc-cli-v1");
+  EXPECT_EQ(doc.at("command").as_string(), command);
+  EXPECT_FALSE(doc.at("config").as_string().empty());
+  EXPECT_FALSE(doc.at("device").as_string().empty());
+  EXPECT_GT(doc.at("m").as_number(), 0.0);
+  EXPECT_GT(doc.at("n").as_number(), 0.0);
+  EXPECT_GT(doc.at("k").as_number(), 0.0);
+}
+
+TEST(CliContract, Perf) {
+  const JsonValue doc = run_cli("perf --device rtx2070 --m 4096 --n 4096 --k 4096");
+  expect_header(doc, "perf");
+  const JsonValue& p = doc.at("perf");
+  for (const char* key :
+       {"tflops", "ms", "waves", "l2_hit_rate", "dram_efficiency", "cycles_per_iter",
+        "ctas_per_sm"}) {
+    EXPECT_TRUE(p.at(key).is_number()) << key;
+  }
+  EXPECT_GT(p.at("tflops").as_number(), 0.0);
+}
+
+TEST(CliContract, PerfDeviceEngine) {
+  const JsonValue doc = run_cli("perf --engine device --m 256 --n 256 --k 64");
+  expect_header(doc, "perf");
+  const JsonValue& p = doc.at("device_perf");
+  EXPECT_EQ(p.at("engine").as_string(), "device");
+  for (const char* key : {"tflops", "ms", "device_cycles", "model_cycles", "rel_error",
+                          "model_l2_hit_rate", "device_l2_hit_rate", "tail_imbalance",
+                          "sms_used", "ctas_per_sm"}) {
+    EXPECT_TRUE(p.at(key).is_number()) << key;
+  }
+}
+
+TEST(CliContract, Lint) {
+  const JsonValue doc = run_cli("lint");
+  expect_header(doc, "lint");
+  EXPECT_TRUE(doc.at("schedule_warnings").is_array());
+  EXPECT_TRUE(doc.at("slack_findings").is_array());
+}
+
+TEST(CliContract, Check) {
+  const JsonValue doc = run_cli("check");
+  expect_header(doc, "check");
+  const auto& kernels = doc.at("kernels").as_array();
+  ASSERT_EQ(kernels.size(), 3u);  // optimized, cublas_like, wmma_naive
+  for (const auto& k : kernels) {
+    EXPECT_FALSE(k.at("kernel").as_string().empty());
+    EXPECT_GT(k.at("instructions").as_number(), 0.0);
+    EXPECT_EQ(k.at("errors").as_number(), 0.0) << k.at("kernel").as_string();
+    EXPECT_TRUE(k.at("warnings").is_number());
+    EXPECT_TRUE(k.at("diagnostics").is_array());
+  }
+}
+
+TEST(CliContract, Fuzz) {
+  const JsonValue doc = run_cli("fuzz --programs 5 --seed 3");
+  expect_header(doc, "fuzz");
+  EXPECT_EQ(doc.at("programs").as_number(), 5.0);
+  EXPECT_TRUE(doc.at("divergences").is_number());
+  EXPECT_TRUE(doc.at("failures").is_array());
+  EXPECT_EQ(doc.at("failures").as_array().size(), 0u);
+}
+
+TEST(CliContract, Schedule) {
+  const JsonValue doc = run_cli("schedule --m 256 --n 256 --k 64");
+  expect_header(doc, "schedule");
+  EXPECT_FALSE(doc.at("kernel").as_string().empty());
+  for (const char* mode : {"minimal", "full"}) {
+    const JsonValue& s = doc.at(mode);
+    for (const char* key :
+         {"instructions", "nops_inserted", "reordered", "barriers_used", "waits_placed",
+          "waits_elided", "waits_dropped", "waits_hoisted", "reuse_flags",
+          "static_issue_cycles", "timed_cycles"}) {
+      EXPECT_TRUE(s.at(key).is_number()) << mode << "." << key;
+    }
+    EXPECT_GT(s.at("timed_cycles").as_number(), 0.0) << mode;
+  }
+  EXPECT_TRUE(doc.at("slack_findings").is_array());
+}
+
+TEST(CliContract, Tune) {
+  const JsonValue doc = run_cli("tune --device rtx2070 --budget 4 --explore 1");
+  expect_header(doc, "tune");
+  // Default tune shape is the recorded-baseline probe shape.
+  EXPECT_EQ(doc.at("m").as_number(), 256.0);
+  EXPECT_EQ(doc.at("n").as_number(), 256.0);
+  EXPECT_EQ(doc.at("k").as_number(), 64.0);
+
+  const JsonValue& t = doc.at("tune");
+  EXPECT_EQ(t.at("engine").as_string(), "timed-device");
+  EXPECT_EQ(t.at("budget").as_number(), 4.0);
+  EXPECT_TRUE(t.at("seed").is_number());
+  EXPECT_TRUE(t.at("inversion_rate").is_number());
+
+  const JsonValue& prune = t.at("prune");
+  for (const char* key :
+       {"raw", "tiling", "generator", "registers", "resources", "legal", "evaluated"}) {
+    EXPECT_TRUE(prune.at(key).is_number()) << key;
+  }
+  EXPECT_EQ(prune.at("evaluated").as_number(), 4.0);
+  EXPECT_EQ(prune.at("raw").as_number(),
+            prune.at("tiling").as_number() + prune.at("generator").as_number() +
+                prune.at("registers").as_number() + prune.at("resources").as_number() +
+                prune.at("legal").as_number());
+
+  const auto candidate_keys = {"config",       "regs",       "ctas_per_sm", "limiter",
+                               "model_rank",   "model_cycles", "sim_cycles",  "tflops",
+                               "sms_used",     "hazard_diags"};
+  const JsonValue& best = t.at("best");
+  for (const char* key : candidate_keys) EXPECT_TRUE(best.has(key)) << "best." << key;
+  EXPECT_EQ(best.at("hazard_diags").as_number(), 0.0);
+
+  const auto& cands = t.at("candidates").as_array();
+  ASSERT_EQ(cands.size(), 4u);
+  for (const auto& c : cands) {
+    for (const char* key : candidate_keys) EXPECT_TRUE(c.has(key)) << "candidate." << key;
+    EXPECT_EQ(c.at("hazard_diags").as_number(), 0.0) << c.at("config").as_string();
+  }
+  // Best is the first (lowest simulated cycles) candidate.
+  EXPECT_EQ(best.at("config").as_string(), cands[0].at("config").as_string());
+}
+
+}  // namespace
+}  // namespace tc

@@ -5,8 +5,11 @@
 
 #include "common/rng.hpp"
 #include "core/hgemm.hpp"
+#include "core/kernel_gen.hpp"
 #include "core/reference.hpp"
+#include "device/occupancy.hpp"
 #include "driver/device.hpp"
+#include "tune/space.hpp"
 
 namespace tc {
 namespace {
@@ -155,6 +158,91 @@ TEST(PerfProperty, Rtx2070BeatsT4DespiteLowerPeak) {
   core::PerfEstimator et4(device::t4(), core::HgemmConfig::optimized());
   const GemmShape s{8192, 8192, 8192};
   EXPECT_GT(e2070.estimate(s).tflops, et4.estimate(s).tflops);
+}
+
+// --- tuner legality filter vs. the real builder and occupancy --------------
+
+/// A uniformly random raw point of the tuner's search space (legal or not).
+core::HgemmConfig random_raw_config(const tune::SearchSpace& s, Rng& rng) {
+  const auto pick = [&](const auto& grid) { return grid[rng.next_below(grid.size())]; };
+  core::HgemmConfig cfg;
+  cfg.bm = pick(s.bm);
+  cfg.bn = pick(s.bn);
+  cfg.bk = pick(s.bk);
+  cfg.wm = pick(s.wm);
+  cfg.wn = pick(s.wn);
+  cfg.layout = pick(s.layouts);
+  cfg.sts_interleave = pick(s.sts_interleave);
+  cfg.prefetch = pick(s.prefetch);
+  return cfg;
+}
+
+TEST(OccupancyProperty, LegalRandomConfigsNeverExceedDeviceLimits) {
+  // For every spec, any config the legality filter accepts must sit inside
+  // the register-file, shared-memory, thread and CTA-slot capacities when
+  // its claimed occupancy is resident.
+  Rng rng(0xBEEF);
+  const tune::SearchSpace space;
+  for (const auto* name : {"rtx2070", "t4"}) {
+    const device::DeviceSpec spec = device::spec_by_name(name);
+    int legal = 0;
+    for (int i = 0; i < 400; ++i) {
+      const core::HgemmConfig cfg = random_raw_config(space, rng);
+      const tune::Legality l = tune::classify(spec, cfg);
+      if (!l.ok()) continue;
+      ++legal;
+      const int cps = l.occ.ctas_per_sm;
+      ASSERT_GE(cps, 1);
+      EXPECT_LE(cps, spec.max_ctas_per_sm);
+      EXPECT_LE(device::allocated_regs_per_thread(l.regs) * cfg.threads() * cps,
+                spec.regs_per_sm)
+          << cfg.name();
+      EXPECT_LE(cfg.smem_bytes() * static_cast<std::uint32_t>(cps), spec.smem_per_sm)
+          << cfg.name();
+      EXPECT_LE(cfg.threads() * cps, spec.max_threads_per_sm) << cfg.name();
+      EXPECT_EQ(l.occ.warps_per_sm, cfg.warps() * cps) << cfg.name();
+    }
+    EXPECT_GT(legal, 0) << name;  // the sample must actually exercise the pass path
+  }
+}
+
+TEST(OccupancyProperty, TunerLegalityAgreesExactlyWithTheBuilder) {
+  // The filter's promise (space.hpp): every enumerated config builds and
+  // schedules cleanly, with exactly the predicted register count and
+  // occupancy. A deterministic random sample keeps the test fast; the full
+  // 4k-config sweep was run once offline with zero mismatches.
+  for (const auto* name : {"rtx2070", "t4"}) {
+    const device::DeviceSpec spec = device::spec_by_name(name);
+    const auto legal = tune::enumerate(spec, tune::SearchSpace{});
+    ASSERT_FALSE(legal.empty());
+    Rng rng(0xD1CE);
+    for (int i = 0; i < 24; ++i) {
+      const core::HgemmConfig& cfg = legal[rng.next_below(legal.size())];
+      const tune::Legality l = tune::classify(spec, cfg);
+      ASSERT_TRUE(l.ok()) << cfg.name();
+      const sass::Program prog =
+          core::hgemm_kernel(cfg, cfg.contract_shape({256, 256, 64}));
+      EXPECT_EQ(prog.num_regs, l.regs) << cfg.name();
+      const device::Occupancy built = device::occupancy(spec, prog);
+      EXPECT_EQ(built.ctas_per_sm, l.occ.ctas_per_sm) << cfg.name();
+      EXPECT_EQ(built.warps_per_sm, l.occ.warps_per_sm) << cfg.name();
+    }
+  }
+}
+
+TEST(OccupancyProperty, RejectReasonsAreStableAndNamed) {
+  // Reject classification is part of the CLI contract (prune funnel); every
+  // reason must have a printable name and rejected configs must never carry
+  // a claimed occupancy.
+  Rng rng(0xFEED);
+  const tune::SearchSpace space;
+  const device::DeviceSpec spec = device::rtx2070();
+  for (int i = 0; i < 200; ++i) {
+    const core::HgemmConfig cfg = random_raw_config(space, rng);
+    const tune::Legality l = tune::classify(spec, cfg);
+    EXPECT_NE(std::string(tune::reject_name(l.reject)), "");
+    if (!l.ok()) EXPECT_EQ(l.occ.ctas_per_sm, 0);
+  }
 }
 
 }  // namespace
