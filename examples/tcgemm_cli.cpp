@@ -10,6 +10,9 @@
 //   tcgemm_cli fuzz [--programs N] [--seed S]
 //   tcgemm_cli tune [--m M --n N --k K] [--device rtx2070|t4] [--budget N]
 //                   [--explore N] [--seed S] [--threads N] [--engine device|model]
+//                   [--cache winners.json]
+//   tcgemm_cli serve [--requests N] [--tenants N] [--workers N] [--device rtx2070|t4]
+//                    [--cache winners.json] [--seed S] [--budget N] [--threads N]
 //
 // `run` executes the kernel functionally on the simulator (optionally
 // validating against the bit-exact reference); `perf` prints the estimated
@@ -24,7 +27,10 @@
 // detector (src/check) over every built-in kernel and fails on any error;
 // `fuzz` differentially fuzzes the two executors (see docs/checking.md);
 // `tune` runs the model-guided autotuner over the legal config space and
-// prints the ranked candidates (see docs/tuning.md).
+// prints the ranked candidates (see docs/tuning.md); with --cache it answers
+// from / appends to the persistent shape-bucketed tuning cache; `serve`
+// replays seeded multi-tenant GEMM traffic through the serving layer
+// (tc::serve) against the same cache (see docs/serving.md).
 // All commands accept --json <path> for machine-readable output.
 #include <cstring>
 #include <fstream>
@@ -46,7 +52,10 @@
 #include "prof/trace.hpp"
 #include "sass/validator.hpp"
 #include "sched/schedule.hpp"
+#include "serve/serve.hpp"
+#include "serve/traffic.hpp"
 #include "sim/pipes.hpp"
+#include "tune/cache.hpp"
 #include "tune/tune.hpp"
 
 using namespace tc;
@@ -72,6 +81,10 @@ struct Args {
   int budget = 24;   // tune: timed evaluations
   int explore = -1;  // tune: seeded off-rank picks (-1 = budget/4)
   int threads = 1;   // tune: host evaluation threads
+  std::string cache;  // tune/serve: persistent tuning-cache file
+  int requests = 120; // serve: traffic size
+  int tenants = 2;    // serve: traffic tenants
+  int workers = 2;    // serve: simulated device workers
 };
 
 Args parse(int argc, char** argv) {
@@ -124,6 +137,14 @@ Args parse(int argc, char** argv) {
       a.explore = std::stoi(value());
     } else if (flag == "--threads") {
       a.threads = std::stoi(value());
+    } else if (flag == "--cache") {
+      a.cache = value();
+    } else if (flag == "--requests") {
+      a.requests = std::stoi(value());
+    } else if (flag == "--tenants") {
+      a.tenants = std::stoi(value());
+    } else if (flag == "--workers") {
+      a.workers = std::stoi(value());
     } else {
       throw Error("unknown flag " + flag);
     }
@@ -153,7 +174,10 @@ int usage() {
          "  tcgemm_cli fuzz   [--programs N] [--seed S]\n"
          "  tcgemm_cli tune   [--m M --n N --k K] [--device rtx2070|t4] [--budget N]\n"
          "                    [--explore N] [--seed S] [--threads N] [--engine device|model]\n"
-         "                    [--top N]\n"
+         "                    [--top N] [--cache winners.json]\n"
+         "  tcgemm_cli serve  [--requests N] [--tenants N] [--workers N]\n"
+         "                    [--device rtx2070|t4] [--cache winners.json] [--seed S]\n"
+         "                    [--budget N] [--threads N]\n"
          "common: --json <path> writes machine-readable results\n";
   return 2;
 }
@@ -546,8 +570,50 @@ int main(int argc, char** argv) {
 
     if (args.command == "tune") {
       const device::DeviceSpec spec = device::spec_by_name(args.device);
+      const tune::CacheKey ckey = tune::cache_key(spec, {args.m, args.n, args.k});
+      tune::TuneCache cache;
+      if (!args.cache.empty()) {
+        tune::CacheLoadStats cstats;
+        cache = tune::TuneCache::load(args.cache, &cstats);
+        for (const auto& d : cstats.diagnostics) {
+          std::cout << "cache: rejected entry — " << d << "\n";
+        }
+        if (const tune::CacheEntry* hit = cache.find(ckey)) {
+          // Warm path: the persisted winner is served bit-for-bit; no search.
+          std::cout << "cache hit for " << ckey.str() << " (bucket of " << args.m << " x "
+                    << args.n << " x " << args.k << "): " << tune::candidate_name(hit->cfg)
+                    << " at " << hit->sim_cycles << " simulated cycles (engine "
+                    << hit->engine << ", budget " << hit->budget << ", seed " << hit->seed
+                    << ")\n";
+          if (json) {
+            json->key("tune");
+            json->begin_object();
+            json->field("engine", "cache");
+            json->key("cache");
+            json->begin_object();
+            json->field("hit", true);
+            json->field("key", ckey.str());
+            json->field("bucket_m", static_cast<std::uint64_t>(ckey.m));
+            json->field("bucket_n", static_cast<std::uint64_t>(ckey.n));
+            json->field("bucket_k", static_cast<std::uint64_t>(ckey.k));
+            json->end_object();
+            json->key("best");
+            json->begin_object();
+            json->field("config", tune::candidate_name(hit->cfg));
+            json->field("sim_cycles", hit->sim_cycles);
+            json->end_object();
+            json->end_object();
+          }
+          finish_json();
+          return 0;
+        }
+        std::cout << "cache miss for " << ckey.str() << ": tuning at the bucket shape\n";
+      }
       tune::TuneOptions opt;
-      opt.shape = {args.m, args.n, args.k};
+      // With a cache, tune at the bucket's canonical shape so the stored
+      // winner serves every shape that falls in the bucket.
+      opt.shape = args.cache.empty() ? GemmShape{args.m, args.n, args.k}
+                                     : tune::bucket_shape(ckey);
       opt.budget = args.budget;
       opt.explore = args.explore;
       opt.seed = args.seed;
@@ -584,10 +650,34 @@ int main(int argc, char** argv) {
                 << "model-vs-simulated rank inversion rate: "
                 << fmt_fixed(tune::rank_inversion_rate(r), 3) << "\n";
 
+      if (!args.cache.empty()) {
+        tune::CacheEntry e;
+        e.key = ckey;
+        e.cfg = best.cfg;
+        e.sim_cycles = best.sim_cycles;
+        e.budget = opt.budget;
+        e.seed = opt.seed;
+        e.engine = tune::engine_name(opt.engine);
+        cache.insert(std::move(e));
+        cache.save(args.cache);
+        std::cout << "cache: stored winner for " << ckey.str() << " in " << args.cache << "\n";
+      }
+
       if (json) {
         json->key("tune");
         json->begin_object();
         json->field("engine", tune::engine_name(opt.engine));
+        if (!args.cache.empty()) {
+          json->key("cache");
+          json->begin_object();
+          json->field("hit", false);
+          json->field("stored", true);
+          json->field("key", ckey.str());
+          json->field("bucket_m", static_cast<std::uint64_t>(ckey.m));
+          json->field("bucket_n", static_cast<std::uint64_t>(ckey.n));
+          json->field("bucket_k", static_cast<std::uint64_t>(ckey.k));
+          json->end_object();
+        }
         json->field("budget", static_cast<std::uint64_t>(opt.budget));
         json->field("seed", opt.seed);
         json->field("inversion_rate", tune::rank_inversion_rate(r));
@@ -625,6 +715,65 @@ int main(int argc, char** argv) {
         }
         json->end_array();
         json->end_object();
+      }
+      finish_json();
+      return 0;
+    }
+
+    if (args.command == "serve") {
+      const device::DeviceSpec spec = device::spec_by_name(args.device);
+      serve::ServerOptions sopt;
+      sopt.spec = spec;
+      sopt.workers = args.workers;
+      sopt.threads = args.threads;
+      sopt.tune_budget = args.budget;
+      sopt.cache_path = args.cache;
+
+      serve::TrafficOptions topt;
+      topt.requests = args.requests;
+      topt.tenants = args.tenants;
+      topt.seed = args.seed;
+      const std::vector<serve::Request> traffic = serve::llm_traffic(topt);
+
+      serve::Server server(sopt);
+      for (const auto& d : server.load_stats().diagnostics) {
+        std::cout << "cache: rejected entry — " << d << "\n";
+      }
+      const serve::Metrics m = server.run(traffic);
+      const auto& c = m.counters;
+
+      std::cout << "served " << c.completed << "/" << c.requests << " requests (" << c.shed
+                << " shed) on " << spec.name << " with " << args.workers
+                << " workers (seed " << args.seed << ")\n"
+                << "  batches: " << c.batches << " (" << fmt_fixed(
+                       c.batches > 0 ? static_cast<double>(c.batched_requests) /
+                                           static_cast<double>(c.batches)
+                                     : 0.0, 2)
+                << " requests/pass), cache hit rate " << fmt_fixed(m.cache_hit_rate, 3)
+                << " (" << c.cache_hits << "/" << c.cache_lookups << "), " << c.tune_evals
+                << " tune evals, " << c.hazard_diags << " hazard diags\n"
+                << "  latency: p50 " << fmt_fixed(m.p50_cycles, 0) << " cycles ("
+                << fmt_fixed(m.p50_ms, 3) << " ms), p99 " << fmt_fixed(m.p99_cycles, 0)
+                << " cycles (" << fmt_fixed(m.p99_ms, 3) << " ms)\n"
+                << "  throughput: " << fmt_fixed(m.qps, 1) << " QPS, worker utilization "
+                << fmt_fixed(m.worker_utilization, 3) << " over "
+                << m.makespan_cycles << " cycles\n";
+      TablePrinter t({"tenant", "weight", "accepted", "shed", "completed", "share",
+                      "p50 cycles", "p99 cycles"});
+      for (const auto& ts : m.tenants) {
+        t.add_row({std::to_string(ts.tenant), std::to_string(ts.weight),
+                   std::to_string(ts.accepted), std::to_string(ts.shed),
+                   std::to_string(ts.completed), fmt_fixed(ts.share, 3),
+                   fmt_fixed(ts.p50_cycles, 0), fmt_fixed(ts.p99_cycles, 0)});
+      }
+      t.print(std::cout);
+      if (!args.cache.empty()) {
+        std::cout << "cache: " << server.cache().size() << " entries in " << args.cache << "\n";
+      }
+
+      if (json) {
+        json->key("serve");
+        serve::write_metrics_json(*json, m);
       }
       finish_json();
       return 0;

@@ -32,6 +32,24 @@ for dev in rtx2070 t4; do
 done
 ctest --test-dir build --output-on-failure -L "tune_smoke|examples_smoke" -j "$JOBS"
 
+echo "== serve smoke: seeded traffic + persistent cache on both specs =="
+# The serve_smoke CTest label runs the serving-layer suite (warm-cache
+# zero-retune guarantee, hit rate >= 90% after warmup, zero hazard diags,
+# bitwise metrics determinism across host threads). The CLI pass below then
+# drives the same stack end to end on each device: a cold run populates a
+# fresh persistent cache, the warm rerun must answer every bucket from it.
+ctest --test-dir build --output-on-failure -L "serve_smoke" -j "$JOBS"
+for dev in rtx2070 t4; do
+  cache="build/serve_cache_${dev}.json"
+  rm -f "$cache"
+  ./build/examples/tcgemm_cli serve --device "$dev" --requests 30 --budget 2 \
+    --cache "$cache" >/dev/null
+  ./build/examples/tcgemm_cli serve --device "$dev" --requests 30 --budget 2 \
+    --cache "$cache" | grep -q "0 tune evals" \
+    || { echo "warm serve re-tuned on $dev"; exit 1; }
+  rm -f "$cache"
+done
+
 echo "== scheduler gate: virtual emission -> schedule -> hazard oracle =="
 # `schedule` re-schedules each kernel from its virtual (latency-agnostic)
 # form and hard-verifies the result through check::find_hazards — a non-zero

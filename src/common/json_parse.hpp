@@ -11,12 +11,14 @@
 #include <charconv>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace tc {
 
@@ -37,6 +39,7 @@ class JsonValue {
   explicit JsonValue(JsonObject o) : v_(std::make_shared<JsonObject>(std::move(o))) {}
 
   [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
   [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
   [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
   [[nodiscard]] bool is_array() const {
@@ -234,6 +237,42 @@ class JsonParser {
 /// Parses a complete JSON document; TC_CHECKs on malformed input.
 [[nodiscard]] inline JsonValue json_parse(std::string_view text) {
   return detail::JsonParser(text).parse_document();
+}
+
+/// Serializes a parsed node back through the streaming writer (value
+/// position). Together with json_parse this round-trips every document the
+/// repo's writers emit — the persistent tuning-cache file relies on it.
+/// Object keys come out in JsonObject's sorted order, so dump(parse(x)) is a
+/// canonical form: stable under repeated round-trips.
+inline void json_write(JsonWriter& j, const JsonValue& v) {
+  if (v.is_null()) {
+    j.null();
+  } else if (v.is_bool()) {
+    j.value(v.as_bool());
+  } else if (v.is_number()) {
+    j.value(v.as_number());
+  } else if (v.is_string()) {
+    j.value(std::string_view(v.as_string()));
+  } else if (v.is_array()) {
+    j.begin_array();
+    for (const JsonValue& e : v.as_array()) json_write(j, e);
+    j.end_array();
+  } else {
+    j.begin_object();
+    for (const auto& [key, val] : v.as_object()) {
+      j.key(key);
+      json_write(j, val);
+    }
+    j.end_object();
+  }
+}
+
+/// json_write into a string (one complete document, no trailing newline).
+[[nodiscard]] inline std::string json_dump(const JsonValue& v) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  json_write(j, v);
+  return os.str();
 }
 
 }  // namespace tc

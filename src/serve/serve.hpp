@@ -1,0 +1,164 @@
+// tc::serve — multi-tenant GEMM serving over the simulated device fleet.
+//
+// The ROADMAP's "millions of users" scenario: production traffic is a
+// *stream* of shapes, and the tuned-kernel payoff only counts if a warm
+// server answers every request from the persistent tuning cache
+// (tune::TuneCache, the cublasLt-heuristics pattern) without ever re-tuning
+// on the hot path. The server here is a discrete-event simulation of that
+// fleet: requests carry arrival timestamps in device cycles, a bounded
+// admission queue sheds overload, a start-time-fair weighted scheduler picks
+// the next tenant, compatible requests (same tuning bucket, same tenant) are
+// batched onto one worker pass, and each pass costs what the cycle-level
+// multi-SM simulator (sim::TimedDevice) says the batched kernel costs.
+//
+// Everything — latency percentiles, QPS, wall-clock milliseconds — is
+// derived from the virtual device clock (spec.cycles_to_seconds), so the
+// whole run is bitwise deterministic: identical options + request stream
+// give byte-identical metrics JSON regardless of the host thread count
+// (`threads` only parallelizes cold-bucket tuning inside tc::tune, which is
+// itself pinned deterministic). tests/test_serve.cpp holds this the same way
+// test_tune holds the 1-vs-7-thread pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/matrix.hpp"
+#include "device/spec.hpp"
+#include "tune/cache.hpp"
+#include "tune/space.hpp"
+
+namespace tc::serve {
+
+/// One GEMM request in the stream.
+struct Request {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  GemmShape shape{};
+  std::uint64_t arrival_cycle = 0;  // virtual device-clock timestamp
+};
+
+struct ServerOptions {
+  device::DeviceSpec spec;
+  /// Simulated TimedDevice workers (whole devices). More workers = more
+  /// concurrent passes; affects results deterministically.
+  int workers = 2;
+  /// Host threads for cold-bucket tuning (forwarded to tune::TuneOptions).
+  /// Never affects results — only how fast a cold start warms up.
+  int threads = 1;
+  /// Admission bound: requests arriving while this many are queued are shed.
+  std::size_t queue_capacity = 64;
+  /// Max requests fused into one worker pass (same tenant + same bucket).
+  int batch_max = 4;
+  /// Weighted-fair shares, one per tenant; empty = every observed tenant
+  /// gets weight 1. Tenant t of a request indexes this vector.
+  std::vector<int> tenant_weights;
+  /// Cold-bucket tuning: the search space / budget / seed spent on a cache
+  /// miss. Engine is always the timed device (bucket shapes are small).
+  tune::SearchSpace space{};
+  int tune_budget = 6;
+  std::uint64_t tune_seed = 1;
+  /// Persistent cache file: loaded at construction, appended after every
+  /// miss. Empty = in-memory only (still warm across run() calls).
+  std::string cache_path;
+};
+
+/// prof-style counter set for one run (exact integers, no rates).
+struct Counters {
+  std::uint64_t requests = 0;   // offered = accepted + shed
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;       // rejected by admission control
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;            // worker passes dispatched
+  std::uint64_t batched_requests = 0;   // requests carried by those passes
+  std::uint64_t cache_lookups = 0;      // one per pass
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;       // each miss runs the tuner once
+  std::uint64_t tune_evals = 0;         // timed-budget evaluations spent (0 when warm)
+  std::uint64_t hazard_diags = 0;       // from the per-kernel hard gate; always 0
+  std::uint64_t sim_passes = 0;         // distinct TimedDevice cost simulations
+  std::uint64_t worker_busy_cycles = 0; // summed over workers
+};
+
+struct TenantStats {
+  int tenant = 0;
+  int weight = 1;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t busy_cycles = 0;  // worker cycles consumed by this tenant
+  double share = 0.0;             // busy_cycles / total busy cycles
+  double p50_cycles = 0.0;
+  double p99_cycles = 0.0;
+};
+
+/// Per-request completion record (virtual cycles); exposed for tests and
+/// trace-style analysis, not serialized into the metrics JSON.
+struct Completion {
+  std::uint64_t id = 0;
+  int tenant = 0;
+  std::uint64_t arrival_cycle = 0;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t completion_cycle = 0;
+  int batch = 1;  // requests fused into the pass that served this one
+};
+
+struct Metrics {
+  Counters counters;
+  std::uint64_t makespan_cycles = 0;  // last completion (virtual clock from 0)
+  double mean_cycles = 0.0;
+  double p50_cycles = 0.0;
+  double p99_cycles = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;                 // completed / makespan seconds
+  double cache_hit_rate = 0.0;      // hits / lookups
+  double worker_utilization = 0.0;  // busy / (workers * makespan)
+  std::vector<TenantStats> tenants;
+  std::vector<Completion> completions;  // completion order (not in JSON)
+};
+
+/// Writes the deterministic metrics payload (the "serve" object body of the
+/// tc-cli-v1 document). The writer must be positioned at a value slot.
+void write_metrics_json(JsonWriter& j, const Metrics& m);
+
+class Server {
+ public:
+  /// Loads the persistent cache from opt.cache_path (when set); rejected
+  /// entries are reported in load_stats() and re-tuned on first use.
+  explicit Server(ServerOptions opt);
+  /// Starts from an in-memory cache image instead (bench warm starts).
+  Server(ServerOptions opt, tune::TuneCache warm);
+
+  /// Replays `requests` (sorted by arrival; ties by id) to completion and
+  /// returns fresh metrics. The tuning cache and the pass-cost memo persist
+  /// across calls, so a second run() on the same Server is a warm run.
+  Metrics run(const std::vector<Request>& requests);
+
+  [[nodiscard]] const tune::TuneCache& cache() const { return cache_; }
+  [[nodiscard]] const tune::CacheLoadStats& load_stats() const { return load_stats_; }
+  [[nodiscard]] const ServerOptions& options() const { return opt_; }
+
+ private:
+  struct PassCost {
+    std::uint64_t cycles = 0;
+    std::uint64_t hazard_diags = 0;
+    bool simulated = false;  // true when this lookup ran the simulator
+  };
+
+  /// Winner config for `key`: cache hit, or tune-and-append on miss.
+  const core::HgemmConfig& winner_for(const tune::CacheKey& key, Counters& c);
+  /// Cycle cost of one pass of `batch` fused bucket-shaped requests.
+  PassCost pass_cost(const core::HgemmConfig& cfg, const tune::CacheKey& key, int batch);
+
+  ServerOptions opt_;
+  tune::TuneCache cache_;
+  tune::CacheLoadStats load_stats_;
+  /// Pass-cost memo: (config name, contract m, n, k) -> simulated cycles.
+  std::map<std::string, std::uint64_t> cost_memo_;
+};
+
+}  // namespace tc::serve

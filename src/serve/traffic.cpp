@@ -1,0 +1,79 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tc::serve {
+
+namespace {
+
+struct PaletteEntry {
+  GemmShape shape;
+  int weight;  // integer popularity weight (Zipf-ish skew)
+};
+
+// Decode-step GEMMs dominate; the rare large entry models a prefill burst.
+// m is jittered per request (below) to exercise shape bucketing; the jitter
+// never crosses a power-of-two bucket edge, so the palette maps to a small,
+// stable set of tuning buckets.
+constexpr PaletteEntry kPalette[] = {
+    {{256, 256, 64}, 32},  //
+    {{128, 256, 64}, 16},  //
+    {{64, 64, 64}, 8},     //
+    {{64, 512, 64}, 4},    //
+    {{128, 64, 128}, 2},   //
+    {{512, 256, 64}, 1},   // prefill
+};
+
+}  // namespace
+
+std::vector<Request> llm_traffic(const TrafficOptions& opt) {
+  TC_CHECK(opt.requests >= 0, "negative request count");
+  TC_CHECK(opt.tenants >= 1, "traffic needs at least one tenant");
+  Rng rng(opt.seed);
+
+  int palette_total = 0;
+  for (const PaletteEntry& p : kPalette) palette_total += p.weight;
+  // Tenant demand skew: tenant t draws with weight (tenants - t).
+  int tenant_total = 0;
+  for (int t = 0; t < opt.tenants; ++t) tenant_total += opt.tenants - t;
+
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(opt.requests));
+  std::uint64_t clock = 0;
+  for (int i = 0; i < opt.requests; ++i) {
+    // Exponential inter-arrival gap (Poisson process in virtual cycles).
+    const double u = static_cast<double>(rng.next_float(0.0f, 1.0f));
+    clock += static_cast<std::uint64_t>(-opt.mean_gap_cycles * std::log(1.0 - u));
+
+    auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(palette_total)));
+    GemmShape shape = kPalette[0].shape;
+    for (const PaletteEntry& p : kPalette) {
+      if (pick < p.weight) {
+        shape = p.shape;
+        break;
+      }
+      pick -= p.weight;
+    }
+    // Jitter m downward by < 1/4 of its bucket: distinct user shapes, same
+    // tuning bucket (bucket_dim rounds up to the power of two it came from).
+    shape.m -= rng.next_below(shape.m / 4);
+
+    auto tpick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(tenant_total)));
+    int tenant = 0;
+    for (int t = 0; t < opt.tenants; ++t) {
+      if (tpick < opt.tenants - t) {
+        tenant = t;
+        break;
+      }
+      tpick -= opt.tenants - t;
+    }
+
+    out.push_back({static_cast<std::uint64_t>(i), tenant, shape, clock});
+  }
+  return out;
+}
+
+}  // namespace tc::serve

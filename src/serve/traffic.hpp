@@ -1,0 +1,29 @@
+// Deterministic seeded traffic for the GEMM server.
+//
+// The stream mimics LLM-inference serving: a small palette of GEMM shapes
+// (decode-step projections at a few batch sizes, an occasional large prefill)
+// with a heavily skewed popularity distribution, Poisson-like arrivals, and
+// tenants of unequal demand. Every draw flows through tc::Rng, so one seed
+// reproduces the stream byte-for-byte — the serve tests and bench depend on
+// that the same way the tuner tests depend on their seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace tc::serve {
+
+struct TrafficOptions {
+  int requests = 120;
+  int tenants = 2;
+  std::uint64_t seed = 1;
+  /// Mean inter-arrival gap in device cycles (exponentially distributed).
+  double mean_gap_cycles = 20000.0;
+};
+
+/// Generates `opt.requests` requests, ids 0..n-1 in arrival order.
+[[nodiscard]] std::vector<Request> llm_traffic(const TrafficOptions& opt);
+
+}  // namespace tc::serve

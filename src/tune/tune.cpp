@@ -28,6 +28,8 @@ namespace {
 /// 8 rows of a fragment land on the same bank.
 constexpr double kNaiveBankConflict = 8.0;
 
+}  // namespace
+
 /// Model-predicted LDG L2 hit rate — the same l2_reuse inputs PerfEstimator
 /// and validate_wave use, so pinned-hit-rate evaluation matches them.
 double predicted_l2_hit_rate(const device::DeviceSpec& spec, const core::HgemmConfig& cfg,
@@ -44,6 +46,8 @@ double predicted_l2_hit_rate(const device::DeviceSpec& spec, const core::HgemmCo
   ri.l2_capacity = spec.l2_size_bytes;
   return model::l2_reuse(ri).ldg_l2_hit_rate;
 }
+
+namespace {
 
 /// One timed-device evaluation: the validate_wave device-side harness
 /// (skip_mma_math, lockstep, model-pinned L2 hit rate) over the full grid at

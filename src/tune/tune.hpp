@@ -103,6 +103,14 @@ struct TuneResult {
                                      const core::HgemmConfig& cfg,
                                      const device::Occupancy& occ, const GemmShape& shape);
 
+/// Model-predicted LDG L2 hit rate for `cfg` at `shape` — the value the
+/// timed-device evaluation pins the shared L2 to. Exposed so other timed
+/// harnesses (tc::serve's worker passes) evaluate kernels under exactly the
+/// conditions the tuner's recorded winners were measured in.
+[[nodiscard]] double predicted_l2_hit_rate(const device::DeviceSpec& spec,
+                                           const core::HgemmConfig& cfg,
+                                           const device::Occupancy& occ, const GemmShape& shape);
+
 /// Runs the full search. Deterministic for fixed options (see file header).
 [[nodiscard]] TuneResult tune(const device::DeviceSpec& spec, const TuneOptions& opt);
 

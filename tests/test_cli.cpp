@@ -164,5 +164,69 @@ TEST(CliContract, Tune) {
   EXPECT_EQ(best.at("config").as_string(), cands[0].at("config").as_string());
 }
 
+TEST(CliContract, TuneCacheMissThenHit) {
+  const auto cache = std::filesystem::temp_directory_path() / "tc_cli_tune_cache.json";
+  std::filesystem::remove(cache);
+
+  // Cold: full search at the bucket shape, winner stored.
+  const JsonValue miss =
+      run_cli("tune --m 100 --n 100 --k 60 --budget 2 --cache " + cache.string());
+  expect_header(miss, "tune");
+  const JsonValue& mt = miss.at("tune");
+  EXPECT_EQ(mt.at("engine").as_string(), "timed-device");
+  EXPECT_FALSE(mt.at("cache").at("hit").as_bool());
+  EXPECT_TRUE(mt.at("cache").at("stored").as_bool());
+  EXPECT_EQ(mt.at("cache").at("bucket_m").as_number(), 128.0);
+  EXPECT_EQ(mt.at("cache").at("bucket_n").as_number(), 128.0);
+  EXPECT_EQ(mt.at("cache").at("bucket_k").as_number(), 64.0);
+
+  // Warm: a different shape in the same bucket is answered without a search.
+  const JsonValue hit =
+      run_cli("tune --m 120 --n 97 --k 33 --budget 2 --cache " + cache.string());
+  expect_header(hit, "tune");
+  const JsonValue& ht = hit.at("tune");
+  EXPECT_EQ(ht.at("engine").as_string(), "cache");
+  EXPECT_TRUE(ht.at("cache").at("hit").as_bool());
+  EXPECT_EQ(ht.at("cache").at("key").as_string(), mt.at("cache").at("key").as_string());
+  EXPECT_EQ(ht.at("best").at("config").as_string(), mt.at("best").at("config").as_string());
+  EXPECT_EQ(ht.at("best").at("sim_cycles").as_number(),
+            mt.at("best").at("sim_cycles").as_number());
+  std::filesystem::remove(cache);
+}
+
+TEST(CliContract, Serve) {
+  const JsonValue doc =
+      run_cli("serve --requests 12 --tenants 2 --workers 2 --budget 2 --seed 5");
+  expect_header(doc, "serve");
+  const JsonValue& s = doc.at("serve");
+
+  const JsonValue& c = s.at("counters");
+  for (const char* key :
+       {"requests", "accepted", "shed", "completed", "batches", "batched_requests",
+        "cache_lookups", "cache_hits", "cache_misses", "tune_evals", "hazard_diags",
+        "sim_passes", "worker_busy_cycles"}) {
+    EXPECT_TRUE(c.at(key).is_number()) << key;
+  }
+  EXPECT_EQ(c.at("requests").as_number(), 12.0);
+  EXPECT_EQ(c.at("hazard_diags").as_number(), 0.0);
+  EXPECT_EQ(c.at("accepted").as_number(),
+            c.at("requests").as_number() - c.at("shed").as_number());
+
+  for (const char* key : {"makespan_cycles", "mean_cycles", "p50_cycles", "p99_cycles",
+                          "p50_ms", "p99_ms", "qps", "cache_hit_rate", "worker_utilization"}) {
+    EXPECT_TRUE(s.at(key).is_number()) << key;
+  }
+  EXPECT_GT(s.at("qps").as_number(), 0.0);
+
+  const auto& tenants = s.at("tenants").as_array();
+  ASSERT_EQ(tenants.size(), 2u);
+  for (const auto& t : tenants) {
+    for (const char* key : {"tenant", "weight", "accepted", "shed", "completed",
+                            "busy_cycles", "share", "p50_cycles", "p99_cycles"}) {
+      EXPECT_TRUE(t.at(key).is_number()) << key;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tc

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/json_parse.hpp"
 #include "common/matrix.hpp"
 #include "common/table.hpp"
 #include "core/config.hpp"
@@ -136,6 +137,50 @@ TEST(JsonWriter, EscapesStringsAndRejectsNonFinite) {
   j.value(std::numeric_limits<double>::quiet_NaN());
   j.end_array();
   EXPECT_EQ(os.str(), "[\"a\\\"b\\\\c\\nd\\u0001\",null,null]");
+}
+
+// json_dump(json_parse(x)) is the canonical form the persistent tuning
+// cache relies on: stable under repeated round-trips, every value kind and
+// escape the repo's writers emit survives intact.
+TEST(JsonRoundTrip, DumpParseIsIdentityOnCanonicalForm) {
+  const char* docs[] = {
+      "null",
+      "true",
+      "[false,0,-1.5,\"\",[],{}]",
+      "{\"a\":1,\"b\":[1,2,3],\"c\":{\"d\":\"e\"}}",
+      "{\"schema\":\"tc-tune-cache-v1\",\"entries\":[{\"device\":\"RTX2070\",\"m\":256,"
+      "\"config\":{\"prefetch\":true,\"sts_interleave\":5},\"sim_cycles\":16090}]}",
+  };
+  for (const char* doc : docs) {
+    const std::string canonical = json_dump(json_parse(doc));
+    EXPECT_EQ(json_dump(json_parse(canonical)), canonical) << doc;
+  }
+}
+
+TEST(JsonRoundTrip, PreservesValueKindsAndEscapes) {
+  const std::string src =
+      "{\"s\":\"a\\\"b\\\\c\\nd\\t\",\"n\":-2.75,\"big\":123456789,\"t\":true,"
+      "\"f\":false,\"z\":null,\"arr\":[1,\"two\",null]}";
+  const JsonValue v = json_parse(json_dump(json_parse(src)));
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\nd\t");
+  EXPECT_EQ(v.at("n").as_number(), -2.75);
+  EXPECT_EQ(v.at("big").as_number(), 123456789.0);
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_FALSE(v.at("f").as_bool());
+  EXPECT_TRUE(v.at("t").is_bool());
+  EXPECT_FALSE(v.at("n").is_bool());
+  EXPECT_TRUE(v.at("z").is_null());
+  ASSERT_TRUE(v.at("arr").is_array());
+  EXPECT_EQ(v.at("arr").as_array().size(), 3u);
+}
+
+TEST(JsonRoundTrip, CanonicalFormSortsObjectKeys) {
+  // JsonObject is an ordered map, so dump() emits keys sorted — two
+  // documents with the same content in different key order canonicalize to
+  // the same bytes (what makes cache files diff-able).
+  EXPECT_EQ(json_dump(json_parse("{\"b\":1,\"a\":2}")),
+            json_dump(json_parse("{\"a\":2,\"b\":1}")));
+  EXPECT_EQ(json_dump(json_parse("{\"b\":1,\"a\":2}")), "{\"a\":2,\"b\":1}");
 }
 
 TEST(JsonWriter, MisuseTripsCheck) {
