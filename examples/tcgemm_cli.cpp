@@ -631,7 +631,7 @@ int main(int argc, char** argv) {
                 << " legal -> " << r.prune.evaluated << " evaluated\n"
                 << "pruned: " << r.prune.tiling << " tiling, " << r.prune.generator
                 << " generator, " << r.prune.registers << " registers, " << r.prune.resources
-                << " resources\n";
+                << " resources, " << r.prune.launch_order << " launch_order\n";
       TablePrinter t({"config", "regs", "CTAs/SM", "model rank", "model cycles", "sim cycles",
                       "TFLOPS"});
       int shown = 0;
@@ -688,6 +688,7 @@ int main(int argc, char** argv) {
         json->field("generator", static_cast<std::uint64_t>(r.prune.generator));
         json->field("registers", static_cast<std::uint64_t>(r.prune.registers));
         json->field("resources", static_cast<std::uint64_t>(r.prune.resources));
+        json->field("launch_order", static_cast<std::uint64_t>(r.prune.launch_order));
         json->field("legal", static_cast<std::uint64_t>(r.prune.legal));
         json->field("evaluated", static_cast<std::uint64_t>(r.prune.evaluated));
         json->end_object();

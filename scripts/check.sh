@@ -17,10 +17,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== schedule checks: kernel hazard scan + fuzz smoke + device xval =="
+echo "== schedule checks: kernel hazard scan + fuzz smoke + device/L2 xval =="
 ./build/examples/tcgemm_cli check
 # -L takes a regex; two -L flags would AND the labels and select nothing.
-ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval"
+# l2_xval cross-validates the reuse-distance sampler against the timed
+# device's emergent sector-cache hit rate for every launch order.
+ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval|l2_xval"
 
 echo "== tuner smoke: ranked search on both specs + regression labels =="
 # Small-budget end-to-end search on each device: every evaluated kernel is

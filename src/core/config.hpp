@@ -42,11 +42,16 @@ struct HgemmConfig {
   /// serializes LDG -> STS each iteration (ablation only).
   bool prefetch = true;
 
-  /// CTA scheduling order assumed by the L2 reuse model.
+  /// CTA scheduling order: modeled by the L2 reuse machinery and, for the
+  /// concrete orders (rowmajor/supertile/serpentine/hilbert), dispatched by
+  /// TimedDevice. kSwizzled is the legacy analytic patch, dispatched
+  /// row-major.
   model::LaunchOrder launch_order = model::LaunchOrder::kSwizzled;
   /// Grid width beyond which the swizzle degrades to row-major (models the
   /// cuBLAS 10.1 L2-blocking failure at W = 12032, i.e. grid_x = 94).
   int swizzle_max_grid_x = 1 << 30;
+  /// Column-panel width when launch_order == kSupertile; ignored otherwise.
+  int supertile_width = 8;
 
   /// The paper's optimized kernel (Table VII left column).
   static HgemmConfig optimized() { return {}; }
@@ -106,15 +111,26 @@ struct HgemmConfig {
     TC_CHECK((bm / 8) % warps() == 0 && (bn / 8) % warps() == 0,
              "each warp must cover a whole number of slab tile rows");
     TC_CHECK(sts_interleave >= 1, "sts_interleave must be >= 1");
+    TC_CHECK(supertile_width >= 1, "supertile_width must be >= 1");
   }
 
   [[nodiscard]] std::string name() const {
-    return "hgemm_" + std::to_string(bm) + "x" + std::to_string(bn) + "x" + std::to_string(bk) +
-           "_w" + std::to_string(wm) + "x" + std::to_string(wn) + "_i" +
-           std::to_string(sts_interleave) +
-           (layout == SmemLayout::kNaiveRowMajor
-                ? "_naive"
-                : (layout == SmemLayout::kPaddedTile ? "_pad" : "_tile"));
+    std::string n =
+        "hgemm_" + std::to_string(bm) + "x" + std::to_string(bn) + "x" + std::to_string(bk) +
+        "_w" + std::to_string(wm) + "x" + std::to_string(wn) + "_i" +
+        std::to_string(sts_interleave) +
+        (layout == SmemLayout::kNaiveRowMajor
+             ? "_naive"
+             : (layout == SmemLayout::kPaddedTile ? "_pad" : "_tile"));
+    // Only non-default orders mark the name, so every legacy kernel name —
+    // recorded tuning baselines included — is unchanged.
+    if (launch_order != model::LaunchOrder::kSwizzled) {
+      n += std::string("_") + sim::launch_order_name(launch_order);
+      if (launch_order == model::LaunchOrder::kSupertile) {
+        n += std::to_string(supertile_width);
+      }
+    }
+    return n;
   }
 };
 

@@ -165,8 +165,10 @@ PerfPoint PerfEstimator::estimate(const GemmShape& shape) {
   reuse_in.wave_ctas = spec_.num_sms * ctas_per_sm_;
   reuse_in.order = cfg_.launch_order;
   reuse_in.swizzle_max_grid_x = cfg_.swizzle_max_grid_x;
+  reuse_in.supertile_width = cfg_.supertile_width;
+  reuse_in.k_iters = std::ceil(static_cast<double>(shape.k) / cfg_.bk);
   reuse_in.l2_capacity = spec_.l2_size_bytes;
-  const model::L2Reuse reuse = model::l2_reuse(reuse_in);
+  const model::L2Reuse reuse = model::l2_reuse_predict(reuse_in);
   p.l2_hit_rate = reuse.ldg_l2_hit_rate;
   p.dram_efficiency = model::dram_row_efficiency(static_cast<double>(shape.k) * 2.0);
 

@@ -1,6 +1,7 @@
 #include "core/profile.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/kernel_gen.hpp"
 #include "device/occupancy.hpp"
@@ -71,8 +72,10 @@ HgemmProfile profile_hgemm(const device::DeviceSpec& spec, const HgemmConfig& cf
   reuse_in.wave_ctas = spec.num_sms * out.ctas_per_sm;
   reuse_in.order = cfg.launch_order;
   reuse_in.swizzle_max_grid_x = cfg.swizzle_max_grid_x;
+  reuse_in.supertile_width = cfg.supertile_width;
+  reuse_in.k_iters = std::ceil(static_cast<double>(shape.k) / cfg.bk);
   reuse_in.l2_capacity = spec.l2_size_bytes;
-  out.l2_hit_rate = model::l2_reuse(reuse_in).ldg_l2_hit_rate;
+  out.l2_hit_rate = model::l2_reuse_predict(reuse_in).ldg_l2_hit_rate;
   out.dram_efficiency = model::dram_row_efficiency(static_cast<double>(shape.k) * 2.0);
 
   // Enough iterations to dominate prologue/epilogue, capped so huge k stays

@@ -16,25 +16,51 @@ L2Reuse l2_reuse(const L2ReuseInput& in) {
   const bool swizzle_ok =
       swizzle_intended && in.grid_x <= static_cast<std::uint64_t>(in.swizzle_max_grid_x);
 
-  double rows;
-  double cols;
-  if (swizzle_ok) {
-    // Rectangular patch minimizing rows*bm + cols*bn subject to rows*cols=W.
-    rows = std::sqrt(wave * in.bn / in.bm);
-    rows = std::clamp(rows, 1.0, static_cast<double>(in.grid_y));
-    cols = std::min(std::ceil(wave / rows), static_cast<double>(in.grid_x));
-    rows = std::min(std::ceil(wave / cols), static_cast<double>(in.grid_y));
-  } else {
-    cols = std::min(wave, static_cast<double>(in.grid_x));
-    rows = std::ceil(wave / static_cast<double>(in.grid_x));
+  // Wave patch geometry: how many distinct C-block rows and columns the
+  // resident wave spans under each launch order.
+  double rows = 1.0;
+  double cols = 1.0;
+  switch (in.order) {
+    case LaunchOrder::kSwizzled:
+    case LaunchOrder::kHilbert:
+      if (swizzle_ok || in.order == LaunchOrder::kHilbert) {
+        // Rectangular patch minimizing rows*bm + cols*bn subject to
+        // rows*cols=W — the swizzle's analytic assumption, and a good
+        // closed-form stand-in for the Hilbert walk's near-square patches.
+        rows = std::sqrt(wave * in.bn / in.bm);
+        rows = std::clamp(rows, 1.0, static_cast<double>(in.grid_y));
+        cols = std::min(std::ceil(wave / rows), static_cast<double>(in.grid_x));
+        rows = std::min(std::ceil(wave / cols), static_cast<double>(in.grid_y));
+      } else {
+        cols = std::min(wave, static_cast<double>(in.grid_x));
+        rows = std::ceil(wave / static_cast<double>(in.grid_x));
+      }
+      break;
+    case LaunchOrder::kSupertile:
+      // The wave walks a width-S column panel top to bottom. The panel width
+      // is a property of the order, not the wave: a partial wave narrower
+      // than its panel still spans min(S, grid_x) columns in this model,
+      // which is where the sharers clamp below becomes load-bearing.
+      cols = std::min(static_cast<double>(in.supertile_width),
+                      static_cast<double>(in.grid_x));
+      rows = std::min(std::ceil(wave / cols), static_cast<double>(in.grid_y));
+      break;
+    case LaunchOrder::kRowMajor:
+    case LaunchOrder::kSerpentine:
+      cols = std::min(wave, static_cast<double>(in.grid_x));
+      rows = std::ceil(wave / static_cast<double>(in.grid_x));
+      break;
   }
 
   // Drift-window footprint check: sharing degrades when the tiles a wave
-  // needs simultaneously do not fit in L2.
+  // needs simultaneously do not fit in L2. The C epilogue working set
+  // (c_tile_bytes, 0 in steady state) competes for the same capacity; the
+  // footprint > 0 guard keeps a drift_window_iters = 0 && c_tile_bytes = 0
+  // input well-defined (no footprint means nothing to thrash, eta intact).
   const double footprint =
-      (rows * in.bm + cols * in.bn) * in.bk * 2.0 * in.drift_window_iters;
+      (rows * in.bm + cols * in.bn) * in.bk * 2.0 * in.drift_window_iters + in.c_tile_bytes;
   double eta = in.sharing_efficiency;
-  if (footprint > static_cast<double>(in.l2_capacity)) {
+  if (footprint > static_cast<double>(in.l2_capacity) && footprint > 0.0) {
     eta *= static_cast<double>(in.l2_capacity) / footprint;
   }
   if (swizzle_intended && !swizzle_ok) {
@@ -46,8 +72,12 @@ L2Reuse l2_reuse(const L2ReuseInput& in) {
 
   // Per k-slab: each distinct row's A tile is loaded once from DRAM and
   // re-loaded by (sharers-1) peers, of which a fraction eta hit L2.
-  const double a_sharers = wave / rows;
-  const double b_sharers = wave / cols;
+  // Sharers are clamped to >= 1: a wave narrower than its patch (supertile
+  // S > wave on ragged waves) would otherwise make (sharers-1)*(1-eta)
+  // negative and predict fewer DRAM slabs than the compulsory minimum,
+  // inflating the hit rate.
+  const double a_sharers = std::max(1.0, wave / rows);
+  const double b_sharers = std::max(1.0, wave / cols);
   const double a_dram_slabs = rows * (1.0 + (a_sharers - 1.0) * (1.0 - eta));
   const double b_dram_slabs = cols * (1.0 + (b_sharers - 1.0) * (1.0 - eta));
 

@@ -20,9 +20,14 @@
 #include <cstdint>
 #include <limits>
 
+#include "sim/cta_order.hpp"
+
 namespace tc::model {
 
-enum class LaunchOrder { kRowMajor, kSwizzled };
+/// Launch orders are shared with the simulator's CTA dispatch
+/// (sim/cta_order.hpp) so the model and TimedDevice always agree on what an
+/// order means.
+using LaunchOrder = sim::LaunchOrder;
 
 struct L2ReuseInput {
   int bm = 256, bn = 256, bk = 32;
@@ -31,6 +36,17 @@ struct L2ReuseInput {
   int wave_ctas = 36;        // CTAs resident device-wide
   LaunchOrder order = LaunchOrder::kSwizzled;
   int swizzle_max_grid_x = std::numeric_limits<int>::max();
+  /// Panel width for LaunchOrder::kSupertile; ignored by other orders.
+  int supertile_width = 8;
+  /// Main-loop iterations (ceil(k / bk)) — the stack-distance sampler needs
+  /// the k extent to decide whether cross-wave reuse can survive a full
+  /// k-sweep of intervening traffic.
+  double k_iters = 8.0;
+  /// Resident C epilogue working set charged against the drift-window
+  /// footprint. 0 in steady state: accumulators live in registers and the
+  /// epilogue stores are write-combined straight to DRAM, never re-read, so
+  /// they occupy no L2 tile capacity during the main loop.
+  double c_tile_bytes = 0.0;
   double sharing_efficiency = 0.5;
   /// How many k-iterations of wave footprint must coexist in L2 for peers
   /// to share (CTA drift window).
@@ -49,7 +65,15 @@ struct L2Reuse {
   double ldg_l2_hit_rate = 0.0;
 };
 
+/// Closed-form reuse estimate from the wave's patch geometry (rows x cols of
+/// distinct C blocks). Fallback and cross-check for the trace-derived
+/// sampler; the only path for LaunchOrder::kSwizzled, whose patch shape is
+/// an analytic assumption rather than a concrete dispatch order.
 [[nodiscard]] L2Reuse l2_reuse(const L2ReuseInput& in);
+
+/// Preferred entry point: the stack-distance sampler (model/stack_distance.*)
+/// for concrete launch orders, the closed form above for kSwizzled.
+[[nodiscard]] L2Reuse l2_reuse_predict(const L2ReuseInput& in);
 
 /// DRAM efficiency as a function of the row stride between consecutively
 /// fetched tile lines (GDDR6 loses row-buffer locality when k grows large).

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "mem/global_mem.hpp"
+#include "model/stack_distance.hpp"
 #include "sim/launch.hpp"
 #include "sim/timed_device.hpp"
 #include "sim/timed_sm.hpp"
@@ -84,9 +85,15 @@ WaveValidation validate_wave(const device::DeviceSpec& spec, const ValidateKerne
   reuse_in.wave_ctas = spec.num_sms * kin.ctas_per_sm;
   reuse_in.order = kin.order;
   reuse_in.swizzle_max_grid_x = kin.swizzle_max_grid_x;
+  reuse_in.supertile_width = kin.supertile_width;
+  reuse_in.k_iters = iters;
   reuse_in.l2_capacity = spec.l2_size_bytes;
+  // The closed form stays the pinning operating point (the wmma tolerance
+  // bands were calibrated against it); the trace-derived sampler prediction
+  // rides along for the l2_xval comparison against the emergent rate.
   const L2Reuse reuse = l2_reuse(reuse_in);
   v.model_l2_hit_rate = reuse.ldg_l2_hit_rate;
+  v.sampler_l2_hit_rate = sample_l2_reuse(reuse_in).ldg_l2_hit_rate;
   v.dram_efficiency = dram_row_efficiency(static_cast<double>(shape.k) * 2.0);
 
   const int it1 = 6;
@@ -123,6 +130,8 @@ WaveValidation validate_wave(const device::DeviceSpec& spec, const ValidateKerne
   launch.program = &prog;
   launch.grid_x = static_cast<std::uint32_t>(grid_x);
   launch.grid_y = static_cast<std::uint32_t>(grid_y);
+  launch.launch_order = kin.order;
+  launch.supertile_width = kin.supertile_width;
   const auto a_addr = gmem.alloc(shape.m * shape.k * 2);
   const auto b_addr = gmem.alloc(shape.n * shape.k * 2);
   const auto c_addr = gmem.alloc(shape.m * shape.n * 2);
@@ -163,7 +172,8 @@ std::string WaveValidation::report() const {
   os << "  component         model        device\n";
   os << "  waves             " << wave.waves << "         tail_imbalance=" << tail_imbalance * 100.0
      << "%\n";
-  os << "  l2_hit_rate       " << model_l2_hit_rate << "       " << device_l2_hit_rate << "\n";
+  os << "  l2_hit_rate       " << model_l2_hit_rate << "       " << device_l2_hit_rate
+     << " (sampler=" << sampler_l2_hit_rate << ")\n";
   os << "  dram_bytes        " << model_dram_bytes << "    " << device_dram_bytes << "\n";
   os << "  tensor_util       " << model_tensor_util << "       " << device_tensor_util << "\n";
   os << "  steady: cycles_per_iter=" << steady.cycles_per_iter

@@ -38,6 +38,8 @@ struct ValidateKernelInput {
   int ctas_per_sm = 1;
   LaunchOrder order = LaunchOrder::kRowMajor;
   int swizzle_max_grid_x = std::numeric_limits<int>::max();
+  /// Column-panel width when order == kSupertile; ignored otherwise.
+  int supertile_width = 8;
   /// When true (the default), the device runs with forced_l2_hit_rate set to
   /// the model's l2_reuse prediction, so the comparison isolates the wave
   /// composition, bandwidth contention and scheduling. When false, L2 hits
@@ -54,6 +56,10 @@ struct WaveValidation {
   WaveResult wave;
   double model_cycles = 0.0;
   double model_l2_hit_rate = 0.0;
+  /// Reuse-distance sampler's hit-rate prediction for the same launch —
+  /// the trace-derived counterpart of model_l2_hit_rate, compared against
+  /// device_l2_hit_rate by the l2_xval suite (unpinned runs only).
+  double sampler_l2_hit_rate = 0.0;
   double model_dram_bytes = 0.0;  // l2_reuse A+B traffic + C stores
   double model_tensor_util = 0.0;
   double dram_efficiency = 1.0;

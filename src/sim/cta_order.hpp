@@ -1,0 +1,74 @@
+// CTA launch orders: how the GigaThread engine walks the 2D grid.
+//
+// The order a grid is dispatched in decides which CTA tiles are co-resident
+// during a wave, and therefore which A-row / B-column slabs can share L2.
+// Row-major (the hardware default) keeps a wave inside one long grid row on
+// wide grids, so B reuse collapses once grid_x exceeds the wave size — the
+// cuBLAS W~12032 cliff the paper autopsies. The locality-preserving orders
+// below (supertile / serpentine / Hilbert) keep the wave's footprint closer
+// to square, holding per-wave L2 reuse through arbitrarily wide grids.
+//
+// The same orders exist twice in the tree on purpose: here as the dispatch
+// map driving TimedDevice, and independently as trace generators feeding the
+// model's stack-distance sampler (model/stack_distance.*). A property test
+// pins both implementations to the identical permutation of the grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tc::sim {
+
+/// CTA dispatch order over the grid.
+enum class LaunchOrder {
+  /// Hardware launch order: x fastest, then y.
+  kRowMajor,
+  /// Abstract cuBLAS-style L2 swizzle: modeled with the closed-form
+  /// `model::l2_reuse` heuristic (including its grid_x cliff), dispatched
+  /// row-major in simulation. This is the legacy default everywhere.
+  kSwizzled,
+  /// Width-S column panels: the grid is cut into vertical panels of
+  /// `supertile_width` columns; each panel is walked row-major (x fastest
+  /// within the panel) before the next panel starts.
+  kSupertile,
+  /// Row-major with every odd row traversed right-to-left (boustrophedon).
+  kSerpentine,
+  /// Hilbert curve over the smallest bounding 2^k square; cells outside the
+  /// grid are skipped, preserving bijectivity on non-square grids.
+  kHilbert,
+};
+
+[[nodiscard]] const char* launch_order_name(LaunchOrder order);
+
+/// Inverse of launch_order_name; throws on an unknown name.
+[[nodiscard]] LaunchOrder launch_order_from_name(const std::string& name);
+
+/// Sequential (x, y) generator for a launch order over a grid_x x grid_y
+/// grid. Emits each grid cell exactly once. Index arithmetic per order; the
+/// Hilbert walk keeps an internal cursor, so cells must be drained in
+/// sequence (which is all a CtaSource ever does).
+class CtaOrderMap {
+ public:
+  CtaOrderMap(LaunchOrder order, std::uint32_t grid_x, std::uint32_t grid_y,
+              int supertile_width);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Coordinates of the next CTA in dispatch order. Precondition: fewer than
+  /// total() calls so far.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> next();
+
+ private:
+  LaunchOrder order_;
+  std::uint32_t grid_x_;
+  std::uint32_t grid_y_;
+  std::uint32_t supertile_width_;
+  std::uint64_t total_;
+  std::uint64_t issued_ = 0;
+  // Hilbert cursor: side of the bounding square and the next curve index.
+  std::uint64_t hilbert_side_ = 1;
+  std::uint64_t hilbert_d_ = 0;
+};
+
+}  // namespace tc::sim

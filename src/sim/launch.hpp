@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sass/program.hpp"
+#include "sim/cta_order.hpp"
 
 namespace tc::sim {
 
@@ -16,6 +17,12 @@ struct Launch {
   std::uint32_t grid_x = 1;
   std::uint32_t grid_y = 1;
   std::vector<std::uint32_t> params;
+  /// CTA dispatch order. kRowMajor and kSwizzled both dispatch in hardware
+  /// row-major order (kSwizzled is an analytic model patch, not a concrete
+  /// walk); the other orders drive an OrderedCtaSource.
+  LaunchOrder launch_order = LaunchOrder::kRowMajor;
+  /// Panel width for kSupertile; ignored by every other order.
+  int supertile_width = 8;
 
   [[nodiscard]] std::uint64_t num_ctas() const {
     return static_cast<std::uint64_t>(grid_x) * grid_y;

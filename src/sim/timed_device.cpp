@@ -55,7 +55,10 @@ DeviceResult TimedDevice::run(const Launch& launch) {
   const int sms_used = static_cast<int>(std::min<std::uint64_t>(
       static_cast<std::uint64_t>(cfg_.spec.num_sms), (num_ctas + per_sm - 1) / per_sm));
 
-  GridCtaSource source(launch.grid_x, launch.grid_y);
+  // kRowMajor / kSwizzled keep the exact GridCtaSource path above; the
+  // locality-preserving orders dispatch through an OrderedCtaSource.
+  const std::unique_ptr<CtaSource> source_owner = make_cta_source(launch);
+  CtaSource& source = *source_owner;
   SharedMemSystem shared(cfg_.spec);
 
   std::vector<std::unique_ptr<TimedSm>> sms;

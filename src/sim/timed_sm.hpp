@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -51,6 +52,8 @@ class CtaSource {
   virtual ~CtaSource() = default;
   /// Next CTA to place in a freed slot, or nullopt when the grid is drained.
   virtual std::optional<CtaCoord> next() = 0;
+  /// How many CTAs have been handed out so far.
+  [[nodiscard]] virtual std::uint64_t issued() const = 0;
 };
 
 /// Dispenses a grid_x x grid_y grid in hardware launch order (x fastest).
@@ -67,7 +70,7 @@ class GridCtaSource final : public CtaSource {
                     static_cast<std::uint32_t>(i / grid_x_)};
   }
 
-  [[nodiscard]] std::uint64_t issued() const {
+  [[nodiscard]] std::uint64_t issued() const override {
     std::lock_guard lock(mutex_);
     return issued_;
   }
@@ -78,6 +81,38 @@ class GridCtaSource final : public CtaSource {
   std::uint64_t total_;
   std::uint64_t issued_ = 0;
 };
+
+/// Dispenses the grid in an arbitrary LaunchOrder (supertile, serpentine,
+/// Hilbert) via a CtaOrderMap. Same thread-safety contract as GridCtaSource.
+class OrderedCtaSource final : public CtaSource {
+ public:
+  OrderedCtaSource(LaunchOrder order, std::uint32_t grid_x, std::uint32_t grid_y,
+                   int supertile_width)
+      : map_(order, grid_x, grid_y, supertile_width) {}
+
+  std::optional<CtaCoord> next() override {
+    std::lock_guard lock(mutex_);
+    if (issued_ >= map_.total()) return std::nullopt;
+    ++issued_;
+    const auto [x, y] = map_.next();
+    return CtaCoord{x, y};
+  }
+
+  [[nodiscard]] std::uint64_t issued() const override {
+    std::lock_guard lock(mutex_);
+    return issued_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  CtaOrderMap map_;
+  std::uint64_t issued_ = 0;
+};
+
+/// Source matching `launch.launch_order`: the exact GridCtaSource for the
+/// row-major-dispatched orders (kRowMajor, kSwizzled), an OrderedCtaSource
+/// otherwise.
+[[nodiscard]] std::unique_ptr<CtaSource> make_cta_source(const Launch& launch);
 
 /// Device-level memory resources shared by every SM of a full-device
 /// simulation: one DRAM budget, one L2 bandwidth budget and one L2 tag

@@ -10,6 +10,7 @@
 #include "common/json_parse.hpp"
 #include "core/kernel_gen.hpp"
 #include "sass/validator.hpp"
+#include "sim/cta_order.hpp"
 #include "tune/space.hpp"
 
 namespace tc::tune {
@@ -52,6 +53,15 @@ CacheEntry entry_from_json(const JsonValue& v) {
   e.cfg.layout = layout_from_name(c.at("layout").as_string());
   e.cfg.sts_interleave = int_field(c, "sts_interleave");
   e.cfg.prefetch = c.at("prefetch").as_bool();
+  // Launch-order fields postdate the v1 schema; caches written before them
+  // carry the defaults (the legacy analytic swizzle), so absence == default
+  // and no schema bump is needed.
+  if (c.has("launch_order")) {
+    e.cfg.launch_order = sim::launch_order_from_name(c.at("launch_order").as_string());
+  }
+  if (c.has("supertile_width")) {
+    e.cfg.supertile_width = int_field(c, "supertile_width");
+  }
   e.sim_cycles = static_cast<std::uint64_t>(v.at("sim_cycles").as_number());
   e.budget = int_field(v, "budget");
   e.seed = static_cast<std::uint64_t>(v.at("seed").as_number());
@@ -76,6 +86,8 @@ void entry_to_json(JsonWriter& j, const CacheEntry& e) {
   j.field("layout", layout_name(e.cfg.layout));
   j.field("sts_interleave", e.cfg.sts_interleave);
   j.field("prefetch", e.cfg.prefetch);
+  j.field("launch_order", sim::launch_order_name(e.cfg.launch_order));
+  j.field("supertile_width", e.cfg.supertile_width);
   j.end_object();
   j.field("sim_cycles", e.sim_cycles);
   j.field("budget", e.budget);

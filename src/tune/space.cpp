@@ -9,7 +9,9 @@ std::int64_t SearchSpace::raw_points() const {
          static_cast<std::int64_t>(bk.size()) * static_cast<std::int64_t>(wm.size()) *
          static_cast<std::int64_t>(wn.size()) * static_cast<std::int64_t>(layouts.size()) *
          static_cast<std::int64_t>(sts_interleave.size()) *
-         static_cast<std::int64_t>(prefetch.size());
+         static_cast<std::int64_t>(prefetch.size()) *
+         static_cast<std::int64_t>(launch_orders.size()) *
+         static_cast<std::int64_t>(supertile_widths.size());
 }
 
 const char* reject_name(Reject r) {
@@ -19,6 +21,7 @@ const char* reject_name(Reject r) {
     case Reject::kGenerator: return "generator";
     case Reject::kRegisters: return "registers";
     case Reject::kResources: return "resources";
+    case Reject::kLaunchOrder: return "launch_order";
   }
   return "?";
 }
@@ -43,6 +46,13 @@ bool tiling_ok(const core::HgemmConfig& c) {
 /// Structural demands of HgemmGenerator beyond check().
 bool generator_ok(const core::HgemmConfig& c) {
   return std::has_single_bit(static_cast<unsigned>(c.bn / c.wn));
+}
+
+/// Launch-order dimension: the supertile width must be a sane panel size
+/// (mirrors HgemmConfig::check()'s >= 1 demand; the cap is a model-sanity
+/// bound, panels wider than any real grid are meaningless).
+bool launch_order_ok(const core::HgemmConfig& c) {
+  return c.supertile_width >= 1 && c.supertile_width <= 1024;
 }
 
 }  // namespace
@@ -70,6 +80,10 @@ Legality classify(const device::DeviceSpec& spec, const core::HgemmConfig& cfg) 
   }
   if (!generator_ok(cfg)) {
     v.reject = Reject::kGenerator;
+    return v;
+  }
+  if (!launch_order_ok(cfg)) {
+    v.reject = Reject::kLaunchOrder;
     return v;
   }
   v.regs = predicted_regs(cfg);
@@ -108,26 +122,41 @@ std::vector<core::HgemmConfig> enumerate(const device::DeviceSpec& spec,
             for (core::SmemLayout layout : space.layouts) {
               for (int il : space.sts_interleave) {
                 for (bool pf : space.prefetch) {
-                  ++local.raw;
-                  core::HgemmConfig cfg;
-                  cfg.bm = bm;
-                  cfg.bn = bn;
-                  cfg.bk = bk;
-                  cfg.wm = wm;
-                  cfg.wn = wn;
-                  cfg.layout = layout;
-                  cfg.sts_interleave = il;
-                  cfg.prefetch = pf;
-                  const Legality v = classify(spec, cfg);
-                  switch (v.reject) {
-                    case Reject::kTiling: ++local.tiling; break;
-                    case Reject::kGenerator: ++local.generator; break;
-                    case Reject::kRegisters: ++local.registers; break;
-                    case Reject::kResources: ++local.resources; break;
-                    case Reject::kNone:
-                      ++local.legal;
-                      out.push_back(cfg);
-                      break;
+                  for (model::LaunchOrder order : space.launch_orders) {
+                    for (int sw : space.supertile_widths) {
+                      ++local.raw;
+                      core::HgemmConfig cfg;
+                      cfg.bm = bm;
+                      cfg.bn = bn;
+                      cfg.bk = bk;
+                      cfg.wm = wm;
+                      cfg.wn = wn;
+                      cfg.layout = layout;
+                      cfg.sts_interleave = il;
+                      cfg.prefetch = pf;
+                      cfg.launch_order = order;
+                      cfg.supertile_width = sw;
+                      // Orders that ignore the width collapse onto one
+                      // config: only the first width value is enumerated,
+                      // the rest are duplicate points pruned by reason.
+                      if (order != model::LaunchOrder::kSupertile &&
+                          sw != space.supertile_widths.front()) {
+                        ++local.launch_order;
+                        continue;
+                      }
+                      const Legality v = classify(spec, cfg);
+                      switch (v.reject) {
+                        case Reject::kTiling: ++local.tiling; break;
+                        case Reject::kGenerator: ++local.generator; break;
+                        case Reject::kRegisters: ++local.registers; break;
+                        case Reject::kResources: ++local.resources; break;
+                        case Reject::kLaunchOrder: ++local.launch_order; break;
+                        case Reject::kNone:
+                          ++local.legal;
+                          out.push_back(cfg);
+                          break;
+                      }
+                    }
                   }
                 }
               }

@@ -39,6 +39,13 @@ struct SearchSpace {
                                         core::SmemLayout::kNaiveRowMajor};
   std::vector<int> sts_interleave{1, 2, 5, 8};
   std::vector<bool> prefetch{true, false};
+  /// CTA launch orders to search. The default keeps the legacy analytic
+  /// swizzle only, so the stock space (and every recorded baseline) is
+  /// unchanged; add concrete orders (kSupertile, ...) to tune dispatch.
+  std::vector<model::LaunchOrder> launch_orders{model::LaunchOrder::kSwizzled};
+  /// Panel widths tried for kSupertile. Orders that don't consume a width
+  /// are enumerated once, carrying the canonical default width.
+  std::vector<int> supertile_widths{8};
 
   /// Number of raw cartesian points (before any legality filtering).
   [[nodiscard]] std::int64_t raw_points() const;
@@ -47,10 +54,11 @@ struct SearchSpace {
 /// Why a raw cartesian point was rejected (prune accounting).
 enum class Reject {
   kNone,
-  kTiling,     // divisibility / warp-coverage rules of HgemmConfig::check()
-  kGenerator,  // generator structure: bn/wn must be a power of two
-  kRegisters,  // register budget (builder's R254 cap or spec's per-thread cap)
-  kResources,  // smem over per-SM capacity, or zero CTAs fit on the SM
+  kTiling,       // divisibility / warp-coverage rules of HgemmConfig::check()
+  kGenerator,    // generator structure: bn/wn must be a power of two
+  kRegisters,    // register budget (builder's R254 cap or spec's per-thread cap)
+  kResources,    // smem over per-SM capacity, or zero CTAs fit on the SM
+  kLaunchOrder,  // invalid supertile width, or a width on an order that ignores it
 };
 
 [[nodiscard]] const char* reject_name(Reject r);
@@ -77,6 +85,7 @@ struct PruneStats {
   std::int64_t generator = 0;
   std::int64_t registers = 0;
   std::int64_t resources = 0;
+  std::int64_t launch_order = 0;
   std::int64_t legal = 0;
   std::int64_t evaluated = 0;  // filled by tune(): configs run on the simulator
 };

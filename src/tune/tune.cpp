@@ -43,8 +43,10 @@ double predicted_l2_hit_rate(const device::DeviceSpec& spec, const core::HgemmCo
   ri.wave_ctas = spec.num_sms * occ.ctas_per_sm;
   ri.order = cfg.launch_order;
   ri.swizzle_max_grid_x = cfg.swizzle_max_grid_x;
+  ri.supertile_width = cfg.supertile_width;
+  ri.k_iters = std::ceil(static_cast<double>(s.k) / cfg.bk);
   ri.l2_capacity = spec.l2_size_bytes;
-  return model::l2_reuse(ri).ldg_l2_hit_rate;
+  return model::l2_reuse_predict(ri).ldg_l2_hit_rate;
 }
 
 namespace {
@@ -74,6 +76,8 @@ void eval_timed_device(const device::DeviceSpec& spec, const GemmShape& user_sha
   launch.program = &prog;
   launch.grid_x = static_cast<std::uint32_t>(s.n / static_cast<std::size_t>(c.cfg.bn));
   launch.grid_y = static_cast<std::uint32_t>(s.m / static_cast<std::size_t>(c.cfg.bm));
+  launch.launch_order = c.cfg.launch_order;
+  launch.supertile_width = c.cfg.supertile_width;
   const auto a_addr = gmem.alloc(s.m * s.k * 2);
   const auto b_addr = gmem.alloc(s.n * s.k * 2);
   const auto c_addr = gmem.alloc(s.m * s.n * 2);

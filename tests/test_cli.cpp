@@ -137,15 +137,15 @@ TEST(CliContract, Tune) {
   EXPECT_TRUE(t.at("inversion_rate").is_number());
 
   const JsonValue& prune = t.at("prune");
-  for (const char* key :
-       {"raw", "tiling", "generator", "registers", "resources", "legal", "evaluated"}) {
+  for (const char* key : {"raw", "tiling", "generator", "registers", "resources",
+                          "launch_order", "legal", "evaluated"}) {
     EXPECT_TRUE(prune.at(key).is_number()) << key;
   }
   EXPECT_EQ(prune.at("evaluated").as_number(), 4.0);
   EXPECT_EQ(prune.at("raw").as_number(),
             prune.at("tiling").as_number() + prune.at("generator").as_number() +
                 prune.at("registers").as_number() + prune.at("resources").as_number() +
-                prune.at("legal").as_number());
+                prune.at("launch_order").as_number() + prune.at("legal").as_number());
 
   const auto candidate_keys = {"config",       "regs",       "ctas_per_sm", "limiter",
                                "model_rank",   "model_cycles", "sim_cycles",  "tflops",

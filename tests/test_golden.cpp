@@ -12,6 +12,10 @@
 //   build/bench/table6_blocking    --json tests/golden/table6_blocking.json
 //   build/bench/fig4_sts_interleave --step 4096 \
 //                                  --json tests/golden/fig4_sts_interleave.json
+//   build/bench/fig8_swizzle --device rtx2070 --step 4096 \
+//                                  --json tests/golden/fig8_swizzle_rtx2070.json
+//   build/bench/fig8_swizzle --device t4 --step 4096 \
+//                                  --json tests/golden/fig8_swizzle_t4.json
 //
 // and explain the delta in the commit message.
 #include <gtest/gtest.h>
@@ -106,11 +110,35 @@ void golden_roundtrip(const std::string& bench, const std::string& args = "") {
   expect_json_near(got, want, bench);
 }
 
+/// Like golden_roundtrip, but the fixture name differs from the binary name
+/// (one binary, several goldens — e.g. fig8_swizzle per device spec).
+JsonValue golden_roundtrip_named(const std::string& golden, const std::string& bench,
+                                 const std::string& args) {
+  const auto got = run_bench_json(bench, args);
+  const auto want = load_golden(golden);
+  EXPECT_EQ(got.at("schema").as_string(), "tc-bench-v1");
+  expect_json_near(got, want, golden);
+  return got;
+}
+
 TEST(Golden, Table1Hmma) { golden_roundtrip("table1_hmma"); }
 
 TEST(Golden, Table6Blocking) { golden_roundtrip("table6_blocking"); }
 
 TEST(Golden, Fig4StsInterleave) { golden_roundtrip("fig4_sts_interleave", "--step 4096"); }
+
+TEST(Golden, Fig8SwizzleRtx2070) {
+  const auto doc = golden_roundtrip_named("fig8_swizzle_rtx2070", "fig8_swizzle",
+                                          "--device rtx2070 --step 4096");
+  // The PR's acceptance line: the tuned supertile dispatch is strictly
+  // faster than the row-major baseline at the W=12032 cliff.
+  const auto& summary = doc.at("series").as_array()[0].at("summary");
+  EXPECT_GT(summary.at("speedup_at_12032").as_number(), 1.0);
+}
+
+TEST(Golden, Fig8SwizzleT4) {
+  golden_roundtrip_named("fig8_swizzle_t4", "fig8_swizzle", "--device t4 --step 4096");
+}
 
 // The parser itself: golden comparisons are only as trustworthy as the
 // reader, so pin its behavior on the writer's own corner cases.

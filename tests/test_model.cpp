@@ -2,10 +2,15 @@
 // (Table VI, Eqs. 3-6), L2 reuse, DRAM row efficiency and wave composition.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "device/spec.hpp"
 #include "model/blocking.hpp"
 #include "model/l2_reuse.hpp"
 #include "model/roofline.hpp"
+#include "model/stack_distance.hpp"
 #include "model/wave_perf.hpp"
 
 namespace tc::model {
@@ -145,6 +150,168 @@ TEST(L2Reuse, CapacityOverflowDegradesSharing) {
   big.l2_capacity = 64ull << 20;  // huge L2
   const auto roomy = l2_reuse(big);
   EXPECT_LT(constrained.effective_sharing, roomy.effective_sharing);
+}
+
+TEST(L2Reuse, PartialWaveSharersClampRegression) {
+  // A supertile panel wider than the wave (S = 40 > 36 resident CTAs) makes
+  // the naive per-column sharer count wave/cols = 0.9 < 1. Without the
+  // sharers >= 1 clamp, (sharers-1)*(1-eta) goes negative and the model
+  // predicts 38 B slabs from DRAM against a compulsory minimum of 40,
+  // inflating the hit rate to ~0.215. The clamped model charges exactly the
+  // compulsory slabs: hit = 1 - (18.5*bm + 40*bn)/(36*(bm+bn)) = 0.1875.
+  L2ReuseInput in;
+  in.bm = in.bn = 256;
+  in.bk = 32;
+  in.grid_x = 64;
+  in.grid_y = 4;
+  in.wave_ctas = 36;
+  in.order = LaunchOrder::kSupertile;
+  in.supertile_width = 40;
+  const auto r = l2_reuse(in);
+  EXPECT_DOUBLE_EQ(r.wave_cols, 40.0);
+  EXPECT_DOUBLE_EQ(r.wave_rows, 1.0);
+  EXPECT_NEAR(r.ldg_l2_hit_rate, 0.1875, 1e-12);
+  // The B-side traffic must never drop below one DRAM load per distinct
+  // column slab in the patch.
+  EXPECT_GE(r.dram_bytes_per_wave_iter,
+            (r.wave_rows * in.bm + r.wave_cols * in.bn) * in.bk * 2.0 - 1e-9);
+}
+
+TEST(L2Reuse, ZeroDriftWindowLeavesSharingIntact) {
+  // With no drift window and no C working set the footprint is zero: there
+  // is nothing to thrash, so eta must survive untouched (and the capacity
+  // ratio must not divide by zero) even on a tiny L2.
+  L2ReuseInput in;
+  in.grid_x = 64;
+  in.grid_y = 64;
+  in.wave_ctas = 36;
+  in.drift_window_iters = 0.0;
+  in.l2_capacity = 1024;
+  const auto r = l2_reuse(in);
+  EXPECT_TRUE(std::isfinite(r.ldg_l2_hit_rate));
+  EXPECT_DOUBLE_EQ(r.effective_sharing, in.sharing_efficiency);
+}
+
+TEST(L2Reuse, CTileWorkingSetCompetesForCapacity) {
+  // The epilogue's resident C tiles charge against the same drift-window
+  // footprint as the A/B slabs: a large c_tile_bytes must degrade sharing
+  // exactly like an oversized slab footprint would.
+  L2ReuseInput in;
+  in.bm = in.bn = 256;
+  in.bk = 32;
+  in.grid_x = 64;
+  in.grid_y = 64;
+  in.wave_ctas = 36;
+  in.order = LaunchOrder::kRowMajor;
+  const auto steady = l2_reuse(in);  // c_tile_bytes = 0: steady state
+  in.c_tile_bytes = 32.0 * 1024 * 1024;
+  const auto epilogue = l2_reuse(in);
+  EXPECT_LT(epilogue.effective_sharing, steady.effective_sharing);
+  EXPECT_LT(epilogue.ldg_l2_hit_rate, steady.ldg_l2_hit_rate);
+}
+
+// --- reuse-distance sampler ------------------------------------------------
+
+TEST(StackDistance, ClassifiesKnownSequence) {
+  StackDistance sd({100.0});
+  EXPECT_EQ(sd.access(1, 60.0), StackDistance::kCold);
+  EXPECT_EQ(sd.access(2, 60.0), StackDistance::kCold);
+  EXPECT_EQ(sd.access(1, 60.0), 0);  // 60 bytes above: under the threshold
+  EXPECT_EQ(sd.access(2, 60.0), 0);
+  EXPECT_EQ(sd.access(3, 60.0), StackDistance::kCold);
+  EXPECT_EQ(sd.access(1, 60.0), 1);  // blocks 3 and 2 above: 120 >= 100
+  const auto& h = sd.histogram();
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 2u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 3u);  // cold misses
+  EXPECT_EQ(sd.accesses(), 6u);
+}
+
+TEST(StackDistance, MatchesBruteForceOnRandomTrace) {
+  // The marker-list stack must agree exactly with the O(N^2) definition:
+  // the distance of a re-access is the sum of bytes strictly above the
+  // block, classified by the number of thresholds <= that distance.
+  const std::vector<double> thresholds{64.0, 256.0, 1024.0};
+  StackDistance sd(thresholds);
+  std::vector<std::uint64_t> recency;  // front = most recent
+  const auto bytes_of = [](std::uint64_t id) {
+    return 16.0 + static_cast<double>(id % 7) * 8.0;
+  };
+  std::uint64_t state = 0x5EED;
+  for (int i = 0; i < 800; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t id = (state >> 33) % 60;
+    int expect = StackDistance::kCold;
+    const auto it = std::find(recency.begin(), recency.end(), id);
+    if (it != recency.end()) {
+      double above = 0.0;
+      for (auto p = recency.begin(); p != it; ++p) above += bytes_of(*p);
+      expect = 0;
+      for (const double t : thresholds) {
+        if (t <= above) ++expect;
+      }
+      recency.erase(it);
+    }
+    recency.insert(recency.begin(), id);
+    ASSERT_EQ(sd.access(id, bytes_of(id)), expect) << "access " << i << " id " << id;
+  }
+}
+
+TEST(Sampler, MatchesClosedFormLikeForLike) {
+  // One whole wave covering the full grid, perfect sharing (eta = 1), all
+  // footprints far under capacity: the closed form and the trace both reduce
+  // to "each distinct slab is loaded once", so they must agree tightly.
+  // rows = 4, cols = 8 of 64-wide tiles: hit = 1 - 12/64 = 0.8125.
+  L2ReuseInput in;
+  in.bm = in.bn = 64;
+  in.bk = 32;
+  in.grid_x = 8;
+  in.grid_y = 4;
+  in.wave_ctas = 36;  // > 32 total CTAs: a single wave
+  in.order = LaunchOrder::kRowMajor;
+  in.sharing_efficiency = 1.0;
+  in.k_iters = 4.0;
+  const auto closed = l2_reuse(in);
+  const auto sampled = sample_l2_reuse(in);
+  EXPECT_NEAR(closed.ldg_l2_hit_rate, 0.8125, 1e-12);
+  EXPECT_NEAR(sampled.ldg_l2_hit_rate, closed.ldg_l2_hit_rate, 0.02);
+  EXPECT_EQ(sampled.wave_rows, 4);
+  EXPECT_EQ(sampled.wave_cols, 8);
+}
+
+TEST(Sampler, SupertileHoldsReuseWhereRowMajorLosesIt) {
+  // The Fig. 8 cliff mechanism: on a wide grid a row-major wave spans every
+  // column, so B slabs stop fitting; a narrow supertile panel keeps the
+  // wave's working set inside L2.
+  L2ReuseInput in;
+  in.bm = in.bn = 256;
+  in.bk = 32;
+  in.grid_x = 47;  // W = 12032 / bn
+  in.grid_y = 47;
+  in.wave_ctas = 36;
+  in.k_iters = 8.0;
+  in.order = LaunchOrder::kRowMajor;
+  const auto row_major = sample_l2_reuse(in);
+  in.order = LaunchOrder::kSupertile;
+  in.supertile_width = 6;
+  const auto supertile = sample_l2_reuse(in);
+  EXPECT_GT(supertile.ldg_l2_hit_rate, row_major.ldg_l2_hit_rate + 0.1);
+}
+
+TEST(Sampler, PredictDispatchesByOrder) {
+  L2ReuseInput in;
+  in.grid_x = 64;
+  in.grid_y = 64;
+  in.wave_ctas = 36;
+  in.order = LaunchOrder::kSwizzled;
+  // kSwizzled has no concrete dispatch realization: predict must return the
+  // closed form bit for bit.
+  EXPECT_DOUBLE_EQ(l2_reuse_predict(in).ldg_l2_hit_rate, l2_reuse(in).ldg_l2_hit_rate);
+  in.order = LaunchOrder::kSupertile;
+  in.supertile_width = 6;
+  EXPECT_DOUBLE_EQ(l2_reuse_predict(in).ldg_l2_hit_rate,
+                   sample_l2_reuse(in).ldg_l2_hit_rate);
 }
 
 TEST(DramRowEfficiency, DroopsWithStride) {

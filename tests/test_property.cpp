@@ -174,6 +174,8 @@ core::HgemmConfig random_raw_config(const tune::SearchSpace& s, Rng& rng) {
   cfg.layout = pick(s.layouts);
   cfg.sts_interleave = pick(s.sts_interleave);
   cfg.prefetch = pick(s.prefetch);
+  cfg.launch_order = pick(s.launch_orders);
+  cfg.supertile_width = pick(s.supertile_widths);
   return cfg;
 }
 
