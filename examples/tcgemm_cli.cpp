@@ -7,7 +7,9 @@
 //   tcgemm_cli schedule [--m M --n N --k K] [--baseline] [--wmma] [--device rtx2070]
 //   tcgemm_cli disasm [--baseline]
 //   tcgemm_cli check [--m M --n N --k K]
-//   tcgemm_cli fuzz [--programs N] [--seed S]
+//   tcgemm_cli fuzz [--programs N] [--seed S] [--numerics idealized|bitaccurate]
+//                   [--numeric-operands]
+//   tcgemm_cli numerics [--m M --n N] [--k KMAX] [--seed S]
 //   tcgemm_cli tune [--m M --n N --k K] [--device rtx2070|t4] [--budget N]
 //                   [--explore N] [--seed S] [--threads N] [--engine device|model]
 //                   [--cache winners.json]
@@ -26,6 +28,9 @@
 // `disasm` dumps the generated SASS; `check` runs the scoreboard hazard
 // detector (src/check) over every built-in kernel and fails on any error;
 // `fuzz` differentially fuzzes the two executors (see docs/checking.md);
+// `numerics` sweeps error-vs-k curves comparing idealized, bit-accurate
+// FP16-accumulate and bit-accurate FP32-accumulate HMMA semantics against a
+// double-precision oracle (see docs/numerics.md);
 // `tune` runs the model-guided autotuner over the legal config space and
 // prints the ranked candidates (see docs/tuning.md); with --cache it answers
 // from / appends to the persistent shape-bucketed tuning cache; `serve`
@@ -49,6 +54,8 @@
 #include "core/reference.hpp"
 #include "driver/device.hpp"
 #include "model/validate.hpp"
+#include "numerics/curves.hpp"
+#include "numerics/numerics.hpp"
 #include "prof/trace.hpp"
 #include "sass/validator.hpp"
 #include "sched/schedule.hpp"
@@ -77,6 +84,8 @@ struct Args {
   std::string json;
   std::string engine = "model";  // perf: "model" (WavePerf) or "device" (TimedDevice)
   bool shape_set = false;        // any of --m/--n/--k given
+  bool mn_set = false;           // --m or --n given explicitly
+  bool k_set = false;            // --k given explicitly
   bool engine_set = false;
   int budget = 24;   // tune: timed evaluations
   int explore = -1;  // tune: seeded off-rank picks (-1 = budget/4)
@@ -85,6 +94,9 @@ struct Args {
   int requests = 120; // serve: traffic size
   int tenants = 2;    // serve: traffic tenants
   int workers = 2;    // serve: simulated device workers
+  /// HMMA semantics for run/fuzz (--numerics idealized|bitaccurate).
+  numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
+  bool numeric_operands = false;  // fuzz: numerics operand class
 };
 
 Args parse(int argc, char** argv) {
@@ -100,12 +112,15 @@ Args parse(int argc, char** argv) {
     if (flag == "--m") {
       a.m = std::stoul(value());
       a.shape_set = true;
+      a.mn_set = true;
     } else if (flag == "--n") {
       a.n = std::stoul(value());
       a.shape_set = true;
+      a.mn_set = true;
     } else if (flag == "--k") {
       a.k = std::stoul(value());
       a.shape_set = true;
+      a.k_set = true;
     } else if (flag == "--device") {
       a.device = value();
     } else if (flag == "--check") {
@@ -145,9 +160,23 @@ Args parse(int argc, char** argv) {
       a.tenants = std::stoi(value());
     } else if (flag == "--workers") {
       a.workers = std::stoi(value());
+    } else if (flag == "--numerics") {
+      const std::string v = value();
+      TC_CHECK(numerics::parse_numerics_mode(v, a.numerics),
+               "--numerics must be 'idealized' or 'bitaccurate'");
+    } else if (flag == "--numeric-operands") {
+      a.numeric_operands = true;
     } else {
       throw Error("unknown flag " + flag);
     }
+  }
+  if (a.command == "numerics") {
+    // Small m/n keep the sweep fast; the interesting axis is k.
+    if (!a.mn_set) {
+      a.m = 64;
+      a.n = 64;
+    }
+    if (!a.k_set) a.k = 1024;
   }
   if (a.command == "tune" && !a.shape_set) {
     // tune defaults to the shape the recorded single-CTA baselines use, so
@@ -171,14 +200,17 @@ int usage() {
          "                    [--device rtx2070|t4]\n"
          "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli check  [--m M --n N --k K]\n"
-         "  tcgemm_cli fuzz   [--programs N] [--seed S]\n"
+         "  tcgemm_cli fuzz   [--programs N] [--seed S] [--numerics idealized|bitaccurate]\n"
+         "                    [--numeric-operands]\n"
+         "  tcgemm_cli numerics [--m M --n N] [--k KMAX] [--seed S]\n"
          "  tcgemm_cli tune   [--m M --n N --k K] [--device rtx2070|t4] [--budget N]\n"
          "                    [--explore N] [--seed S] [--threads N] [--engine device|model]\n"
          "                    [--top N] [--cache winners.json]\n"
          "  tcgemm_cli serve  [--requests N] [--tenants N] [--workers N]\n"
          "                    [--device rtx2070|t4] [--cache winners.json] [--seed S]\n"
          "                    [--budget N] [--threads N]\n"
-         "common: --json <path> writes machine-readable results\n";
+         "common: --json <path> writes machine-readable results;\n"
+         "        run accepts --numerics idealized|bitaccurate (HMMA math semantics)\n";
   return 2;
 }
 
@@ -233,8 +265,9 @@ void json_profile_fields(JsonWriter& j, const prof::Profiler& p, int top_n) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
-    const auto cfg =
+    auto cfg =
         args.baseline ? core::HgemmConfig::cublas_like() : core::HgemmConfig::optimized();
+    cfg.numerics = args.numerics;
 
     std::ofstream json_os;
     std::optional<JsonWriter> json;
@@ -266,13 +299,21 @@ int main(int argc, char** argv) {
       bt.randomize(rng, -0.5f, 0.5f);
       driver::Device dev(device::spec_by_name(args.device));
       const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
-      std::cout << "ran " << cfg.name() << " on " << dev.spec().name << ": C is " << c.rows()
+      std::cout << "ran " << cfg.name() << " on " << dev.spec().name << " (numerics="
+                << numerics::numerics_mode_name(cfg.numerics) << "): C is " << c.rows()
                 << " x " << c.cols() << ", C[0][0] = " << c.at(0, 0) << "\n";
       int rc = 0;
       if (args.check) {
-        const auto mismatches = core::mismatch_count(c, core::gemm_ref_tc(a, bt));
+        // The bit-exact reference must follow the launched semantics.
+        const HalfMatrix ref = cfg.numerics == numerics::NumericsMode::kBitAccurate
+                                   ? numerics::gemm_bitacc_f16(a, bt)
+                                   : core::gemm_ref_tc(a, bt);
+        const auto mismatches = core::mismatch_count(c, ref);
         std::cout << "bit-exact mismatches vs reference: " << mismatches << "\n";
-        if (json) json->field("mismatches", static_cast<std::uint64_t>(mismatches));
+        if (json) {
+          json->field("numerics", numerics::numerics_mode_name(cfg.numerics));
+          json->field("mismatches", static_cast<std::uint64_t>(mismatches));
+        }
         rc = mismatches == 0 ? 0 : 1;
       }
       finish_json();
@@ -537,8 +578,13 @@ int main(int argc, char** argv) {
     }
 
     if (args.command == "fuzz") {
-      const check::FuzzReport rep = check::run_fuzz(args.seed, args.programs);
-      std::cout << "fuzzed " << rep.programs << " programs (seed " << args.seed << "): "
+      check::FuzzOptions fopts;
+      fopts.numerics = args.numerics;
+      fopts.numeric_operands = args.numeric_operands;
+      const check::FuzzReport rep = check::run_fuzz(args.seed, args.programs, fopts);
+      std::cout << "fuzzed " << rep.programs << " programs (seed " << args.seed
+                << ", numerics=" << numerics::numerics_mode_name(fopts.numerics)
+                << (fopts.numeric_operands ? ", numeric operands" : "") << "): "
                 << rep.divergences << " divergences, " << rep.failures.size()
                 << " failures\n";
       for (const auto& f : rep.failures) {
@@ -713,6 +759,66 @@ int main(int argc, char** argv) {
         json->begin_array();
         for (const auto& c : r.ranked) {
           if (c.evaluated) candidate_fields(c);
+        }
+        json->end_array();
+        json->end_object();
+      }
+      finish_json();
+      return 0;
+    }
+
+    if (args.command == "numerics") {
+      // Error-vs-shape curves: m x n fixed, k doubling from 64 up to --k,
+      // fresh seeded inputs per point, all three semantics against the
+      // double-precision oracle. Reproduces the related-work observation
+      // that FP16 accumulation degrades with k while FP32 stays flat.
+      numerics::CurveOptions copts;
+      copts.m = args.m;
+      copts.n = args.n;
+      copts.seed = args.seed;
+      copts.ks.clear();
+      for (std::size_t kk = 64; kk <= args.k; kk *= 2) copts.ks.push_back(kk);
+      TC_CHECK(!copts.ks.empty(), "numerics needs --k >= 64");
+      const std::vector<numerics::ErrorPoint> points = numerics::error_curves(copts);
+
+      const auto sci = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3e", v);
+        return std::string(buf);
+      };
+      std::cout << "numerics error curves at " << copts.m << " x " << copts.n
+                << " (seed " << copts.seed << ", values in [" << copts.lo << ", "
+                << copts.hi << "]), max/mean relative error vs double oracle:\n";
+      TablePrinter t({"k", "idealized f16 max", "bitacc f16 max", "bitacc f32 max",
+                      "bitacc f16 mean", "bitacc f32 mean"});
+      for (const auto& p : points) {
+        t.add_row({std::to_string(p.k), sci(p.idealized_f16.max_rel),
+                   sci(p.bitacc_f16.max_rel), sci(p.bitacc_f32.max_rel),
+                   sci(p.bitacc_f16.mean_rel), sci(p.bitacc_f32.mean_rel)});
+      }
+      t.print(std::cout);
+
+      if (json) {
+        json->key("numerics");
+        json->begin_object();
+        json->field("seed", copts.seed);
+        json->key("modes");
+        json->begin_array();
+        json->value(numerics::numerics_mode_name(numerics::NumericsMode::kIdealized));
+        json->value(numerics::numerics_mode_name(numerics::NumericsMode::kBitAccurate));
+        json->end_array();
+        json->key("points");
+        json->begin_array();
+        for (const auto& p : points) {
+          json->begin_object();
+          json->field("k", static_cast<std::uint64_t>(p.k));
+          json->field("idealized_f16_max_rel", p.idealized_f16.max_rel);
+          json->field("idealized_f16_mean_rel", p.idealized_f16.mean_rel);
+          json->field("bitacc_f16_max_rel", p.bitacc_f16.max_rel);
+          json->field("bitacc_f16_mean_rel", p.bitacc_f16.mean_rel);
+          json->field("bitacc_f32_max_rel", p.bitacc_f32.max_rel);
+          json->field("bitacc_f32_mean_rel", p.bitacc_f32.mean_rel);
+          json->end_object();
         }
         json->end_array();
         json->end_object();

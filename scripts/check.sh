@@ -24,6 +24,15 @@ echo "== schedule checks: kernel hazard scan + fuzz smoke + device/L2 xval =="
 # device's emergent sector-cache hit rate for every launch order.
 ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval|l2_xval"
 
+echo "== numerics gate: HMMA conformance suite + executor-vs-engine check =="
+# numerics_smoke carries the bit-accurate HMMA conformance suite (SMT-model
+# vectors, long-double oracle properties, golden error curves, executor e2e
+# bitwise match). The CLI passes then drive the executor against the engine
+# in bit-accurate mode and emit the error-vs-k curves end to end.
+ctest --test-dir build --output-on-failure -L "numerics_smoke" -j "$JOBS"
+./build/examples/tcgemm_cli run --m 64 --n 64 --k 64 --numerics bitaccurate --check >/dev/null
+./build/examples/tcgemm_cli numerics --k 256 >/dev/null
+
 echo "== tuner smoke: ranked search on both specs + regression labels =="
 # Small-budget end-to-end search on each device: every evaluated kernel is
 # hard-gated through sass::validate + check::find_hazards inside the tuner,

@@ -48,6 +48,47 @@ constexpr Pred kLoopPred{1};  // loop-exit predicate (warp-uniform)
 // memory races regardless of warp count or scheduling.
 constexpr int kSlotBytes = 32;
 
+/// One FP16 value from the numerics operand class (FuzzOptions::
+/// numeric_operands): the hard corners of the binary16 lattice rather than
+/// uniform bit noise, so MMA/half ops exercise subnormal accumulation, NaN
+/// canonicalization, signed-zero rules and cross-binade cancellation.
+std::uint16_t special_half_bits(Rng& rng) {
+  const auto sign = static_cast<std::uint16_t>(rng.next_below(2) != 0 ? 0x8000u : 0u);
+  switch (rng.next_below(10)) {
+    case 0: return sign;                     // +-0
+    case 1: return sign | 0x7C00u;           // +-inf
+    case 2:                                  // NaN, random nonzero payload
+      return static_cast<std::uint16_t>(
+          sign | 0x7C00u | static_cast<std::uint16_t>(1 + rng.next_below(0x3FF)));
+    case 3:                                  // subnormal, random mantissa
+      return static_cast<std::uint16_t>(
+          sign | static_cast<std::uint16_t>(1 + rng.next_below(0x3FF)));
+    case 4: return sign | 0x03FFu;           // largest subnormal
+    case 5: return sign | 0x0400u;           // smallest normal
+    case 6: return sign | 0x7BFFu;           // largest finite
+    case 7: {                                // binade ladder: 2^e, e in [-24, 15]
+      const int e = static_cast<int>(rng.next_int(-24, 15));
+      if (e < -14) {
+        return static_cast<std::uint16_t>(sign | (1u << (e + 24)));
+      }
+      return static_cast<std::uint16_t>(sign | (static_cast<unsigned>(e + 15) << 10));
+    }
+    case 8:                                  // near one: tie-breaking region
+      return static_cast<std::uint16_t>(
+          sign | static_cast<std::uint16_t>(0x3C00 + rng.next_int(-4, 4)));
+    default: {                               // random finite normal
+      const auto exp = static_cast<unsigned>(rng.next_int(1, 30));
+      return static_cast<std::uint16_t>(sign | (exp << 10) |
+                                        static_cast<unsigned>(rng.next_below(0x400)));
+    }
+  }
+}
+
+std::uint32_t special_half2_word(Rng& rng) {
+  return static_cast<std::uint32_t>(special_half_bits(rng)) |
+         (static_cast<std::uint32_t>(special_half_bits(rng)) << 16);
+}
+
 /// Generates one hazard-free-by-construction program. Soundness rules:
 ///  * every fixed-latency producer carries stall >= its worst dst latency;
 ///  * loads take a write barrier; the generator tracks reg -> barrier and
@@ -113,8 +154,18 @@ class Generator {
     c.in_bytes = static_cast<std::uint32_t>(threads_ * kSlotBytes);
     c.out_bytes = c.in_bytes;
     c.in_data.resize(c.in_bytes);
-    for (auto& byte : c.in_data) {
-      byte = static_cast<std::uint8_t>(rng_.next_below(256));
+    if (opts_.numeric_operands) {
+      // Loaded words must hit the same operand class as the register pool
+      // (slot sizes are multiples of 2, so the buffer packs evenly).
+      for (std::size_t i = 0; i + 1 < c.in_data.size(); i += 2) {
+        const std::uint16_t h = special_half_bits(rng_);
+        c.in_data[i] = static_cast<std::uint8_t>(h & 0xFFu);
+        c.in_data[i + 1] = static_cast<std::uint8_t>(h >> 8);
+      }
+    } else {
+      for (auto& byte : c.in_data) {
+        byte = static_cast<std::uint8_t>(rng_.next_below(256));
+      }
     }
     return c;
   }
@@ -221,9 +272,10 @@ class Generator {
                  static_cast<std::int32_t>(rng_.next_int(1, threads_ - 1)))
         .stall(7);
     for (int r = kPoolLo; r <= kPoolHi; ++r) {
-      b_.mov_imm(Reg{static_cast<std::uint8_t>(r)},
-                 static_cast<std::int32_t>(
-                     static_cast<std::uint32_t>(rng_.next_u64())))
+      const std::uint32_t word =
+          opts_.numeric_operands ? special_half2_word(rng_)
+                                 : static_cast<std::uint32_t>(rng_.next_u64());
+      b_.mov_imm(Reg{static_cast<std::uint8_t>(r)}, static_cast<std::int32_t>(word))
           .stall(1);
     }
     // Cover the tail of the init chain: the last MOV's consumer can be the
@@ -499,6 +551,7 @@ std::optional<std::string> run_case(const FuzzCase& c, const FuzzOptions& opts) 
     sim::Launch launch_f;
     launch_f.program = &c.prog;
     launch_f.params = {in_f, out_f};
+    launch_f.numerics = opts.numerics;
     sim::FunctionalExecutor fx(gmem_f, /*host_threads=*/1);
     fx.set_probe(&functional_probe);
     fx.run(launch_f);
@@ -506,6 +559,7 @@ std::optional<std::string> run_case(const FuzzCase& c, const FuzzOptions& opts) 
     sim::Launch launch_t;
     launch_t.program = &c.prog;
     launch_t.params = {in_t, out_t};
+    launch_t.numerics = opts.numerics;
     sim::TimedConfig cfg;
     cfg.spec = device::rtx2070();
     cfg.probe = &timed_probe;

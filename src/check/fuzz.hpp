@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "numerics/numerics.hpp"
 #include "sass/program.hpp"
 
 namespace tc::check {
@@ -35,6 +36,15 @@ struct FuzzOptions {
   bool allow_mma = true;
   bool allow_multi_warp = true;
   std::uint64_t timed_max_cycles = 2'000'000;  // deadlock guard for the timed SM
+  /// Draw register-pool seeds and input bytes from the numerics operand
+  /// class — subnormals, NaN payloads, signed zeros, infinities, and exact
+  /// powers of two spanning the FP16 binade ladder — instead of uniform
+  /// bits. This steers HMMA/half ops straight into the edge cases where the
+  /// two numerics modes disagree hardest.
+  bool numeric_operands = false;
+  /// HMMA semantics BOTH engines run with; the differential comparison is
+  /// still bitwise, so each mode must be self-consistent across executors.
+  numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
 };
 
 /// One generated test case: the program plus everything needed to launch it

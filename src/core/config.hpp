@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "model/l2_reuse.hpp"
+#include "numerics/numerics.hpp"
 
 namespace tc::core {
 
@@ -52,6 +53,14 @@ struct HgemmConfig {
   int swizzle_max_grid_x = 1 << 30;
   /// Column-panel width when launch_order == kSupertile; ignored otherwise.
   int supertile_width = 8;
+
+  /// HMMA math semantics the launched kernel executes with: the historic
+  /// idealized single-rounding model every recorded golden was produced
+  /// with, or the bit-accurate SMT-formalization step model
+  /// (numerics/numerics.hpp). Deliberately NOT part of name(): the mode
+  /// changes the math, not the generated SASS, so tuning-cache keys and
+  /// recorded kernel names stay stable.
+  numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
 
   /// The paper's optimized kernel (Table VII left column).
   static HgemmConfig optimized() { return {}; }

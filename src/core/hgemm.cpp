@@ -25,7 +25,9 @@ HalfMatrix pad_matrix(const HalfMatrix& src, std::size_t rows_to, std::size_t co
 HalfMatrix launch_and_collect(driver::Device& dev, const sass::Program& prog,
                               const HalfMatrix& a_pad, const HalfMatrix& bt_pad,
                               std::uint32_t grid_x, std::uint32_t grid_y, std::size_t out_m,
-                              std::size_t out_n, const HalfMatrix* c_pad = nullptr) {
+                              std::size_t out_n, const HalfMatrix* c_pad = nullptr,
+                              numerics::NumericsMode numerics_mode =
+                                  numerics::NumericsMode::kIdealized) {
   const std::size_t mp = a_pad.rows();
   const std::size_t np = bt_pad.rows();
 
@@ -44,6 +46,7 @@ HalfMatrix launch_and_collect(driver::Device& dev, const sass::Program& prog,
   launch.grid_x = grid_x;
   launch.grid_y = grid_y;
   launch.params = {da.addr, db.addr, dc.addr};
+  launch.numerics = numerics_mode;
   dev.launch(launch);
 
   HalfMatrix c_full(mp, np);
@@ -73,7 +76,7 @@ HalfMatrix run_hgemm(driver::Device& dev, const HalfMatrix& a, const HalfMatrix&
   return launch_and_collect(dev, prog, a_pad, bt_pad,
                             static_cast<std::uint32_t>(np) / static_cast<std::uint32_t>(cfg.bn),
                             static_cast<std::uint32_t>(mp) / static_cast<std::uint32_t>(cfg.bm),
-                            a.rows(), bt.rows());
+                            a.rows(), bt.rows(), nullptr, cfg.numerics);
 }
 
 HalfMatrix run_hgemm_axpby(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt,
@@ -94,7 +97,7 @@ HalfMatrix run_hgemm_axpby(driver::Device& dev, const HalfMatrix& a, const HalfM
   return launch_and_collect(dev, prog, a_pad, bt_pad,
                             static_cast<std::uint32_t>(np) / static_cast<std::uint32_t>(cfg.bn),
                             static_cast<std::uint32_t>(mp) / static_cast<std::uint32_t>(cfg.bm),
-                            a.rows(), bt.rows(), &c_pad);
+                            a.rows(), bt.rows(), &c_pad, cfg.numerics);
 }
 
 HalfMatrix run_wmma_naive(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt) {

@@ -1,0 +1,76 @@
+// Matrix-level bit-accurate GEMM references and error-vs-shape curves.
+//
+// These lift the per-element step semantics of numerics.hpp to whole
+// matrices using the repo's GEMM convention (A is m x k row-major, B is
+// supplied transposed as an n x k row-major matrix). A kernel that chains
+// HMMA.1688 over k in wk = 8 chunks through a register accumulator computes
+// exactly a sequential walk of fused steps per output element, so these
+// functions are the bit-exact oracle for the functional executor running in
+// NumericsMode::kBitAccurate (tests/test_numerics.cpp proves the e2e match).
+//
+// error_curves() reproduces the FP16- vs FP32-accumulate precision
+// observations of the related work ("Accurate Models of NVIDIA Tensor
+// Cores"): FP16 accumulation loses accuracy roughly with k while FP32
+// accumulation stays flat. `tcgemm_cli numerics` emits them as tc-cli-v1
+// JSON; the golden fixtures live in tests/test_numerics.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "numerics/numerics.hpp"
+
+namespace tc::numerics {
+
+/// C = A * B^T' with bit-accurate FP16 accumulation: each output element is
+/// a left-to-right chain of `model.terms_per_step`-wide fused steps, the
+/// accumulator rounding to binary16 at every step boundary.
+[[nodiscard]] HalfMatrix gemm_bitacc_f16(const HalfMatrix& a, const HalfMatrix& bt,
+                                         const GenerationModel& model = GenerationModel{});
+
+/// Same walk with a binary32 accumulator (round-toward-zero per step under
+/// the default model), rounded to FP16 once at the very end — the HMMA
+/// .F32 epilogue-store semantics.
+[[nodiscard]] FloatMatrix gemm_bitacc_f32(const HalfMatrix& a, const HalfMatrix& bt,
+                                          const GenerationModel& model = GenerationModel{});
+
+/// The executor's historic idealized semantics (one FP32 dot per 8-chunk,
+/// rounded once to FP16) — a local copy of core::gemm_ref_tc so this
+/// library stays below tc_core; asserted bit-identical to it in tests.
+[[nodiscard]] HalfMatrix gemm_idealized_f16(const HalfMatrix& a, const HalfMatrix& bt);
+
+/// Double-precision oracle (exact products, double accumulation).
+[[nodiscard]] std::vector<double> gemm_oracle_f64(const HalfMatrix& a, const HalfMatrix& bt);
+
+struct ErrorStats {
+  double max_rel = 0.0;
+  double mean_rel = 0.0;
+};
+
+/// One point of the error-vs-k curve: all three semantics against the
+/// double oracle at the same inputs.
+struct ErrorPoint {
+  std::size_t k = 0;
+  ErrorStats idealized_f16;
+  ErrorStats bitacc_f16;
+  ErrorStats bitacc_f32;
+};
+
+struct CurveOptions {
+  std::size_t m = 64;
+  std::size_t n = 64;
+  std::vector<std::size_t> ks = {64, 128, 256, 512, 1024};
+  std::uint64_t seed = 1;
+  // Positive operands by default: with sign cancellation the oracle passes
+  // near zero and relative error is dominated by a handful of catastrophic
+  // cases, burying the accumulate-width signal the curves exist to show.
+  float lo = 0.0f;
+  float hi = 1.0f;
+  GenerationModel model;
+};
+
+/// Sweeps k, drawing fresh deterministic inputs per point (seed + k).
+[[nodiscard]] std::vector<ErrorPoint> error_curves(const CurveOptions& opts);
+
+}  // namespace tc::numerics

@@ -1,0 +1,97 @@
+// Bit-accurate HMMA dot-product numerics (ROADMAP: numerics oracle).
+//
+// The functional executor's default HMMA semantics are idealized: one FP32
+// dot product of the eight FP16 products, rounded once to the accumulator
+// type (`sim/mma_exec.hpp`). Two related-work papers pin down what the
+// hardware unit actually does (see docs/numerics.md for the mapping):
+//
+//  * "An SMT Formalization of Mixed-Precision Matrix Multiplication"
+//    formalizes the per-generation step semantics: a fused dot product of a
+//    fixed number of exact FP16 products plus the accumulator, summed in
+//    wide intermediate precision and rounded ONCE per step.
+//  * "Accurate Models of NVIDIA Tensor Cores" characterizes the rounding
+//    mode (round-toward-zero for FP32 accumulation on Volta/Turing,
+//    round-to-nearest-even at the FP16 output conversion) and full
+//    subnormal support on inputs and outputs.
+//
+// This module implements that model exactly, with no floating-point
+// arithmetic in the accumulation path: every term (the incoming accumulator
+// plus `terms_per_step` exact FP16 products) is converted to a shared
+// fixed-point scale of 2^-149 and summed in a 320-bit two's-complement
+// accumulator, which represents the 5-term left-to-right fused sum exactly
+// — so the single final rounding is correct by construction. HMMA.1688
+// (k = 8) issues two sequential 4-term steps; the step boundary is the only
+// place the model rounds mid-instruction, which is what makes chunk-order
+// sensitivity and double rounding observable (tests/test_numerics.cpp).
+//
+// Everything here is deterministic and host-FPU-independent.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/half.hpp"
+
+namespace tc::numerics {
+
+/// Which HMMA math the functional executor runs. kIdealized is the historic
+/// semantics every recorded golden fixture was produced with; kBitAccurate
+/// is the SMT-formalization model below. Threaded through `sim::Launch`,
+/// `core::HgemmConfig` and the `tcgemm_cli numerics` subcommand.
+enum class NumericsMode : std::uint8_t {
+  kIdealized = 0,
+  kBitAccurate = 1,
+};
+
+[[nodiscard]] const char* numerics_mode_name(NumericsMode mode);
+/// Parses "idealized" / "bitaccurate" (the CLI spelling). Returns false and
+/// leaves `out` untouched on anything else.
+[[nodiscard]] bool parse_numerics_mode(std::string_view name, NumericsMode& out);
+
+/// Per-generation knobs of the SMT model. The defaults are the Turing
+/// (sm_75) instantiation this simulator targets; other generations are a
+/// different parameterization, not different code (docs/numerics.md
+/// "adding a generation").
+struct GenerationModel {
+  /// FP16 products fused per accumulate step (4 on Volta/Turing: HMMA.1688
+  /// executes k = 8 as two sequential steps, rounding between them).
+  int terms_per_step = 4;
+  /// FP32-accumulate steps round toward zero (Volta/Turing). When false the
+  /// step rounds to nearest-even instead (the idealized assumption).
+  bool f32_round_rz = true;
+  /// Flush subnormal FP16 step results to zero. Turing keeps subnormals
+  /// (its key numeric advantage over the FP16 FPU path); FTZ generations
+  /// set this. Inputs are never flushed in either case.
+  bool f16_ftz_out = false;
+  /// Canonical quiet-NaN bit patterns the unit emits: input NaN payloads
+  /// are not propagated.
+  std::uint32_t qnan32 = 0x7FC00000u;
+  std::uint16_t qnan16 = 0x7E00u;
+};
+
+/// The default model for this simulator's target generation.
+[[nodiscard]] inline GenerationModel turing_model() { return GenerationModel{}; }
+
+/// One FP32-accumulate fused step: c + a[0]*b[0] + ... + a[n-1]*b[n-1] with
+/// exact products, exact wide accumulation, and a single rounding to
+/// binary32 (round-toward-zero under the default model; overflow saturates
+/// to the maximum finite value, since RZ never rounds up to infinity).
+/// n must be in [0, 8].
+[[nodiscard]] float fdp_step_f32(float c, const half* a, const half* b, int n,
+                                 const GenerationModel& model = GenerationModel{});
+
+/// One FP16-accumulate fused step, rounded once to binary16 with
+/// round-to-nearest-even; subnormal results are exact unless the model
+/// flushes them. n must be in [0, 8].
+[[nodiscard]] half fdp_step_f16(half c, const half* a, const half* b, int n,
+                                const GenerationModel& model = GenerationModel{});
+
+/// One HMMA element with k = 8: sequential fused steps of
+/// `model.terms_per_step` products each, left to right — the accumulator
+/// rounds at every step boundary.
+[[nodiscard]] float hmma_dot8_f32(float c, const half* a, const half* b,
+                                  const GenerationModel& model = GenerationModel{});
+[[nodiscard]] half hmma_dot8_f16(half c, const half* a, const half* b,
+                                 const GenerationModel& model = GenerationModel{});
+
+}  // namespace tc::numerics

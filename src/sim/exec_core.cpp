@@ -234,7 +234,8 @@ StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, Writ
     case Opcode::kHmma884F16:
     case Opcode::kImma8816S8:
       TC_CHECK(all_active, "predicated-off MMA lanes are not supported");
-      exec_mma(inst.op, regs, inst.dst, inst.srca, inst.srcb, inst.srcc, sink);
+      exec_mma(inst.op, regs, inst.dst, inst.srca, inst.srcb, inst.srcc, sink,
+               ctx.launch->numerics);
       break;
 
     case Opcode::kLdg:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "numerics/numerics.hpp"
 #include "sass/program.hpp"
 #include "sim/cta_order.hpp"
 
@@ -23,6 +24,10 @@ struct Launch {
   LaunchOrder launch_order = LaunchOrder::kRowMajor;
   /// Panel width for kSupertile; ignored by every other order.
   int supertile_width = 8;
+  /// HMMA math semantics for this launch (both the functional and timed
+  /// engines honor it): the historic idealized single-rounding model, or
+  /// the bit-accurate SMT-formalization model (numerics/numerics.hpp).
+  numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
 
   [[nodiscard]] std::uint64_t num_ctas() const {
     return static_cast<std::uint64_t>(grid_x) * grid_y;

@@ -67,9 +67,37 @@ void emit_words(WriteSink& sink, sass::Reg r, const std::array<std::uint32_t, kW
   }
 }
 
+/// One output element's k = 8 half operands, gathered contiguously for the
+/// bit-accurate engine.
+struct DotOperands {
+  half a[8];
+  half b[8];
+};
+
+DotOperands gather_dot(const Tile8x8& at, const Tile8x8& bt, int i, int j) {
+  DotOperands ops;
+  for (int kk = 0; kk < 8; ++kk) {
+    ops.a[kk] = at.m[i][kk];
+    ops.b[kk] = bt.m[kk][j];
+  }
+  return ops;
+}
+
+/// One k = 8 FP16-accumulate element in the selected semantics.
+half dot8_f16(const Tile8x8& at, const Tile8x8& bt, int i, int j, half c,
+              numerics::NumericsMode mode) {
+  if (mode == numerics::NumericsMode::kBitAccurate) {
+    const DotOperands ops = gather_dot(at, bt, i, j);
+    return numerics::hmma_dot8_f16(c, ops.a, ops.b);
+  }
+  float acc = c.to_float();
+  for (int kk = 0; kk < 8; ++kk) acc += at.m[i][kk].to_float() * bt.m[kk][j].to_float();
+  return half(acc);
+}
+
 // D(16x8) = A(16x8) * B(8x8) + C, FP16 accumulators.
 void exec_hmma_1688_f16(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
-                        sass::Reg c, WriteSink& sink) {
+                        sass::Reg c, WriteSink& sink, numerics::NumericsMode mode) {
   const Tile8x8 a_lo = gather_row_major(regs, a);
   const Tile8x8 a_hi = gather_row_major(regs, offset(a, 1));
   const Tile8x8 bt = gather_col_major(regs, b);
@@ -82,11 +110,7 @@ void exec_hmma_1688_f16(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Re
     Tile8x8 dt;
     for (int i = 0; i < 8; ++i) {
       for (int j = 0; j < 8; ++j) {
-        float acc = ct.m[i][j].to_float();
-        for (int kk = 0; kk < 8; ++kk) {
-          acc += at.m[i][kk].to_float() * bt.m[kk][j].to_float();
-        }
-        dt.m[i][j] = half(acc);
+        dt.m[i][j] = dot8_f16(at, bt, i, j, ct.m[i][j], mode);
       }
     }
     emit_words(sink, offset(d, group), pack_row_major(dt));
@@ -106,7 +130,7 @@ float read_f32_acc(const WarpRegs& regs, sass::Reg base, int i, int j) {
 }
 
 void exec_hmma_1688_f32(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
-                        sass::Reg c, WriteSink& sink) {
+                        sass::Reg c, WriteSink& sink, numerics::NumericsMode mode) {
   const Tile8x8 a_lo = gather_row_major(regs, a);
   const Tile8x8 a_hi = gather_row_major(regs, offset(a, 1));
   const Tile8x8 bt = gather_col_major(regs, b);
@@ -116,8 +140,13 @@ void exec_hmma_1688_f32(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Re
     const Tile8x8& at = i < 8 ? a_lo : a_hi;
     for (int j = 0; j < 8; ++j) {
       float acc = c.is_rz() ? 0.0f : read_f32_acc(regs, c, i, j);
-      for (int kk = 0; kk < 8; ++kk) {
-        acc += at.m[i % 8][kk].to_float() * bt.m[kk][j].to_float();
+      if (mode == numerics::NumericsMode::kBitAccurate) {
+        const DotOperands ops = gather_dot(at, bt, i % 8, j);
+        acc = numerics::hmma_dot8_f32(acc, ops.a, ops.b);
+      } else {
+        for (int kk = 0; kk < 8; ++kk) {
+          acc += at.m[i % 8][kk].to_float() * bt.m[kk][j].to_float();
+        }
       }
       const int g = i / 8;
       const int p = j % 2;
@@ -132,16 +161,14 @@ void exec_hmma_1688_f32(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Re
 
 // Volta-compatibility form: D(8x8) = A(8x8) * B(8x8) + C on single registers.
 void exec_hmma_884_f16(const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
-                       sass::Reg c, WriteSink& sink) {
+                       sass::Reg c, WriteSink& sink, numerics::NumericsMode mode) {
   const Tile8x8 at = gather_row_major(regs, a);
   const Tile8x8 bt = gather_col_major(regs, b);
   const Tile8x8 ct = c.is_rz() ? Tile8x8{} : gather_row_major(regs, c);
   Tile8x8 dt;
   for (int i = 0; i < 8; ++i) {
     for (int j = 0; j < 8; ++j) {
-      float acc = ct.m[i][j].to_float();
-      for (int kk = 0; kk < 8; ++kk) acc += at.m[i][kk].to_float() * bt.m[kk][j].to_float();
-      dt.m[i][j] = half(acc);
+      dt.m[i][j] = dot8_f16(at, bt, i, j, ct.m[i][j], mode);
     }
   }
   emit_words(sink, d, pack_row_major(dt));
@@ -206,18 +233,20 @@ void scatter_col_major(WarpRegs& regs, sass::Reg r, const Tile8x8& t) {
 }
 
 void exec_mma(sass::Opcode op, const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
-              sass::Reg c, WriteSink& sink) {
+              sass::Reg c, WriteSink& sink, numerics::NumericsMode mode) {
   switch (op) {
     case sass::Opcode::kHmma1688F16:
-      exec_hmma_1688_f16(regs, d, a, b, c, sink);
+      exec_hmma_1688_f16(regs, d, a, b, c, sink, mode);
       break;
     case sass::Opcode::kHmma1688F32:
-      exec_hmma_1688_f32(regs, d, a, b, c, sink);
+      exec_hmma_1688_f32(regs, d, a, b, c, sink, mode);
       break;
     case sass::Opcode::kHmma884F16:
-      exec_hmma_884_f16(regs, d, a, b, c, sink);
+      exec_hmma_884_f16(regs, d, a, b, c, sink, mode);
       break;
     case sass::Opcode::kImma8816S8:
+      // Integer math is exact: both numerics modes are identical by
+      // construction, so the mode is deliberately not consulted.
       exec_imma_8816_s8(regs, d, a, b, c, sink);
       break;
     default:

@@ -12,15 +12,20 @@
 //    are register pairs of row-major 8x8 tiles (low register = rows 0..7)
 //    and B is a single column-major 8x8 tile (Fig. 2).
 //
-// Numerics: each output element is an FP32 dot product of the eight FP16
-// products plus the accumulator, rounded once to the accumulator type. This
-// matches the "higher accuracy than FP16 units" observation [5] and is the
-// reference semantics all tcgemm tests compare against.
+// Numerics (NumericsMode::kIdealized, the default): each output element is
+// an FP32 dot product of the eight FP16 products plus the accumulator,
+// rounded once to the accumulator type. This matches the "higher accuracy
+// than FP16 units" observation [5] and is the reference semantics all
+// recorded tcgemm goldens compare against. NumericsMode::kBitAccurate
+// instead runs the SMT-formalization step model (two 4-term fused steps,
+// RZ/RNE per accumulate type — see numerics/numerics.hpp and
+// docs/numerics.md).
 #pragma once
 
 #include <cstdint>
 
 #include "common/half.hpp"
+#include "numerics/numerics.hpp"
 #include "sass/isa.hpp"
 #include "sim/reg_file.hpp"
 
@@ -61,8 +66,12 @@ void scatter_col_major(WarpRegs& regs, sass::Reg r, const Tile8x8& t);
 
 /// Executes one MMA instruction's math, reading settled register state and
 /// emitting all destination writes through `sink`. Handles all four opcodes:
-/// HMMA.1688.F16/.F32, HMMA.884.F16, IMMA.8816.S8.
+/// HMMA.1688.F16/.F32, HMMA.884.F16, IMMA.8816.S8. `mode` selects between
+/// the idealized single-rounding semantics above and the bit-accurate
+/// per-step model in numerics/numerics.hpp; IMMA is integer-exact and
+/// identical in both modes.
 void exec_mma(sass::Opcode op, const WarpRegs& regs, sass::Reg d, sass::Reg a, sass::Reg b,
-              sass::Reg c, WriteSink& sink);
+              sass::Reg c, WriteSink& sink,
+              numerics::NumericsMode mode = numerics::NumericsMode::kIdealized);
 
 }  // namespace tc::sim

@@ -228,5 +228,45 @@ TEST(CliContract, Serve) {
   }
 }
 
+TEST(CliContract, Numerics) {
+  const JsonValue doc = run_cli("numerics --k 256 --seed 3");
+  expect_header(doc, "numerics");
+  const JsonValue& n = doc.at("numerics");
+  EXPECT_EQ(n.at("seed").as_number(), 3.0);
+  const auto& modes = n.at("modes").as_array();
+  ASSERT_EQ(modes.size(), 2u);
+  EXPECT_EQ(modes[0].as_string(), "idealized");
+  EXPECT_EQ(modes[1].as_string(), "bitaccurate");
+
+  // --k is the ladder ceiling: k doubles from 64, so 256 gives 3 points.
+  const auto& points = n.at("points").as_array();
+  ASSERT_EQ(points.size(), 3u);
+  double prev_k = 0.0;
+  for (const auto& p : points) {
+    for (const char* key :
+         {"k", "idealized_f16_max_rel", "idealized_f16_mean_rel", "bitacc_f16_max_rel",
+          "bitacc_f16_mean_rel", "bitacc_f32_max_rel", "bitacc_f32_mean_rel"}) {
+      EXPECT_TRUE(p.at(key).is_number()) << key;
+    }
+    EXPECT_GT(p.at("k").as_number(), prev_k);
+    prev_k = p.at("k").as_number();
+    // FP32 accumulation must beat FP16 accumulation at every point.
+    EXPECT_LT(p.at("bitacc_f32_mean_rel").as_number(),
+              p.at("bitacc_f16_mean_rel").as_number());
+  }
+  EXPECT_EQ(points.front().at("k").as_number(), 64.0);
+  EXPECT_EQ(points.back().at("k").as_number(), 256.0);
+}
+
+TEST(CliContract, RunBitAccurateCheckJson) {
+  // `run --numerics bitaccurate --check` verifies the executor against the
+  // bit-accurate engine and must report zero mismatches.
+  const JsonValue doc =
+      run_cli("run --m 64 --n 64 --k 64 --numerics bitaccurate --check");
+  expect_header(doc, "run");
+  EXPECT_EQ(doc.at("numerics").as_string(), "bitaccurate");
+  EXPECT_EQ(doc.at("mismatches").as_number(), 0.0);
+}
+
 }  // namespace
 }  // namespace tc

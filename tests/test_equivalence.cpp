@@ -8,12 +8,15 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "core/config.hpp"
+#include "core/hgemm.hpp"
 #include "core/kernel_gen.hpp"
+#include "numerics/numerics.hpp"
 #include "device/spec.hpp"
 #include "driver/device.hpp"
 #include "sim/functional.hpp"
@@ -25,7 +28,8 @@ namespace {
 /// Runs `prog` on the full grid through both engines (identical allocation
 /// order, separate memories) and compares probes and the C buffer bitwise.
 void expect_equivalent(const sass::Program& prog, const GemmShape& shape,
-                       std::uint32_t grid_x, std::uint32_t grid_y, Rng& rng) {
+                       std::uint32_t grid_x, std::uint32_t grid_y, Rng& rng,
+                       numerics::NumericsMode mode = numerics::NumericsMode::kIdealized) {
   HalfMatrix a(shape.m, shape.k), bt(shape.n, shape.k);
   a.randomize(rng, -0.5f, 0.5f);
   bt.randomize(rng, -0.5f, 0.5f);
@@ -43,6 +47,7 @@ void expect_equivalent(const sass::Program& prog, const GemmShape& shape,
     launch.grid_x = grid_x;
     launch.grid_y = grid_y;
     launch.params = {da.addr, db.addr, dc.addr};
+    launch.numerics = mode;
     return dc;
   };
 
@@ -107,6 +112,86 @@ TEST(Equivalence, WmmaNaiveThreeSizes) {
     expect_equivalent(core::wmma_naive_kernel(s), s,
                       static_cast<std::uint32_t>(s.n / 128),
                       static_cast<std::uint32_t>(s.m / 16), rng);
+  }
+}
+
+TEST(Equivalence, AllKernelsBitAccurateMode) {
+  // The numerics-mode axis: every kernel_gen kernel must stay bitwise
+  // self-consistent between the functional and timed executors when both
+  // run the bit-accurate HMMA semantics. (The kIdealized axis is the three
+  // tests above; one size per kernel keeps the added runtime bounded.)
+  Rng rng(104);
+  const auto mode = numerics::NumericsMode::kBitAccurate;
+  {
+    const core::HgemmConfig cfg = core::HgemmConfig::optimized();
+    const GemmShape shape{static_cast<std::size_t>(cfg.bm),
+                          static_cast<std::size_t>(cfg.bn), 64};
+    expect_equivalent(core::hgemm_kernel(cfg, shape), shape, 1, 1, rng, mode);
+  }
+  {
+    const core::HgemmConfig cfg = core::HgemmConfig::cublas_like();
+    const GemmShape shape{static_cast<std::size_t>(cfg.bm),
+                          static_cast<std::size_t>(cfg.bn), 128};
+    expect_equivalent(core::hgemm_kernel(cfg, shape), shape, 1, 1, rng, mode);
+  }
+  {
+    const GemmShape s{32, 128, 32};
+    expect_equivalent(core::wmma_naive_kernel(s), s, 1, 2, rng, mode);
+  }
+}
+
+/// FNV-1a 64 over the output matrix bytes.
+std::uint64_t fnv1a_bits(const HalfMatrix& m) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const std::uint16_t b = m.data()[i].bits();
+    for (const std::uint8_t byte : {static_cast<std::uint8_t>(b & 0xFF),
+                                    static_cast<std::uint8_t>(b >> 8)}) {
+      h = (h ^ byte) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+TEST(Equivalence, IdealizedModeIsBytePinnedToPrePlumbingExecutor) {
+  // Regression pin for the numerics-mode plumbing: these hashes were
+  // recorded from run_hgemm/run_wmma_naive BEFORE NumericsMode existed, so
+  // any drift here means the kIdealized path is no longer bit-identical to
+  // the historic executor semantics and every golden fixture is suspect.
+  struct Pin {
+    const char* config;  // "optimized" | "cublas_like" | "wmma_naive"
+    std::size_t k;
+    std::uint64_t seed;
+    std::uint64_t hash;
+  };
+  const Pin pins[] = {
+      {"optimized", 64, 501, 0x060A54DCE7CE62E4ull},
+      {"optimized", 128, 502, 0xD4D4EDF491ECAE4Eull},
+      {"cublas_like", 128, 503, 0x863DB8710C8A9CBAull},
+      {"cublas_like", 256, 504, 0xE527A4B8C9D9D969ull},
+      {"wmma_naive", 32, 505, 0x2565A8CC3E43BB92ull},
+  };
+  for (const Pin& pin : pins) {
+    SCOPED_TRACE(std::string(pin.config) + " k=" + std::to_string(pin.k));
+    Rng rng(pin.seed);
+    driver::Device dev(device::rtx2070());
+    HalfMatrix out(0, 0);
+    if (std::string(pin.config) == "wmma_naive") {
+      HalfMatrix a(32, pin.k), bt(128, pin.k);
+      a.randomize(rng, -2.0f, 2.0f);
+      bt.randomize(rng, -2.0f, 2.0f);
+      out = core::run_wmma_naive(dev, a, bt);
+    } else {
+      const core::HgemmConfig cfg = std::string(pin.config) == "optimized"
+                                        ? core::HgemmConfig::optimized()
+                                        : core::HgemmConfig::cublas_like();
+      HalfMatrix a(static_cast<std::size_t>(cfg.bm), pin.k);
+      HalfMatrix bt(static_cast<std::size_t>(cfg.bn), pin.k);
+      a.randomize(rng, -2.0f, 2.0f);
+      bt.randomize(rng, -2.0f, 2.0f);
+      out = core::run_hgemm(dev, a, bt, cfg);
+    }
+    EXPECT_EQ(fnv1a_bits(out), pin.hash);
   }
 }
 

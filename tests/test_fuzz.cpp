@@ -109,5 +109,67 @@ TEST(FuzzSmoke, ThousandFixedSeedProgramsNoDivergence) {
   }
 }
 
+TEST(Fuzz, NumericOperandsChangeInputsDeterministically) {
+  // The numerics operand class must actually replace the uniform input
+  // bytes, and must stay reproducible seed-for-seed.
+  FuzzOptions numeric;
+  numeric.numeric_operands = true;
+  const FuzzCase plain = generate_case(7, FuzzOptions{});
+  const FuzzCase special = generate_case(7, numeric);
+  const FuzzCase special2 = generate_case(7, numeric);
+  EXPECT_EQ(special.in_data, special2.in_data);
+  EXPECT_EQ(special.prog.disassemble(), special2.prog.disassemble());
+  EXPECT_NE(plain.in_data, special.in_data);
+}
+
+TEST(Fuzz, NumericOperandsHitTheEdgeCaseClasses) {
+  // Across a handful of seeds the operand class must produce halves from
+  // each headline bucket: subnormals, NaNs, infinities, and signed zeros.
+  FuzzOptions numeric;
+  numeric.numeric_operands = true;
+  int subnormal = 0, nan = 0, inf = 0, neg_zero = 0;
+  for (std::uint64_t seed = 500; seed < 520; ++seed) {
+    const FuzzCase c = generate_case(seed, numeric);
+    for (std::size_t i = 0; i + 1 < c.in_data.size(); i += 2) {
+      const auto bits = static_cast<std::uint16_t>(c.in_data[i] |
+                                                   (c.in_data[i + 1] << 8));
+      const std::uint16_t mag = bits & 0x7FFF;
+      if (mag != 0 && mag < 0x0400) ++subnormal;
+      if (mag > 0x7C00) ++nan;
+      if (mag == 0x7C00) ++inf;
+      if (bits == 0x8000) ++neg_zero;
+    }
+  }
+  EXPECT_GT(subnormal, 0);
+  EXPECT_GT(nan, 0);
+  EXPECT_GT(inf, 0);
+  EXPECT_GT(neg_zero, 0);
+}
+
+/// Functional-vs-timed differential sweep with numerics operands in the
+/// given HMMA mode; both executors run the same mode, so any divergence is
+/// an executor inconsistency in that mode's math path.
+void run_numeric_mode_sweep(numerics::NumericsMode mode, std::uint64_t base_seed) {
+  FuzzOptions opts;
+  opts.numeric_operands = true;
+  opts.numerics = mode;
+  const FuzzReport rep = run_fuzz(base_seed, /*count=*/1000, opts);
+  EXPECT_EQ(rep.programs, 1000);
+  EXPECT_EQ(rep.divergences, 0);
+  for (const auto& f : rep.failures) {
+    ADD_FAILURE() << "seed " << f.seed << " [" << f.phase << "] (shrunk "
+                  << f.original_size << " -> " << f.shrunk_size << "):\n"
+                  << f.detail << "\n" << f.program;
+  }
+}
+
+TEST(FuzzSmoke, NumericOperandsIdealizedThousandSeeds) {
+  run_numeric_mode_sweep(numerics::NumericsMode::kIdealized, /*base_seed=*/20001);
+}
+
+TEST(FuzzSmoke, NumericOperandsBitAccurateThousandSeeds) {
+  run_numeric_mode_sweep(numerics::NumericsMode::kBitAccurate, /*base_seed=*/30001);
+}
+
 }  // namespace
 }  // namespace tc::check

@@ -1,11 +1,13 @@
 // Unit tests for IEEE binary16 arithmetic (src/common/half.*).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
 #include "common/half.hpp"
 #include "common/rng.hpp"
+#include "numerics/numerics.hpp"
 
 namespace tc {
 namespace {
@@ -161,6 +163,52 @@ TEST(Half2, PackUnpack) {
   const half2 u = half2::unpack(word);
   EXPECT_EQ(u.lo.bits(), v.lo.bits());
   EXPECT_EQ(u.hi.bits(), v.hi.bits());
+}
+
+TEST(Half, ExhaustiveFusedStepIdentitySweep) {
+  // Every one of the 65536 half patterns through one bit-accurate fused
+  // accumulate step as the sole product (h * 1 with c = 0). The F32 step
+  // must reproduce the value EXACTLY for every finite input — binary32 is a
+  // superset of binary16, including all subnormals — while specials follow
+  // the unit's structural rules: NaNs canonicalize (payloads dropped),
+  // infinities pass through, and +0 + (+/-0 product) is +0.
+  for (std::uint32_t p = 0; p <= 0xFFFF; ++p) {
+    const half hv = half::from_bits(static_cast<std::uint16_t>(p));
+    const half one(1.0f);
+    const float got = numerics::fdp_step_f32(0.0f, &hv, &one, 1);
+    const auto got_bits = std::bit_cast<std::uint32_t>(got);
+    if (hv.is_nan()) {
+      ASSERT_EQ(got_bits, 0x7FC00000u) << "bits=" << p;
+    } else if (hv.is_zero()) {
+      ASSERT_EQ(got_bits, 0u) << "bits=" << p;  // (+0) + (h*1 = +/-0) = +0
+    } else {
+      ASSERT_EQ(got_bits, std::bit_cast<std::uint32_t>(hv.to_float())) << "bits=" << p;
+    }
+  }
+}
+
+TEST(Half, ExhaustiveFusedAccumulateSweepVsReference) {
+  // Every half value h through one F16-accumulate fused step computing
+  // h + h * 0.5 = 1.5 * h. The exact sum has at most 12 significant bits,
+  // so float holds it exactly and the independent double-based RNE
+  // reference (ref_half_bits above) is the oracle for the single rounding —
+  // covering every binade, the subnormal range, and the overflow boundary.
+  const half halfc(0.5f);
+  for (std::uint32_t p = 0; p <= 0xFFFF; ++p) {
+    const half hv = half::from_bits(static_cast<std::uint16_t>(p));
+    const half got = numerics::fdp_step_f16(hv, &hv, &halfc, 1);
+    if (hv.is_nan()) {
+      ASSERT_EQ(got.bits(), 0x7E00) << "bits=" << p;
+    } else if (hv.is_inf()) {
+      ASSERT_EQ(got.bits(), hv.bits()) << "bits=" << p;  // inf + inf/2
+    } else if (hv.is_zero()) {
+      // (+/-0) + (+/-0): same-signed zeros keep the sign.
+      ASSERT_EQ(got.bits(), hv.bits()) << "bits=" << p;
+    } else {
+      const float exact = 1.5f * hv.to_float();  // exact: 12-bit significand
+      ASSERT_EQ(got.bits(), ref_half_bits(exact)) << "bits=" << p;
+    }
+  }
 }
 
 TEST(Half, FmaRoundsOnce) {

@@ -1,0 +1,510 @@
+// Conformance suite for the bit-accurate HMMA numerics engine (ISSUE 8).
+//
+// Three layers, labelled numerics_smoke in CTest:
+//
+//  1. Hand-derived SMT-model test vectors: each pins one observable of the
+//     step semantics — round-toward-zero vs nearest-even, single rounding
+//     per fused step, double rounding at the k = 8 chunk boundary, chunk
+//     (but not intra-step) order sensitivity, subnormal preservation and
+//     the FTZ knob, NaN canonicalization, RZ overflow saturation, and the
+//     signed-zero rules. Every expected value is derived by hand in the
+//     comment next to it.
+//  2. Property/metamorphic tests against an MPFR-free long-double oracle:
+//     intra-step permutation invariance, monotonicity, and exactness of
+//     the single rounding on operand ranges where the fused sum fits a
+//     64-bit significand.
+//  3. Golden error-vs-shape curve fixtures plus the end-to-end proof that
+//     the functional executor in NumericsMode::kBitAccurate computes
+//     exactly numerics::gemm_bitacc_f16, independent of kernel config.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/hgemm.hpp"
+#include "core/reference.hpp"
+#include "device/spec.hpp"
+#include "driver/device.hpp"
+#include "numerics/curves.hpp"
+#include "numerics/numerics.hpp"
+
+namespace tc::numerics {
+namespace {
+
+std::uint32_t f32_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+half h(float f) { return half(f); }
+half hb(std::uint16_t bits) { return half::from_bits(bits); }
+
+/// fdp_step_f32 over explicit term lists (pads nothing; n = list size).
+float step_f32(float c, std::vector<half> a, std::vector<half> b,
+               const GenerationModel& model = GenerationModel{}) {
+  EXPECT_EQ(a.size(), b.size());
+  return fdp_step_f32(c, a.data(), b.data(), static_cast<int>(a.size()), model);
+}
+
+half step_f16(half c, std::vector<half> a, std::vector<half> b,
+              const GenerationModel& model = GenerationModel{}) {
+  EXPECT_EQ(a.size(), b.size());
+  return fdp_step_f16(c, a.data(), b.data(), static_cast<int>(a.size()), model);
+}
+
+// ---------------------------------------------------------------------------
+// 1. SMT-model test vectors.
+// ---------------------------------------------------------------------------
+
+TEST(NumericsVectors, F32StepRoundsTowardZero) {
+  // c = 1, one product (2^-24) * (-2^-24) = -2^-48. The exact sum 1 - 2^-48
+  // sits just below 1.0: RZ truncates to the predecessor of 1.0
+  // (0x3F7FFFFF = 1 - 2^-24), while nearest-even would return 1.0 (the
+  // discarded 2^-48 is far below the halfway point 2^-25).
+  const float rz = step_f32(1.0f, {hb(0x0001)}, {hb(0x8001)});
+  EXPECT_EQ(f32_bits(rz), 0x3F7FFFFFu);
+
+  GenerationModel rne = turing_model();
+  rne.f32_round_rz = false;
+  const float ne = step_f32(1.0f, {hb(0x0001)}, {hb(0x8001)}, rne);
+  EXPECT_EQ(f32_bits(ne), f32_bits(1.0f));
+}
+
+TEST(NumericsVectors, F32StepIsFusedNotSequential) {
+  // c = 2^-30, products 1*1 and (-1)*1. The exact fused sum is 2^-30.
+  // A sequential walk would first compute RZ(2^-30 + 1) = 1.0 (the 2^-30 is
+  // below binary32 precision at that magnitude and RZ drops it), then
+  // 1.0 - 1.0 = 0. The fused step must keep the exact 2^-30.
+  const float r = step_f32(0x1.0p-30f, {h(1.0f), h(-1.0f)}, {h(1.0f), h(1.0f)});
+  EXPECT_EQ(r, 0x1.0p-30f);
+}
+
+TEST(NumericsVectors, Dot8DoubleRoundsAtTheChunkBoundary) {
+  // k = 8 runs as two 4-term steps. Place product 1*1 = 1 and
+  // 2^-12 * 2^-12 = 2^-24 in the first chunk and another 2^-24 in the
+  // second. 2^-24 is half an ulp of 1.0, so each step computes
+  // RZ(1 + 2^-24) = 1.0 and the chunked result is exactly 1.0 — but a
+  // single fused 8-term sum is 1 + 2^-23, which is representable
+  // (0x3F800001) and survives one rounding.
+  const std::vector<half> a = {h(1.0f), hb(0x0C00), h(0.0f), h(0.0f),
+                               hb(0x0C00), h(0.0f), h(0.0f), h(0.0f)};
+  const std::vector<half> b = {h(1.0f), hb(0x0C00), h(0.0f), h(0.0f),
+                               hb(0x0C00), h(0.0f), h(0.0f), h(0.0f)};
+  const float chunked = hmma_dot8_f32(0.0f, a.data(), b.data());
+  EXPECT_EQ(f32_bits(chunked), f32_bits(1.0f));
+
+  const float one_shot = fdp_step_f32(0.0f, a.data(), b.data(), 8);
+  EXPECT_EQ(f32_bits(one_shot), 0x3F800001u);
+}
+
+TEST(NumericsVectors, OrderSensitiveAcrossChunksOnly) {
+  // Same terms as above. Permuting WITHIN the first chunk cannot change the
+  // result (the fused sum is exact, hence order-invariant)...
+  const std::vector<half> a_sw = {hb(0x0C00), h(1.0f), h(0.0f), h(0.0f),
+                                  hb(0x0C00), h(0.0f), h(0.0f), h(0.0f)};
+  const std::vector<half> b_sw = {hb(0x0C00), h(1.0f), h(0.0f), h(0.0f),
+                                  hb(0x0C00), h(0.0f), h(0.0f), h(0.0f)};
+  EXPECT_EQ(f32_bits(hmma_dot8_f32(0.0f, a_sw.data(), b_sw.data())), f32_bits(1.0f));
+
+  // ...but moving the second 2^-24 product across the boundary into chunk
+  // one makes the first step RZ(1 + 2^-23) = 0x3F800001 and the result
+  // changes: the model is accumulation-order sensitive exactly at chunk
+  // granularity.
+  const std::vector<half> a_mv = {h(1.0f), hb(0x0C00), hb(0x0C00), h(0.0f),
+                                  h(0.0f), h(0.0f), h(0.0f), h(0.0f)};
+  const std::vector<half> b_mv = {h(1.0f), hb(0x0C00), hb(0x0C00), h(0.0f),
+                                  h(0.0f), h(0.0f), h(0.0f), h(0.0f)};
+  EXPECT_EQ(f32_bits(hmma_dot8_f32(0.0f, a_mv.data(), b_mv.data())), 0x3F800001u);
+}
+
+TEST(NumericsVectors, F16SubnormalResultsAreExactUnlessFtz) {
+  // 2^-14 * 0.5 = 2^-15, a subnormal half (0x0200): Turing keeps it.
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x0400)}, {h(0.5f)}).bits(), 0x0200);
+  // An FTZ generation flushes the same result to +0.
+  GenerationModel ftz = turing_model();
+  ftz.f16_ftz_out = true;
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x0400)}, {h(0.5f)}, ftz).bits(), 0x0000);
+
+  // The minimum subnormal survives: 2^-24 * 1 = 0x0001.
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x0001)}, {h(1.0f)}).bits(), 0x0001);
+  // Subnormal ties round to even: 1.5 * 2^-24 is halfway between 0x0001 and
+  // 0x0002 and must land on 0x0002.
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x0001)}, {h(1.5f)}).bits(), 0x0002);
+  // 2^-12 * 2^-13 = 2^-25 is exactly half the smallest subnormal: the tie
+  // rounds to even, i.e. +0.
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x0C00)}, {hb(0x0800)}).bits(), 0x0000);
+}
+
+TEST(NumericsVectors, F32SubnormalAccumulatorParticipatesExactly) {
+  // c is the minimum binary32 subnormal (2^-149); the product is
+  // 2^-24 * 2^-24 = 2^-48. The sum 2^-48 + 2^-149 truncates (RZ) back to
+  // 2^-48: the subnormal took part and was dropped by rounding, not by an
+  // input flush.
+  const float min_sub = std::bit_cast<float>(std::uint32_t{1});
+  EXPECT_EQ(step_f32(min_sub, {hb(0x0001)}, {hb(0x0001)}), 0x1.0p-48f);
+  // With c = -2^-149 the exact sum is just below 2^-48 and RZ must return
+  // the predecessor of 2^-48 — the subnormal's full 2^-149 weight decides
+  // the rounding.
+  EXPECT_EQ(step_f32(-min_sub, {hb(0x0001)}, {hb(0x0001)}),
+            std::nextafterf(0x1.0p-48f, 0.0f));
+  // A subnormal step result is returned exactly (n = 0: the step is just a
+  // re-rounding of c, which is already representable).
+  EXPECT_EQ(f32_bits(step_f32(min_sub, {}, {})), 1u);
+}
+
+TEST(NumericsVectors, NanInputsCanonicalize) {
+  // NaN payloads are NOT propagated: any NaN operand yields the canonical
+  // quiet NaN of the output type.
+  EXPECT_EQ(f32_bits(step_f32(0.0f, {hb(0x7C01)}, {h(1.0f)})), 0x7FC00000u);
+  EXPECT_EQ(f32_bits(step_f32(0.0f, {hb(0xFFFF)}, {h(1.0f)})), 0x7FC00000u);
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x7C01)}, {h(1.0f)}).bits(), 0x7E00);
+  // NaN in the accumulator canonicalizes too.
+  const float qnan_payload = std::bit_cast<float>(0x7F800001u + 0x1234u);
+  EXPECT_EQ(f32_bits(step_f32(qnan_payload, {h(1.0f)}, {h(1.0f)})), 0x7FC00000u);
+  EXPECT_EQ(step_f16(hb(0xFE00), {h(1.0f)}, {h(1.0f)}).bits(), 0x7E00);
+}
+
+TEST(NumericsVectors, InfinityRules) {
+  const half pinf = hb(0x7C00), ninf = hb(0xFC00);
+  // inf * 0 is invalid -> canonical qNaN.
+  EXPECT_EQ(f32_bits(step_f32(0.0f, {pinf}, {h(0.0f)})), 0x7FC00000u);
+  EXPECT_EQ(step_f16(h(0.0f), {pinf}, {h(0.0f)}).bits(), 0x7E00);
+  // Opposing infinite products -> qNaN.
+  EXPECT_EQ(f32_bits(step_f32(0.0f, {pinf, pinf}, {h(1.0f), h(-1.0f)})), 0x7FC00000u);
+  // A single-signed infinity dominates any finite accumulator.
+  EXPECT_EQ(f32_bits(step_f32(-65000.0f, {pinf}, {h(2.0f)})), 0x7F800000u);
+  EXPECT_EQ(f32_bits(step_f32(65000.0f, {ninf}, {h(2.0f)})), 0xFF800000u);
+  EXPECT_EQ(step_f16(h(-1000.0f), {pinf}, {h(2.0f)}).bits(), 0x7C00);
+  // Infinite accumulator propagates through finite products.
+  const float finf = std::bit_cast<float>(0x7F800000u);
+  EXPECT_EQ(f32_bits(step_f32(finf, {h(-3.0f)}, {h(3.0f)})), 0x7F800000u);
+  // ...and cancels against the opposite-signed infinite product.
+  EXPECT_EQ(f32_bits(step_f32(finf, {ninf}, {h(1.0f)})), 0x7FC00000u);
+}
+
+TEST(NumericsVectors, RzNeverOverflowsToInfinity) {
+  // FLT_MAX plus four maximal FP16 products (4 * 65504^2 ~ 1.7e10) exceeds
+  // FLT_MAX but is far below the next representable magnitude: RZ truncates
+  // back to the maximum finite value. The bit-accurate F32 path can never
+  // round a finite sum up to infinity.
+  const half big = hb(0x7BFF);  // 65504
+  const float r = step_f32(FLT_MAX, {big, big, big, big}, {big, big, big, big});
+  EXPECT_EQ(f32_bits(r), 0x7F7FFFFFu);
+}
+
+TEST(NumericsVectors, F16OverflowRoundsToInfinity) {
+  // 65504 + 32*32 = 66528 >= 65520 (the RNE overflow threshold): infinity.
+  EXPECT_EQ(step_f16(hb(0x7BFF), {h(32.0f)}, {h(32.0f)}).bits(), 0x7C00);
+  EXPECT_EQ(step_f16(hb(0xFBFF), {h(-32.0f)}, {h(32.0f)}).bits(), 0xFC00);
+  // 65504 + 2*4 = 65512 < 65520: rounds back down to the maximum finite.
+  EXPECT_EQ(step_f16(hb(0x7BFF), {h(2.0f)}, {h(4.0f)}).bits(), 0x7BFF);
+}
+
+TEST(NumericsVectors, SignedZeroRules) {
+  // All-negative-zero terms produce -0 (IEEE: (-0) + (-0) = -0)...
+  EXPECT_EQ(step_f16(hb(0x8000), {hb(0x8000)}, {h(1.0f)}).bits(), 0x8000);
+  EXPECT_EQ(f32_bits(step_f32(-0.0f, {hb(0x8000)}, {h(1.0f)})), 0x80000000u);
+  // ...while any positive zero in the mix gives +0.
+  EXPECT_EQ(step_f16(h(0.0f), {hb(0x8000)}, {h(1.0f)}).bits(), 0x0000);
+  // Exact cancellation of nonzero terms is +0 under both RZ and RNE.
+  EXPECT_EQ(f32_bits(step_f32(-0x1.0p-48f, {hb(0x0001)}, {hb(0x0001)})), 0u);
+  EXPECT_EQ(step_f16(h(-2.0f), {h(1.0f)}, {h(2.0f)}).bits(), 0x0000);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Properties against a long-double oracle.
+// ---------------------------------------------------------------------------
+
+/// Round-toward-zero long double -> binary32, valid when |x| is within the
+/// finite float range (the property tests keep it there). static_cast rounds
+/// to nearest, so step back one ulp whenever the cast moved away from zero.
+float rz32(long double x) {
+  auto f = static_cast<float>(x);
+  if (std::fabs(static_cast<long double>(f)) > std::fabs(x)) {
+    f = std::nextafterf(f, 0.0f);
+  }
+  return f;
+}
+
+/// Nearest-even long double -> binary16 via exact quantum snapping, same
+/// construction as test_half.cpp's float reference.
+std::uint16_t rne16(long double x) {
+  const std::uint16_t sign = x < 0.0L || (x == 0.0L && std::signbit(x)) ? 0x8000u : 0u;
+  const long double mag = std::fabs(x);
+  if (mag == 0.0L) return sign;
+  const int e = std::max(std::ilogbl(mag), -14);
+  const long double quantum = std::ldexp(1.0L, e - 10);
+  const long double r = std::nearbyintl(mag / quantum) * quantum;
+  if (r == 0.0L) return sign;
+  if (r >= 65520.0L) return sign | 0x7C00u;
+  if (r < std::ldexp(1.0L, -14)) {
+    return sign | static_cast<std::uint16_t>(r / std::ldexp(1.0L, -24));
+  }
+  const int re = std::ilogbl(r);
+  const auto mant = static_cast<std::uint16_t>(r / std::ldexp(1.0L, re - 10));
+  return sign | static_cast<std::uint16_t>((re + 15) << 10) |
+         static_cast<std::uint16_t>(mant - 1024u);
+}
+
+/// Random half in [0.25, 4): products land in [2^-4, 16], so a 5-term fused
+/// sum spans < 64 bits of significand and the long-double sum is EXACT.
+half narrow_half(Rng& rng, bool allow_negative) {
+  float f = rng.next_float(0.25f, 4.0f);
+  if (allow_negative && rng.next_below(2) == 0) f = -f;
+  return half(f);
+}
+
+TEST(NumericsProperties, StepMatchesLongDoubleOracleExactly) {
+  Rng rng(7001);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto c32 = half(rng.next_float(-4.0f, 4.0f)).to_float();
+    half a[4], b[4];
+    long double exact = c32;
+    for (int i = 0; i < 4; ++i) {
+      a[i] = narrow_half(rng, true);
+      b[i] = narrow_half(rng, true);
+      exact += static_cast<long double>(a[i].to_float()) *
+               static_cast<long double>(b[i].to_float());
+    }
+    ASSERT_EQ(f32_bits(fdp_step_f32(c32, a, b, 4)), f32_bits(rz32(exact)))
+        << "trial " << trial;
+    ASSERT_EQ(fdp_step_f16(half(c32), a, b, 4).bits(), rne16(exact))
+        << "trial " << trial;
+  }
+}
+
+TEST(NumericsProperties, PermutationWithinStepInvariant) {
+  Rng rng(7002);
+  for (int trial = 0; trial < 2000; ++trial) {
+    half a[4], b[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = half(rng.next_float(-8.0f, 8.0f));
+      b[i] = half(rng.next_float(-8.0f, 8.0f));
+    }
+    const float c = rng.next_float(-8.0f, 8.0f);
+    const float base32 = fdp_step_f32(c, a, b, 4);
+    const std::uint16_t base16 = fdp_step_f16(half(c), a, b, 4).bits();
+    int idx[4] = {0, 1, 2, 3};
+    // All 24 permutations of the (a[i], b[i]) pairs.
+    std::sort(idx, idx + 4);
+    do {
+      half pa[4], pb[4];
+      for (int i = 0; i < 4; ++i) {
+        pa[i] = a[idx[i]];
+        pb[i] = b[idx[i]];
+      }
+      ASSERT_EQ(f32_bits(fdp_step_f32(c, pa, pb, 4)), f32_bits(base32));
+      ASSERT_EQ(fdp_step_f16(half(c), pa, pb, 4).bits(), base16);
+    } while (std::next_permutation(idx, idx + 4));
+  }
+}
+
+TEST(NumericsProperties, MonotoneInEachOperand) {
+  // With positive b[i], bumping a[i] up one half-ulp can never decrease the
+  // step result: the exact sum is monotone and both RZ and RNE are monotone
+  // roundings.
+  Rng rng(7003);
+  for (int trial = 0; trial < 5000; ++trial) {
+    half a[4], b[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = narrow_half(rng, true);
+      b[i] = narrow_half(rng, false);  // strictly positive
+    }
+    const float c = half(rng.next_float(-16.0f, 16.0f)).to_float();
+    const float base = fdp_step_f32(c, a, b, 4);
+    const half base16 = fdp_step_f16(half(c), a, b, 4);
+    const int i = static_cast<int>(rng.next_below(4));
+    // Next representable half above a[i] (away from -inf): for negative
+    // values the bit pattern decreases.
+    const std::uint16_t bits = a[i].bits();
+    a[i] = half::from_bits(static_cast<std::uint16_t>(
+        a[i].signbit() ? bits - 1 : bits + 1));
+    ASSERT_GE(fdp_step_f32(c, a, b, 4), base) << "trial " << trial;
+    ASSERT_GE(fdp_step_f16(half(c), a, b, 4).to_float(), base16.to_float())
+        << "trial " << trial;
+  }
+}
+
+TEST(NumericsProperties, F32StepErrorBelowOneUlp) {
+  // RZ error is strictly below 1 ulp of the result, toward zero.
+  Rng rng(7004);
+  for (int trial = 0; trial < 10000; ++trial) {
+    half a[4], b[4];
+    long double exact = 0.0L;
+    const float c = half(rng.next_float(-2.0f, 2.0f)).to_float();
+    exact += c;
+    for (int i = 0; i < 4; ++i) {
+      a[i] = narrow_half(rng, true);
+      b[i] = narrow_half(rng, true);
+      exact += static_cast<long double>(a[i].to_float()) *
+               static_cast<long double>(b[i].to_float());
+    }
+    const float r = fdp_step_f32(c, a, b, 4);
+    ASSERT_LE(std::fabs(static_cast<long double>(r)), std::fabs(exact));
+    const float ulp = std::ldexp(1.0f, std::max(std::ilogb(r == 0.0f ? exact : r), -126) - 23);
+    ASSERT_LT(std::fabs(static_cast<long double>(r) - exact), ulp) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Matrix level: idealized copy, golden curves, executor e2e.
+// ---------------------------------------------------------------------------
+
+TEST(NumericsMatrix, IdealizedCopyMatchesCoreReferenceBitwise) {
+  // gemm_idealized_f16 is a dependency-layering copy of core::gemm_ref_tc;
+  // they must agree bitwise, including on a non-multiple-of-8 k tail.
+  Rng rng(8001);
+  for (const std::size_t k : {8u, 72u, 129u}) {
+    HalfMatrix a(48, k), bt(40, k);
+    a.randomize(rng, -2.0f, 2.0f);
+    bt.randomize(rng, -2.0f, 2.0f);
+    const HalfMatrix ours = gemm_idealized_f16(a, bt);
+    const HalfMatrix ref = core::gemm_ref_tc(a, bt);
+    ASSERT_EQ(ours.rows(), ref.rows());
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < ours.size(); ++i) {
+      mismatches += ours.data()[i].bits() != ref.data()[i].bits() ? 1 : 0;
+    }
+    EXPECT_EQ(mismatches, 0u) << "k=" << k;
+  }
+}
+
+TEST(NumericsMatrix, GoldenErrorCurves) {
+  // Golden fixture: default CurveOptions (64 x 64, k = 64..1024, seed 1).
+  // The engine is pure integer arithmetic and the references are IEEE
+  // float/double, so these values are deterministic; the tolerance only
+  // absorbs cross-platform libm noise in the mean reduction.
+  const std::vector<ErrorPoint> pts = error_curves(CurveOptions{});
+  ASSERT_EQ(pts.size(), 5u);
+  struct Expect {
+    std::size_t k;
+    double ideal_max, ideal_mean, f16_max, f16_mean, f32_max, f32_mean;
+  };
+  const Expect want[] = {
+      {64, 0.0010898792651602184, 0.0002948357286554726, 0.0019457886667466986,
+       0.0003891772794782199, 6.094550168832144e-07, 3.3404411770312046e-07},
+      {128, 0.001638972195518843, 0.0003833157047246195, 0.00227714954875734,
+       0.0005252729646425997, 9.89195166725555e-07, 6.609170732987556e-07},
+      {256, 0.002863860817933199, 0.0005227526406719382, 0.0031677977637762493,
+       0.0007228361688871739, 1.820035376847275e-06, 1.313838314796215e-06},
+      {512, 0.0036443573716600716, 0.0007134366827181125, 0.004748096294937227,
+       0.0010044739335923853, 3.2941370152596313e-06, 2.5904907696074987e-06},
+      {1024, 0.004520416764116547, 0.0009911726410547358, 0.0061428098778989046,
+       0.001414562645113243, 6.003449354852573e-06, 5.158188169862526e-06},
+  };
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    SCOPED_TRACE("k=" + std::to_string(want[i].k));
+    EXPECT_EQ(pts[i].k, want[i].k);
+    const auto near = [](double got, double exp) {
+      EXPECT_NEAR(got, exp, std::fabs(exp) * 1e-9 + 1e-30);
+    };
+    near(pts[i].idealized_f16.max_rel, want[i].ideal_max);
+    near(pts[i].idealized_f16.mean_rel, want[i].ideal_mean);
+    near(pts[i].bitacc_f16.max_rel, want[i].f16_max);
+    near(pts[i].bitacc_f16.mean_rel, want[i].f16_mean);
+    near(pts[i].bitacc_f32.max_rel, want[i].f32_max);
+    near(pts[i].bitacc_f32.mean_rel, want[i].f32_mean);
+  }
+  // The shape of the curves is the headline result: FP16 accumulation error
+  // grows with k; FP32 accumulation stays two-plus orders of magnitude
+  // lower at every point.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].bitacc_f16.mean_rel, pts[i - 1].bitacc_f16.mean_rel);
+  }
+  for (const auto& p : pts) {
+    EXPECT_LT(p.bitacc_f32.mean_rel * 100.0, p.bitacc_f16.mean_rel);
+    // The idealized single-rounding model under-reports FP16-accumulate
+    // error but stays in the same decade.
+    EXPECT_GT(p.idealized_f16.mean_rel * 3.0, p.bitacc_f16.mean_rel);
+  }
+}
+
+/// Runs the full HGEMM kernel through the functional executor in the given
+/// mode and compares C bitwise against a host reference.
+void expect_executor_matches(const core::HgemmConfig& base, std::size_t m, std::size_t n,
+                             std::size_t k, NumericsMode mode, const HalfMatrix& want,
+                             std::uint64_t seed) {
+  core::HgemmConfig cfg = base;
+  cfg.numerics = mode;
+  Rng rng(seed);
+  HalfMatrix a(m, k), bt(n, k);
+  a.randomize(rng, -1.0f, 1.0f);
+  bt.randomize(rng, -1.0f, 1.0f);
+  driver::Device dev(device::rtx2070());
+  const HalfMatrix got = core::run_hgemm(dev, a, bt, cfg);
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    mismatches += got.data()[i].bits() != want.data()[i].bits() ? 1 : 0;
+  }
+  EXPECT_EQ(mismatches, 0u) << cfg.name() << " mode=" << numerics_mode_name(mode);
+}
+
+TEST(NumericsExecutor, BitAccurateModeMatchesEngineBitwise) {
+  // The kernel chains HMMA.1688 through a register accumulator in k order,
+  // so the executor in kBitAccurate must reproduce gemm_bitacc_f16 exactly —
+  // for ANY kernel config, since blocking changes the schedule but not the
+  // per-element accumulation chain.
+  const std::size_t k = 64;
+  Rng rng(9001);
+  HalfMatrix a(256, k), bt(256, k);
+  a.randomize(rng, -1.0f, 1.0f);
+  bt.randomize(rng, -1.0f, 1.0f);
+  const HalfMatrix want = gemm_bitacc_f16(a, bt);
+
+  driver::Device dev(device::rtx2070());
+  core::HgemmConfig cfg = core::HgemmConfig::optimized();
+  cfg.numerics = NumericsMode::kBitAccurate;
+  const HalfMatrix got = core::run_hgemm(dev, a, bt, cfg);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    mismatches += got.data()[i].bits() != want.data()[i].bits() ? 1 : 0;
+  }
+  EXPECT_EQ(mismatches, 0u) << "optimized";
+}
+
+TEST(NumericsExecutor, BitAccurateModeIsConfigInvariant) {
+  const std::size_t k = 128;
+  Rng rng(9002);
+  HalfMatrix a(128, k), bt(128, k);
+  a.randomize(rng, -1.0f, 1.0f);
+  bt.randomize(rng, -1.0f, 1.0f);
+  const HalfMatrix want = gemm_bitacc_f16(a, bt);
+  expect_executor_matches(core::HgemmConfig::cublas_like(), 128, 128, k,
+                          NumericsMode::kBitAccurate, want, 9002);
+}
+
+TEST(NumericsExecutor, IdealizedModeMatchesHistoricReference) {
+  const std::size_t k = 64;
+  Rng rng(9003);
+  HalfMatrix a(256, k), bt(256, k);
+  a.randomize(rng, -1.0f, 1.0f);
+  bt.randomize(rng, -1.0f, 1.0f);
+  const HalfMatrix want = core::gemm_ref_tc(a, bt);
+  expect_executor_matches(core::HgemmConfig::optimized(), 256, 256, k,
+                          NumericsMode::kIdealized, want, 9003);
+}
+
+TEST(NumericsExecutor, ModesActuallyDiffer) {
+  // Sanity that the plumbing switches semantics at all: on random data the
+  // two modes must disagree on at least one output bit pattern.
+  const std::size_t k = 64;
+  Rng rng(9004);
+  HalfMatrix a(256, k), bt(256, k);
+  a.randomize(rng, -1.0f, 1.0f);
+  bt.randomize(rng, -1.0f, 1.0f);
+  const HalfMatrix ideal = gemm_idealized_f16(a, bt);
+  const HalfMatrix bitacc = gemm_bitacc_f16(a, bt);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < ideal.size(); ++i) {
+    diffs += ideal.data()[i].bits() != bitacc.data()[i].bits() ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+}  // namespace
+}  // namespace tc::numerics
