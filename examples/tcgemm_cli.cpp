@@ -15,6 +15,8 @@
 //                   [--cache winners.json]
 //   tcgemm_cli serve [--requests N] [--tenants N] [--workers N] [--device rtx2070|t4]
 //                    [--cache winners.json] [--seed S] [--budget N] [--threads N]
+//   tcgemm_cli op    [--m M --n N --k K] [--batch B] [--split-k S] [--alpha A]
+//                    [--beta B] [--bias] [--act none|relu|gelu] [--check]
 //
 // `run` executes the kernel functionally on the simulator (optionally
 // validating against the bit-exact reference); `perf` prints the estimated
@@ -31,6 +33,9 @@
 // `numerics` sweeps error-vs-k curves comparing idealized, bit-accurate
 // FP16-accumulate and bit-accurate FP32-accumulate HMMA semantics against a
 // double-precision oracle (see docs/numerics.md);
+// `op` lowers a GemmOp (batched / split-K / fused-epilogue GEMM) to its
+// kernel-launch plan, executes it on the simulator and optionally checks the
+// output bitwise against the op-level host reference (see docs/ops.md);
 // `tune` runs the model-guided autotuner over the legal config space and
 // prints the ranked candidates (see docs/tuning.md); with --cache it answers
 // from / appends to the persistent shape-bucketed tuning cache; `serve`
@@ -56,6 +61,7 @@
 #include "model/validate.hpp"
 #include "numerics/curves.hpp"
 #include "numerics/numerics.hpp"
+#include "op/op.hpp"
 #include "prof/trace.hpp"
 #include "sass/validator.hpp"
 #include "sched/schedule.hpp"
@@ -97,6 +103,12 @@ struct Args {
   /// HMMA semantics for run/fuzz (--numerics idealized|bitaccurate).
   numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
   bool numeric_operands = false;  // fuzz: numerics operand class
+  int batch = 1;        // op: strided-batch count
+  int split_k = 1;      // op: split-K factor
+  double alpha = 1.0;   // op: epilogue alpha
+  double beta = 0.0;    // op: epilogue beta
+  bool bias = false;    // op: per-column bias row
+  std::string act = "none";  // op: activation (none|relu|gelu)
 };
 
 Args parse(int argc, char** argv) {
@@ -166,6 +178,20 @@ Args parse(int argc, char** argv) {
                "--numerics must be 'idealized' or 'bitaccurate'");
     } else if (flag == "--numeric-operands") {
       a.numeric_operands = true;
+    } else if (flag == "--batch") {
+      a.batch = std::stoi(value());
+    } else if (flag == "--split-k") {
+      a.split_k = std::stoi(value());
+    } else if (flag == "--alpha") {
+      a.alpha = std::stod(value());
+    } else if (flag == "--beta") {
+      a.beta = std::stod(value());
+    } else if (flag == "--bias") {
+      a.bias = true;
+    } else if (flag == "--act") {
+      a.act = value();
+      TC_CHECK(a.act == "none" || a.act == "relu" || a.act == "gelu",
+               "--act must be 'none', 'relu' or 'gelu'");
     } else {
       throw Error("unknown flag " + flag);
     }
@@ -209,6 +235,10 @@ int usage() {
          "  tcgemm_cli serve  [--requests N] [--tenants N] [--workers N]\n"
          "                    [--device rtx2070|t4] [--cache winners.json] [--seed S]\n"
          "                    [--budget N] [--threads N]\n"
+         "  tcgemm_cli op     [--m M --n N --k K] [--batch B] [--split-k S]\n"
+         "                    [--alpha A] [--beta B] [--bias] [--act none|relu|gelu]\n"
+         "                    [--device rtx2070|t4] [--check] [--baseline]\n"
+         "                    [--numerics idealized|bitaccurate]\n"
          "common: --json <path> writes machine-readable results;\n"
          "        run accepts --numerics idealized|bitaccurate (HMMA math semantics)\n";
   return 2;
@@ -825,6 +855,95 @@ int main(int argc, char** argv) {
       }
       finish_json();
       return 0;
+    }
+
+    if (args.command == "op") {
+      op::GemmOp gemm;
+      gemm.shape = {args.m, args.n, args.k};
+      gemm.batch.count = args.batch;
+      gemm.split_k = args.split_k;
+      gemm.epilogue.alpha = static_cast<float>(args.alpha);
+      gemm.epilogue.beta = static_cast<float>(args.beta);
+      gemm.epilogue.bias = args.bias;
+      gemm.epilogue.act = args.act == "relu"   ? core::Activation::kRelu
+                          : args.act == "gelu" ? core::Activation::kGelu
+                                               : core::Activation::kNone;
+      const op::OpPlan plan = op::lower(gemm, cfg);
+
+      const auto batch = static_cast<std::size_t>(args.batch);
+      Rng rng(args.seed);
+      std::vector<half> a(batch * args.m * args.k);
+      std::vector<half> bt(batch * args.n * args.k);
+      std::vector<half> c_in(batch * args.m * args.n);
+      std::vector<half> bias(args.n);
+      for (auto& v : a) v = rng.next_half(-0.5f, 0.5f);
+      for (auto& v : bt) v = rng.next_half(-0.5f, 0.5f);
+      for (auto& v : c_in) v = rng.next_half(-0.5f, 0.5f);
+      for (auto& v : bias) v = rng.next_half(-0.5f, 0.5f);
+      op::OpInputs in{a, bt, c_in, bias};
+
+      driver::Device dev(device::spec_by_name(args.device));
+      const std::vector<half> out = op::run_gemm_op(dev, gemm, in, cfg);
+
+      const auto role_name = [](op::LaunchRole r) {
+        return r == op::LaunchRole::kMain ? "main" : "reduce";
+      };
+      std::cout << "op on " << dev.spec().name << ": " << args.batch << " x (" << args.m
+                << " x " << args.n << " x " << args.k << "), split_k " << args.split_k
+                << ", epilogue alpha " << args.alpha << " beta " << args.beta
+                << (args.bias ? " +bias" : "") << " act " << args.act << " -> "
+                << plan.launches.size() << " launch(es), "
+                << (plan.fused ? "fused epilogue" : "separate reduce/epilogue pass")
+                << ", workspace " << plan.workspace_elems << " halves\n";
+      for (const auto& l : plan.launches) {
+        std::cout << "  [" << role_name(l.role) << "] " << l.program.name << " grid ("
+                  << l.grid_x << ", " << l.grid_y << ", " << l.grid_z << "), "
+                  << l.program.code.size() << " instructions\n";
+      }
+
+      int rc = 0;
+      std::size_t mismatches = 0;
+      if (args.check) {
+        const std::vector<half> ref = op::gemm_op_ref(gemm, in, cfg, cfg.numerics);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          mismatches += out[i].bits() != ref[i].bits() ? 1 : 0;
+        }
+        std::cout << "bit-exact mismatches vs op reference: " << mismatches << "\n";
+        rc = mismatches == 0 ? 0 : 1;
+      }
+
+      if (json) {
+        json->key("op");
+        json->begin_object();
+        json->field("batch", static_cast<std::uint64_t>(args.batch));
+        json->field("split_k", static_cast<std::uint64_t>(args.split_k));
+        json->field("alpha", args.alpha);
+        json->field("beta", args.beta);
+        json->field("bias", args.bias);
+        json->field("act", args.act);
+        json->field("fused", plan.fused);
+        json->field("workspace_elems", static_cast<std::uint64_t>(plan.workspace_elems));
+        json->key("launches");
+        json->begin_array();
+        for (const auto& l : plan.launches) {
+          json->begin_object();
+          json->field("role", role_name(l.role));
+          json->field("kernel", l.program.name);
+          json->field("grid_x", static_cast<std::uint64_t>(l.grid_x));
+          json->field("grid_y", static_cast<std::uint64_t>(l.grid_y));
+          json->field("grid_z", static_cast<std::uint64_t>(l.grid_z));
+          json->field("instructions", static_cast<std::uint64_t>(l.program.code.size()));
+          json->end_object();
+        }
+        json->end_array();
+        if (args.check) {
+          json->field("numerics", numerics::numerics_mode_name(cfg.numerics));
+          json->field("mismatches", static_cast<std::uint64_t>(mismatches));
+        }
+        json->end_object();
+      }
+      finish_json();
+      return rc;
     }
 
     if (args.command == "serve") {

@@ -61,6 +61,16 @@ for dev in rtx2070 t4; do
   rm -f "$cache"
 done
 
+echo "== op smoke: GemmOp lowering/exec suite + CLI bitwise plan check =="
+# op_smoke carries the operation-graph suite (lowering rules, batched/
+# split-K/epilogue execution bitwise vs the op reference, serve batch-axis
+# and metrics behavior, cache round-trip, split-K tuner win on both specs).
+# The CLI pass then lowers a batched split-K bias+GELU op end to end and
+# verifies the multi-kernel plan's output bitwise against gemm_op_ref.
+ctest --test-dir build --output-on-failure -L "op_smoke" -j "$JOBS"
+./build/examples/tcgemm_cli op --m 96 --n 80 --k 200 --batch 2 --split-k 4 \
+  --alpha 1.25 --beta 0.5 --bias --act gelu --check >/dev/null
+
 echo "== scheduler gate: virtual emission -> schedule -> hazard oracle =="
 # `schedule` re-schedules each kernel from its virtual (latency-agnostic)
 # form and hard-verifies the result through check::find_hazards — a non-zero

@@ -84,6 +84,48 @@ half fma_round_half(half a, half b, half c) {
   return half(std::fma(a.to_float(), b.to_float(), c.to_float()));
 }
 
+half max_half(half a, half b) {
+  if (a.is_nan()) return b;
+  if (b.is_nan()) return a;
+  // to_float is exact, and strict `>` resolves max(-0, +0) to the second
+  // operand — i.e. +0 when the zero register supplies it (ReLU flushes -0).
+  return a.to_float() > b.to_float() ? a : b;
+}
+
+namespace {
+
+/// erf via its Maclaurin series, using only double +,-,*,/ so the value is
+/// bit-deterministic across hosts (std::erf is libm- and platform-dependent).
+/// Absolute error stays under ~1e-6 for |x| <= 4.7, orders of magnitude below
+/// half-precision resolution; beyond that erf saturates to +-1 (erfc < 1e-10).
+double erf_series(double x) {
+  const double ax = x < 0 ? -x : x;
+  if (ax > 4.7) return x < 0 ? -1.0 : 1.0;
+  const double x2 = x * x;
+  double term = x;  // (-1)^n * x^(2n+1) / n!
+  double sum = 0.0;
+  for (int n = 0; n < 96; ++n) {
+    sum += term / (2 * n + 1);
+    term = -term * x2 / (n + 1);
+    if (term < 1e-18 && term > -1e-18) break;
+  }
+  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+  return sum * kTwoOverSqrtPi;
+}
+
+}  // namespace
+
+half gelu_half(half x) {
+  if (x.is_nan()) return x;
+  const double xf = static_cast<double>(x.to_float());
+  // Deep negative tail: the exact value is below half's smallest subnormal,
+  // and the -inf*0 form would otherwise manufacture a NaN.
+  if (xf <= -6.5) return half::from_bits(0x8000);  // -0
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  const double g = 0.5 * xf * (1.0 + erf_series(xf * kInvSqrt2));
+  return half(static_cast<float>(g));
+}
+
 std::ostream& operator<<(std::ostream& os, half h) { return os << h.to_float(); }
 
 }  // namespace tc

@@ -77,6 +77,16 @@ static_assert(sizeof(half) == 2, "half must be exactly 2 bytes");
 /// HFMA2 and of the .F16 Tensor Core accumulate step used by this simulator.
 half fma_round_half(half a, half b, half c);
 
+/// IEEE-754 maxNum over halves: a NaN input yields the other operand, and
+/// max(-0, +0) is +0 — which makes HMAX2 against RZ an exact ReLU.
+half max_half(half a, half b);
+
+/// Exact GELU (0.5*x*(1+erf(x/sqrt(2)))) evaluated in double precision with a
+/// series-based erf (no libm transcendentals, so the result is bit-identical
+/// across hosts) and rounded once to half: the semantics of HGELU2, the
+/// simulator's model of the device's MUFU-based epilogue sequence.
+half gelu_half(half x);
+
 std::ostream& operator<<(std::ostream& os, half h);
 
 /// Two packed halves — the contents of one 32-bit register lane holding FP16

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -54,6 +55,15 @@ struct HgemmConfig {
   /// Column-panel width when launch_order == kSupertile; ignored otherwise.
   int supertile_width = 8;
 
+  /// Split-K factor (tc::op): the contract K range is cut into `split_k`
+  /// equal slices, one per CTA z plane, each writing a partial C plane into
+  /// a workspace that the reduction kernel folds in slice order. Power of
+  /// two so the kernel decomposes CTAID.Z into (batch, slice) with
+  /// LOP3.AND/SHF instead of a divide. 1 = the plain single-pass GEMM.
+  /// Part of name(): the SASS changes (z-offset prologue, shortened main
+  /// loop), unlike the numerics mode below.
+  int split_k = 1;
+
   /// HMMA math semantics the launched kernel executes with: the historic
   /// idealized single-rounding model every recorded golden was produced
   /// with, or the bit-accurate SMT-formalization step model
@@ -96,12 +106,21 @@ struct HgemmConfig {
   /// The padded shape the generated kernel actually computes for a user
   /// shape: m/n round up to whole block tiles, k to whole bk slabs with at
   /// least two slabs (the double-buffered main loop needs >= 2 iterations).
+  /// With split_k > 1 each K slice independently needs whole slabs and the
+  /// two-iteration floor, so the padded k is split_k * padded-slice.
   [[nodiscard]] GemmShape contract_shape(const GemmShape& s) const {
     const auto round_up = [](std::size_t v, std::size_t to) { return (v + to - 1) / to * to; };
+    const auto slices = static_cast<std::size_t>(split_k);
+    const std::size_t per_slice =
+        std::max(round_up((s.k + slices - 1) / slices, static_cast<std::size_t>(bk)),
+                 static_cast<std::size_t>(2 * bk));
     return {round_up(s.m, static_cast<std::size_t>(bm)),
-            round_up(s.n, static_cast<std::size_t>(bn)),
-            std::max(round_up(s.k, static_cast<std::size_t>(bk)),
-                     static_cast<std::size_t>(2 * bk))};
+            round_up(s.n, static_cast<std::size_t>(bn)), per_slice * slices};
+  }
+
+  /// K elements one z slice of the contract shape loops over.
+  [[nodiscard]] std::size_t slice_k(const GemmShape& contract) const {
+    return contract.k / static_cast<std::size_t>(split_k);
   }
 
   /// Validates divisibility constraints the generator relies on.
@@ -121,6 +140,9 @@ struct HgemmConfig {
              "each warp must cover a whole number of slab tile rows");
     TC_CHECK(sts_interleave >= 1, "sts_interleave must be >= 1");
     TC_CHECK(supertile_width >= 1, "supertile_width must be >= 1");
+    TC_CHECK(split_k >= 1 && split_k <= 64 &&
+                 std::has_single_bit(static_cast<unsigned>(split_k)),
+             "split_k must be a power of two in [1, 64]");
   }
 
   [[nodiscard]] std::string name() const {
@@ -131,6 +153,7 @@ struct HgemmConfig {
         (layout == SmemLayout::kNaiveRowMajor
              ? "_naive"
              : (layout == SmemLayout::kPaddedTile ? "_pad" : "_tile"));
+    if (split_k > 1) n += "_sk" + std::to_string(split_k);
     // Only non-default orders mark the name, so every legacy kernel name —
     // recorded tuning baselines included — is unchanged.
     if (launch_order != model::LaunchOrder::kSwizzled) {

@@ -1,6 +1,8 @@
 #include "core/kernel_gen.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -52,23 +54,32 @@ struct SlabPlan {
 /// the shared latency table; hgemm_kernel() is schedule(hgemm_kernel_virtual()).
 class HgemmGenerator {
  public:
-  HgemmGenerator(const HgemmConfig& cfg, const GemmShape& shape, const Epilogue& ep)
-      : cfg_(cfg), shape_(shape), ep_(ep), b_(cfg.name(), /*unscheduled=*/true) {
+  HgemmGenerator(const HgemmConfig& cfg, const GemmShape& shape, const Epilogue& ep,
+                 const KernelVariant& variant)
+      : cfg_(cfg),
+        shape_(shape),
+        ep_(ep),
+        z_indexed_(variant.batched || cfg.split_k > 1),
+        b_(kernel_name(cfg, ep, variant), /*unscheduled=*/true) {
     cfg_.check();
+    const auto slice = static_cast<std::size_t>(cfg_.slice_k(shape));
     TC_CHECK(shape.m % static_cast<std::size_t>(cfg.bm) == 0 &&
                  shape.n % static_cast<std::size_t>(cfg.bn) == 0 &&
-                 shape.k % static_cast<std::size_t>(cfg.bk) == 0,
+                 slice % static_cast<std::size_t>(cfg.bk) == 0,
              "shape must be tile-aligned (the hgemm API pads)");
-    TC_CHECK(shape.k >= 2 * static_cast<std::size_t>(cfg.bk), "k must be >= 2*bk");
+    TC_CHECK(slice >= 2 * static_cast<std::size_t>(cfg.bk), "slice k must be >= 2*bk");
     TC_CHECK(std::has_single_bit(static_cast<unsigned>(cfg.bn / cfg.wn)),
              "bn/wn must be a power of two");
+    TC_CHECK(cfg.split_k == 1 || ep.is_default(),
+             "split-K partials must store raw accumulators; the epilogue "
+             "belongs to the reduction kernel");
 
     warps_ = cfg_.warps();
     ksteps_ = cfg_.bk / cfg_.wk;
     hmma_per_kstep_ = (cfg_.wm / 16) * (cfg_.wn / 8);
     a_frags_ = cfg_.wm / 8;
     b_frags_ = cfg_.wn / 8;
-    iters_ = static_cast<int>(shape_.k) / cfg_.bk;
+    iters_ = static_cast<int>(slice) / cfg_.bk;
 
     // Register file layout.
     rA_[0] = 0;
@@ -116,6 +127,18 @@ class HgemmGenerator {
   }
 
  private:
+  /// Program name: cfg.name() (which already carries _sk<N>), plus _bz for
+  /// the z-indexed batched prologue when split_k alone would not imply it,
+  /// plus the activation tail. Alpha/beta stay out of the name (immediates
+  /// only), matching the existing axpby convention.
+  static std::string kernel_name(const HgemmConfig& cfg, const Epilogue& ep,
+                                 const KernelVariant& variant) {
+    std::string n = cfg.name();
+    if (variant.batched && cfg.split_k == 1) n += "_bz";
+    if (ep.act != Activation::kNone) n += std::string("_") + activation_name(ep.act);
+    return n;
+  }
+
   // --- layout helpers -------------------------------------------------------
 
   [[nodiscard]] bool tile_layout() const { return cfg_.layout != SmemLayout::kNaiveRowMajor; }
@@ -157,9 +180,43 @@ class HgemmGenerator {
 
   // --- prologue --------------------------------------------------------------
 
+  // Byte offsets for this CTA's z plane, stashed in the first three staging
+  // registers — free until the first LDG group, which is emitted only after
+  // every base address below has consumed them.
+  [[nodiscard]] int zA() const { return a_.stage_base + 0; }
+  [[nodiscard]] int zB() const { return a_.stage_base + 1; }
+  [[nodiscard]] int zOut() const { return a_.stage_base + 2; }
+
+  /// CTAID.Z-indexed base offsets (batched and/or split-K): the raw z is the
+  /// output plane index (workspace planes are [batch][slice]-major), and for
+  /// split_k > 1 it decomposes into slice = z & (split_k-1) — a k-offset of
+  /// slice*slice_k elements into every A row and B^T row — and batch =
+  /// z >> log2(split_k), a whole-plane offset into A and B^T.
+  void emit_z_offsets() {
+    const auto m = static_cast<std::int32_t>(shape_.m);
+    const auto n = static_cast<std::int32_t>(shape_.n);
+    const auto k = static_cast<std::int32_t>(shape_.k);
+    b_.s2r(R(t0_), SpecialReg::kCtaIdZ);
+    b_.imad_imm(R(zOut()), R(t0_), m * n * 2, RZ);
+    if (cfg_.split_k > 1) {
+      const auto slice2 = static_cast<std::int32_t>(cfg_.slice_k(shape_)) * 2;
+      b_.land_imm(R(t1_), R(t0_), cfg_.split_k - 1);
+      b_.imad_imm(R(zA()), R(t1_), slice2, RZ);
+      b_.mov(R(zB()), R(zA()));
+      b_.shr(R(t0_), R(t0_), std::countr_zero(static_cast<unsigned>(cfg_.split_k)));
+      b_.imad_imm(R(zA()), R(t0_), m * k * 2, R(zA()));
+      b_.imad_imm(R(zB()), R(t0_), n * k * 2, R(zB()));
+    } else {
+      b_.imad_imm(R(zA()), R(t0_), m * k * 2, RZ);
+      b_.imad_imm(R(zB()), R(t0_), n * k * 2, RZ);
+    }
+  }
+
   void emit_prologue() {
     const auto k2 = static_cast<std::int32_t>(shape_.k) * 2;
     const auto n2 = static_cast<std::int32_t>(shape_.n) * 2;
+
+    if (z_indexed_) emit_z_offsets();
 
     // lane7 = tid & 7 lives in t3_ for the whole slab-address section.
     b_.s2r(R(t0_), SpecialReg::kTidX);
@@ -169,8 +226,9 @@ class HgemmGenerator {
     for (SlabPlan* sp : {&a_, &bb_}) {
       SlabPlan& s = *sp;
       const bool is_a = sp == &a_;
-      // addr = P + (blk*dim + w*8 + lane7)*k*2 + cbq*16
+      // addr = P [+ z offset] + (blk*dim + w*8 + lane7)*k*2 + cbq*16
       b_.mov_param(R(s.addr_reg), is_a ? 0 : 1);
+      if (z_indexed_) b_.iadd3(R(s.addr_reg), R(s.addr_reg), R(is_a ? zA() : zB()));
       b_.s2r(R(s.sts_reg), SpecialReg::kTidX);  // tid scratch
       b_.s2r(R(t1_), is_a ? SpecialReg::kCtaIdY : SpecialReg::kCtaIdX);
       b_.imad_imm(R(t0_), R(t1_), (is_a ? cfg_.bm : cfg_.bn) * k2, R(s.addr_reg));
@@ -226,9 +284,10 @@ class HgemmGenerator {
     }
 
     // --- C epilogue base ----------------------------------------------------
-    // cAddr = C + ((by*bm + wy*wm + l/4)*n + bx*bn + wx*wn + 2*(l%4))*2.
+    // cAddr = C [+ z plane] + ((by*bm + wy*wm + l/4)*n + bx*bn + wx*wn + 2*(l%4))*2.
     // t2 = wy, t1 = wx, t3 = lane at this point.
     b_.mov_param(R(rCAddr_), 2);
+    if (z_indexed_) b_.iadd3(R(rCAddr_), R(rCAddr_), R(zOut()));
     b_.s2r(R(t0_), SpecialReg::kCtaIdY);
     b_.imad_imm(R(t0_), R(t0_), cfg_.bm, RZ);
     b_.imad_imm(R(t0_), R(t2_), cfg_.wm, R(t0_));
@@ -493,7 +552,9 @@ class HgemmGenerator {
             b_.stg(MemWidth::k32, R(rCAddr_), R(cpair + part), off);
             continue;
           }
-          // val = round(beta*Cold) then round(alpha*acc + val), per element.
+          // val = round(beta*Cold) then round(alpha*acc + val), per element,
+          // then the activation tail. The reduction kernel mirrors this
+          // exact rounding sequence for the non-fused path.
           if (reload) {
             b_.ldg(MemWidth::k32, R(t0_), R(rCAddr_), off);
             b_.hmul2(R(t3_), R(t2_), R(t0_));
@@ -501,6 +562,8 @@ class HgemmGenerator {
             b_.mov_imm(R(t3_), 0);
           }
           b_.hfma2(R(t3_), R(t1_), R(cpair + part), R(t3_));
+          if (ep_.act == Activation::kRelu) b_.hmax2(R(t3_), R(t3_), RZ);
+          if (ep_.act == Activation::kGelu) b_.hgelu2(R(t3_), R(t3_));
           b_.stg(MemWidth::k32, R(rCAddr_), R(t3_), off);
         }
       }
@@ -511,6 +574,7 @@ class HgemmGenerator {
   HgemmConfig cfg_;
   GemmShape shape_;
   Epilogue ep_;
+  bool z_indexed_ = false;
   KernelBuilder b_;
 
   int warps_ = 0;
@@ -533,14 +597,120 @@ class HgemmGenerator {
 
 }  // namespace
 
+const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kNone: return "none";
+    case Activation::kRelu: return "relu";
+    case Activation::kGelu: return "gelu";
+  }
+  return "unknown";
+}
+
 sass::Program hgemm_kernel_virtual(const HgemmConfig& cfg, const GemmShape& shape,
-                                   const Epilogue& epilogue) {
-  return HgemmGenerator(cfg, shape, epilogue).generate();
+                                   const Epilogue& epilogue, const KernelVariant& variant) {
+  return HgemmGenerator(cfg, shape, epilogue, variant).generate();
 }
 
 sass::Program hgemm_kernel(const HgemmConfig& cfg, const GemmShape& shape,
-                           const Epilogue& epilogue) {
-  return sched::schedule(hgemm_kernel_virtual(cfg, shape, epilogue));
+                           const Epilogue& epilogue, const KernelVariant& variant) {
+  return sched::schedule(hgemm_kernel_virtual(cfg, shape, epilogue, variant));
+}
+
+sass::Program reduce_epilogue_kernel_virtual(const ReducePlan& plan) {
+  TC_CHECK(plan.m >= 1 && plan.n >= 2 && plan.n % 2 == 0,
+           "reduce_epilogue_kernel needs an even column count");
+  TC_CHECK(plan.parts >= 1 && plan.parts <= 64, "parts must be in [1, 64]");
+  TC_CHECK(plan.parts > 1 || plan.bias || !plan.epilogue.is_default(),
+           "a 1-part reduction with a default epilogue is the identity");
+
+  std::string name = "gemm_reduce_" + std::to_string(plan.m) + "x" + std::to_string(plan.n) +
+                     "_p" + std::to_string(plan.parts);
+  if (plan.bias) name += "_bias";
+  if (plan.epilogue.act != Activation::kNone) {
+    name += std::string("_") + activation_name(plan.epilogue.act);
+  }
+  KernelBuilder b(name, /*unscheduled=*/true);
+  b.threads(128);
+
+  const auto n2 = static_cast<std::int32_t>(plan.n) * 2;       // row stride, bytes
+  const auto plane = static_cast<std::int32_t>(plan.m) * n2;   // one m x n plane, bytes
+  const half ah(plan.epilogue.alpha);
+  const half bh(plan.epilogue.beta);
+  TC_CHECK(!ah.is_nan() && !bh.is_nan(), "NaN GEMM scalars");
+  const bool reload = bh.to_float() != 0.0f;
+
+  // Register map (straight-line kernel, no loop): r0..r3 scratch/address,
+  // r4 accumulator, r5 alpha2 / r6 beta2 immediates, r7 bias address,
+  // r8.. the partial-load staging window.
+  constexpr int rIn = 0, rOut = 1, rT = 2, rAcc = 4, rAl = 5, rBe = 6, rBias = 7, rStage = 8;
+  constexpr int kStage = 8;  // partial loads in flight per chunk
+
+  // col2 = cta_x*128 + tid (one half2 per thread); P0 = col2 < n/2.
+  b.s2r(R(rT), SpecialReg::kTidX);
+  b.s2r(R(3), SpecialReg::kCtaIdX);
+  b.imad_imm(R(rT), R(3), 128, R(rT));
+  b.isetp_imm(Pred{0}, CmpOp::kLt, R(rT), static_cast<std::int32_t>(plan.n / 2));
+
+  // In base:  W + (z*parts + 0)*plane + row*n2 + col2*4.
+  // Out base: C + z*plane + row*n2 + col2*4.
+  b.s2r(R(3), SpecialReg::kCtaIdZ);
+  b.mov_param(R(rIn), 0);
+  b.imad_imm(R(rIn), R(3), plane * plan.parts, R(rIn));
+  b.mov_param(R(rOut), 1);
+  b.imad_imm(R(rOut), R(3), plane, R(rOut));
+  b.s2r(R(3), SpecialReg::kCtaIdY);
+  b.imad_imm(R(3), R(3), n2, RZ);
+  b.iadd3(R(rIn), R(rIn), R(3));
+  b.iadd3(R(rOut), R(rOut), R(3));
+  b.imad_imm(R(3), R(rT), 4, RZ);
+  b.iadd3(R(rIn), R(rIn), R(3));
+  b.iadd3(R(rOut), R(rOut), R(3));
+  if (plan.bias) {
+    b.mov_param(R(rBias), 2);
+    b.iadd3(R(rBias), R(rBias), R(3));
+  }
+
+  const auto guarded = [&](auto&& emit) {
+    emit();
+    b.pred(Pred{0});
+  };
+
+  // Fold the partials in slice order: acc = p0, then acc = HADD2(acc, ps).
+  guarded([&] { b.ldg(MemWidth::k32, R(rAcc), R(rIn), 0); });
+  for (int s = 1; s < plan.parts;) {
+    const int chunk = std::min(kStage, plan.parts - s);
+    for (int j = 0; j < chunk; ++j) {
+      guarded([&] { b.ldg(MemWidth::k32, R(rStage + j), R(rIn), (s + j) * plane); });
+    }
+    for (int j = 0; j < chunk; ++j) b.hadd2(R(rAcc), R(rAcc), R(rStage + j));
+    s += chunk;
+  }
+
+  // Epilogue with the fused tail's exact rounding sequence.
+  if (!plan.epilogue.is_default() || plan.bias) {
+    b.mov_imm(R(rAl), static_cast<std::int32_t>(half2{ah, ah}.pack()));
+    if (reload) {
+      guarded([&] { b.ldg(MemWidth::k32, R(rT), R(rOut), 0); });
+      b.mov_imm(R(rBe), static_cast<std::int32_t>(half2{bh, bh}.pack()));
+      b.hmul2(R(3), R(rBe), R(rT));
+    } else {
+      b.mov_imm(R(3), 0);
+    }
+    b.hfma2(R(rAcc), R(rAl), R(rAcc), R(3));
+    if (plan.bias) {
+      guarded([&] { b.ldg(MemWidth::k32, R(rT), R(rBias), 0); });
+      b.hadd2(R(rAcc), R(rAcc), R(rT));
+    }
+    if (plan.epilogue.act == Activation::kRelu) b.hmax2(R(rAcc), R(rAcc), RZ);
+    if (plan.epilogue.act == Activation::kGelu) b.hgelu2(R(rAcc), R(rAcc));
+  }
+  guarded([&] { b.stg(MemWidth::k32, R(rOut), R(rAcc), 0); });
+  b.exit();
+  return b.finalize();
+}
+
+sass::Program reduce_epilogue_kernel(const ReducePlan& plan) {
+  return sched::schedule(reduce_epilogue_kernel_virtual(plan));
 }
 
 sass::Program wmma_naive_kernel_virtual(const GemmShape& shape) {

@@ -12,6 +12,8 @@
 //  * params: [0] = A (m x k row-major), [1] = B^T (n x k row-major),
 //            [2] = C (m x n row-major), all 2-byte half elements;
 //  * grid: (n/bn) x (m/bm) CTAs; CTA (x, y) computes C block (y, x);
+//    batched / split-K variants add a z axis (KernelVariant + cfg.split_k)
+//    indexing whole padded planes of A / B^T / out;
 //  * m % bm == 0, n % bn == 0, k % bk == 0, k >= 2*bk (the public API in
 //    hgemm.hpp pads arbitrary sizes to this contract).
 #pragma once
@@ -22,25 +24,76 @@
 
 namespace tc::core {
 
+/// Elementwise activation applied at the very end of the epilogue (after
+/// scaling and bias): one extra packed-half2 op per register pair.
+enum class Activation { kNone, kRelu, kGelu };
+
+[[nodiscard]] const char* activation_name(Activation act);
+
 /// GEMM scalars (Section II-A standard form C = alpha*A*B + beta*C). The
 /// paper evaluates alpha = 1, beta = 0; the general form adds an FP16x2
-/// scaling epilogue (HMUL2/HFMA2 + a C reload when beta != 0). Scalars are
-/// rounded to binary16 and baked into the kernel as immediates.
+/// scaling epilogue (HMUL2/HFMA2 + a C reload when beta != 0) and an
+/// optional activation tail (HMAX2 against RZ for ReLU, HGELU2 for GELU).
+/// Scalars are rounded to binary16 and baked into the kernel as immediates.
 struct Epilogue {
   float alpha = 1.0f;
   float beta = 0.0f;
-  [[nodiscard]] bool is_default() const { return alpha == 1.0f && beta == 0.0f; }
+  Activation act = Activation::kNone;
+  [[nodiscard]] bool is_default() const {
+    return alpha == 1.0f && beta == 0.0f && act == Activation::kNone;
+  }
+};
+
+/// Extra GemmOp axes of the main-loop generator (tc::op lowering). The SASS
+/// depends only on whether z indexing is emitted at all — the batch *count*
+/// is a launch property (grid_z), never baked into the program — so batched
+/// kernels are shape-stable across batch sizes.
+struct KernelVariant {
+  /// Emit the CTAID.Z-indexed prologue even when cfg.split_k == 1, so every
+  /// z plane computes an independent GEMM over consecutive padded planes of
+  /// A / B^T / out. Implied (and ignored) when cfg.split_k > 1, where z
+  /// always decomposes into (batch, slice) = (z >> log2(split_k),
+  /// z & (split_k - 1)).
+  bool batched = false;
 };
 
 [[nodiscard]] sass::Program hgemm_kernel(const HgemmConfig& cfg, const GemmShape& shape,
-                                         const Epilogue& epilogue = {});
+                                         const Epilogue& epilogue = {},
+                                         const KernelVariant& variant = {});
 
 /// The latency-agnostic form of hgemm_kernel before tc::sched::schedule():
 /// semantic instruction order with default control words. hgemm_kernel() is
 /// exactly schedule() of this program; the CLI's `schedule` subcommand uses
 /// it to compare scheduling modes on the real kernels.
 [[nodiscard]] sass::Program hgemm_kernel_virtual(const HgemmConfig& cfg, const GemmShape& shape,
-                                                 const Epilogue& epilogue = {});
+                                                 const Epilogue& epilogue = {},
+                                                 const KernelVariant& variant = {});
+
+/// The second kernel of a lowered GemmOp: folds split-K partials and/or
+/// applies the non-fused epilogue (bias add, scaling, activation).
+///
+/// Contract:
+///  * params: [0] = W (input: batch x parts contiguous m x n half planes,
+///    slice-major within a batch), [1] = C (output: batch m x n planes),
+///    [2] = bias (n halves, broadcast over rows) when `bias`;
+///  * grid: (ceil(n/256), m, batch) — 128 threads, one half2 (two adjacent
+///    columns) per thread, tail columns predicated off;
+///  * semantics: acc = W[b][0][row][col], then acc = HADD2(acc, W[b][s]...)
+///    for s = 1..parts-1 in slice order, then the epilogue with the exact
+///    rounding sequence of the fused tail (round(beta*Cold), then
+///    round(alpha*acc + that)), then + bias via HADD2, then activation.
+struct ReducePlan {
+  std::size_t m = 0;       // padded output rows (contract m)
+  std::size_t n = 0;       // padded output columns (contract n)
+  int parts = 1;           // split-K partials to fold; 1 = pure epilogue pass
+  Epilogue epilogue;
+  bool bias = false;
+};
+
+[[nodiscard]] sass::Program reduce_epilogue_kernel(const ReducePlan& plan);
+
+/// Latency-agnostic form of reduce_epilogue_kernel (see hgemm_kernel_virtual).
+[[nodiscard]] sass::Program reduce_epilogue_kernel_virtual(const ReducePlan& plan);
 
 /// Naive WMMA-API-style kernel: each warp computes one 16x16 C tile, loading
 /// fragments straight from global memory (no shared memory staging, no

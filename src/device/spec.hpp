@@ -51,6 +51,11 @@ struct DeviceSpec {
   int lat_dram = 400;
   int lat_smem = 22;
 
+  /// Host-side kernel launch overhead in SM cycles (~2.5 us at Turing
+  /// clocks — the driver/runtime submission cost a multi-kernel GemmOp plan
+  /// pays per launch; see tc::op::OpTiming). Batched GEMM amortizes it.
+  std::uint64_t launch_overhead_cycles = 4000;
+
   /// Peak Tensor Core throughput in FLOP/s. Each tensor core retires 64
   /// FP16 FMAs (128 FLOP) per cycle.
   [[nodiscard]] double tensor_peak_flops() const {

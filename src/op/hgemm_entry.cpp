@@ -1,0 +1,47 @@
+// The classic public HGEMM entry points (core/hgemm.hpp), implemented as
+// trivial GemmOp instantiations of the tc::op lowering. They live here — not
+// in tc_core — because the op layer sits above the kernel library. The
+// lowered trivial plan allocates, uploads and launches in exactly the
+// historic single-kernel order, so outputs (and device memory layout) are
+// byte-identical to the pre-GemmOp implementation; tests/test_equivalence
+// pins that with FNV-1a digests.
+#include "common/error.hpp"
+#include "core/hgemm.hpp"
+#include "op/op.hpp"
+
+namespace tc::core {
+
+HalfMatrix run_hgemm(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt,
+                     const HgemmConfig& cfg) {
+  TC_CHECK(a.cols() == bt.cols(), "A (m x k) and B^T (n x k): k mismatch");
+  op::GemmOp gemm;
+  gemm.shape = {a.rows(), bt.rows(), a.cols()};
+  gemm.split_k = cfg.split_k;  // a split-K tile config lowers to the 2-kernel plan
+  HalfMatrix c(a.rows(), bt.rows());
+  op::OpInputs in;
+  in.a = std::span(a.data(), a.size());
+  in.bt = std::span(bt.data(), bt.size());
+  op::run_gemm_op(dev, gemm, in, std::span(c.data(), c.size()), cfg);
+  return c;
+}
+
+HalfMatrix run_hgemm_axpby(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt,
+                           const HalfMatrix& c_in, float alpha, float beta,
+                           const HgemmConfig& cfg) {
+  TC_CHECK(a.cols() == bt.cols(), "A (m x k) and B^T (n x k): k mismatch");
+  TC_CHECK(c_in.rows() == a.rows() && c_in.cols() == bt.rows(), "C shape mismatch");
+  op::GemmOp gemm;
+  gemm.shape = {a.rows(), bt.rows(), a.cols()};
+  gemm.split_k = cfg.split_k;
+  gemm.epilogue.alpha = alpha;
+  gemm.epilogue.beta = beta;
+  HalfMatrix c(a.rows(), bt.rows());
+  op::OpInputs in;
+  in.a = std::span(a.data(), a.size());
+  in.bt = std::span(bt.data(), bt.size());
+  in.c_in = std::span(c_in.data(), c_in.size());
+  op::run_gemm_op(dev, gemm, in, std::span(c.data(), c.size()), cfg);
+  return c;
+}
+
+}  // namespace tc::core

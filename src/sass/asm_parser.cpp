@@ -342,7 +342,7 @@ void parse_instruction(ParseState& st, std::string body, const ControlInfo& ctrl
         {"IADD3", Opcode::kIadd3},   {"IMAD", Opcode::kImad},  {"LOP3", Opcode::kLop3And},
         {"SHF", Opcode::kShfL},      {"FADD", Opcode::kFadd},  {"FMUL", Opcode::kFmul},
         {"FFMA", Opcode::kFfma},     {"HADD2", Opcode::kHadd2}, {"HMUL2", Opcode::kHmul2},
-        {"HFMA2", Opcode::kHfma2},
+        {"HFMA2", Opcode::kHfma2},  {"HMAX2", Opcode::kHmax2}, {"HGELU2", Opcode::kHgelu2},
     };
     const auto it = kAlu.find(base);
     if (it == kAlu.end()) fail(line, "unknown opcode '" + opcode + "'");

@@ -265,6 +265,19 @@ KernelBuilder& KernelBuilder::hmul2(Reg d, Reg a, Reg b) {
   i.srcb = b;
   return *this;
 }
+KernelBuilder& KernelBuilder::hmax2(Reg d, Reg a, Reg b) {
+  auto& i = push(Opcode::kHmax2);
+  i.dst = d;
+  i.srca = a;
+  i.srcb = b;
+  return *this;
+}
+KernelBuilder& KernelBuilder::hgelu2(Reg d, Reg a) {
+  auto& i = push(Opcode::kHgelu2);
+  i.dst = d;
+  i.srca = a;
+  return *this;
+}
 KernelBuilder& KernelBuilder::f2f_f16_f32(Reg d, Reg a) {
   auto& i = push(Opcode::kF2fF16ToF32);
   i.dst = d;

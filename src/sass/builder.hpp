@@ -72,6 +72,8 @@ class KernelBuilder {
   KernelBuilder& hfma2(Reg d, Reg a, Reg b, Reg c);
   KernelBuilder& hadd2(Reg d, Reg a, Reg b);
   KernelBuilder& hmul2(Reg d, Reg a, Reg b);
+  KernelBuilder& hmax2(Reg d, Reg a, Reg b);
+  KernelBuilder& hgelu2(Reg d, Reg a);
   KernelBuilder& f2f_f16_f32(Reg d, Reg a);
   KernelBuilder& f2f_f32_f16(Reg d, Reg a);
 

@@ -100,6 +100,8 @@ std::string opcode_name(Opcode op) {
     case Opcode::kHadd2: return "HADD2";
     case Opcode::kHmul2: return "HMUL2";
     case Opcode::kHfma2: return "HFMA2";
+    case Opcode::kHmax2: return "HMAX2";
+    case Opcode::kHgelu2: return "HGELU2";
     case Opcode::kF2fF32ToF16: return "F2F.F16.F32";
     case Opcode::kF2fF16ToF32: return "F2F.F32.F16";
     case Opcode::kS2r: return "S2R";
@@ -130,6 +132,7 @@ std::string special_name(SpecialReg sr) {
     case SpecialReg::kTidX: return "SR_TID.X";
     case SpecialReg::kCtaIdX: return "SR_CTAID.X";
     case SpecialReg::kCtaIdY: return "SR_CTAID.Y";
+    case SpecialReg::kCtaIdZ: return "SR_CTAID.Z";
     case SpecialReg::kNCtaIdX: return "SR_NCTAID.X";
     case SpecialReg::kSmId: return "SR_SMID";
   }

@@ -65,6 +65,8 @@ enum class Opcode : std::uint8_t {
   kHadd2,   // packed fp16x2
   kHmul2,
   kHfma2,
+  kHmax2,   // packed fp16x2 max (IEEE maxNum: a NaN input yields the other operand)
+  kHgelu2,  // packed fp16x2 exact-GELU unary (models the device MUFU-based tail sequence)
   kF2fF32ToF16,  // narrow one fp32 reg into the low half of dst
   kF2fF16ToF32,  // widen the low half of src
   // --- Special / system ---
@@ -96,6 +98,7 @@ enum class SpecialReg : std::uint8_t {
   kTidX,
   kCtaIdX,
   kCtaIdY,
+  kCtaIdZ,   // batch / split-K slice index for multi-kernel GemmOp launches
   kNCtaIdX,  // grid dimension x
   kSmId,
 };

@@ -6,13 +6,9 @@
 #include <queue>
 #include <utility>
 
-#include "check/hazard.hpp"
 #include "common/error.hpp"
-#include "core/kernel_gen.hpp"
 #include "device/occupancy.hpp"
-#include "mem/global_mem.hpp"
-#include "sass/validator.hpp"
-#include "sim/timed_device.hpp"
+#include "op/op.hpp"
 #include "tune/tune.hpp"
 
 namespace tc::serve {
@@ -81,48 +77,41 @@ const core::HgemmConfig& Server::winner_for(const tune::CacheKey& key, Counters&
 }
 
 Server::PassCost Server::pass_cost(const core::HgemmConfig& cfg, const tune::CacheKey& key,
-                                   int batch) {
-  // Batched requests concatenate along M (shared B operand — the LLM batching
-  // shape), then pad to the kernel's contract shape.
-  const GemmShape user{static_cast<std::size_t>(batch) * key.m, key.n, key.k};
-  const GemmShape s = cfg.contract_shape(user);
+                                   int fused, int batch) {
+  // Fused requests concatenate along M (shared B operand — the LLM batching
+  // shape); the request's own batch axis rides as the GemmOp's z-batched
+  // planes. Lowering reuses the winner's split_k, so a split-K winner costs
+  // its full multi-launch plan here.
+  op::GemmOp gemm;
+  gemm.shape = {static_cast<std::size_t>(fused) * key.m, key.n, key.k};
+  gemm.batch.count = batch;
+  gemm.split_k = cfg.split_k;
+  const op::OpPlan plan = op::lower(gemm, cfg);
+  const GemmShape s = plan.contract;
 
-  const std::string memo_key = tune::candidate_name(cfg) + "@" + std::to_string(s.m) + "x" +
-                               std::to_string(s.n) + "x" + std::to_string(s.k);
+  std::string memo_key = tune::candidate_name(cfg) + "@" + std::to_string(s.m) + "x" +
+                         std::to_string(s.n) + "x" + std::to_string(s.k);
+  if (batch > 1) memo_key += "b" + std::to_string(batch);  // legacy keys unchanged
   if (const auto it = cost_memo_.find(memo_key); it != cost_memo_.end()) {
     return {it->second, 0, false};
   }
 
-  // Same harness as tune::eval_timed_device: hard-gate the kernel, then run
-  // the lockstep full-grid simulation with the model-pinned L2 hit rate.
-  const sass::Program prog = core::hgemm_kernel(cfg, s);
-  sass::validate(prog);
-  const auto diags = check::find_hazards(prog);
-  TC_CHECK(diags.empty(), "server built a hazardous kernel for " + key.str() + " — " +
-                              sass::format(diags.front()));
-  const device::Occupancy occ = device::occupancy(opt_.spec, prog);
+  // Same harness as tune::eval_timed_device: time_gemm_op hard-gates every
+  // launch (validate + hazard scan — a diagnostic throws, so the counter
+  // stays 0), then runs the lockstep full-grid simulation with the
+  // model-pinned L2 hit rate on the main pass. Launches beyond the first are
+  // charged the kernel-launch overhead; the first launch's overhead is
+  // outside the virtual busy window, exactly as before.
+  const device::Occupancy occ = device::occupancy(opt_.spec, plan.launches.front().program);
+  op::TimedOpOptions topt;
+  topt.threads = 1;  // lockstep: serving determinism rides on simulator determinism
+  topt.skip_mma_math = true;
+  topt.forced_l2_hit_rate = tune::predicted_l2_hit_rate(opt_.spec, plan.cfg, occ, s);
+  const op::OpTiming t = op::time_gemm_op(opt_.spec, plan, topt);
+  const std::uint64_t cycles = t.total_extra_overhead(opt_.spec.launch_overhead_cycles);
 
-  mem::GlobalMemory gmem;
-  sim::Launch launch;
-  launch.program = &prog;
-  launch.grid_x = static_cast<std::uint32_t>(s.n / static_cast<std::size_t>(cfg.bn));
-  launch.grid_y = static_cast<std::uint32_t>(s.m / static_cast<std::size_t>(cfg.bm));
-  const auto a_addr = gmem.alloc(s.m * s.k * 2);
-  const auto b_addr = gmem.alloc(s.n * s.k * 2);
-  const auto c_addr = gmem.alloc(s.m * s.n * 2);
-  launch.params = {a_addr, b_addr, c_addr};
-
-  sim::TimedDeviceConfig dc;
-  dc.spec = opt_.spec;
-  dc.ctas_per_sm = occ.ctas_per_sm;
-  dc.threads = 1;  // lockstep: serving determinism rides on simulator determinism
-  dc.skip_mma_math = true;
-  dc.forced_l2_hit_rate = tune::predicted_l2_hit_rate(opt_.spec, cfg, occ, s);
-  sim::TimedDevice dev(dc, gmem);
-  const sim::DeviceResult dr = dev.run(launch);
-
-  cost_memo_.emplace(memo_key, dr.device_cycles);
-  return {dr.device_cycles, diags.size(), true};
+  cost_memo_.emplace(memo_key, cycles);
+  return {cycles, 0, true};
 }
 
 Metrics Server::run(const std::vector<Request>& requests) {
@@ -141,6 +130,9 @@ Metrics Server::run(const std::vector<Request>& requests) {
   std::size_t num_tenants = opt_.tenant_weights.size();
   for (const Request& r : requests) {
     TC_CHECK(r.tenant >= 0, "negative tenant id");
+    TC_CHECK(r.batch >= 1, "request batch must be >= 1");
+    TC_CHECK(r.dtype == "f16", "unsupported request dtype '" + r.dtype +
+                                   "' (the kernel library generates f16 only)");
     num_tenants = std::max(num_tenants, static_cast<std::size_t>(r.tenant) + 1);
   }
   std::vector<TenantState> tenants(num_tenants);
@@ -191,23 +183,31 @@ Metrics Server::run(const std::vector<Request>& requests) {
       global_vtime = std::max(global_vtime, ts.vtag);
 
       // Batch from the queue head: FIFO within the tenant, fusing only
-      // consecutive requests that share the tuning bucket.
-      const tune::CacheKey key = tune::cache_key(opt_.spec, ts.queue.front()->shape);
+      // consecutive requests that share the tuning bucket (dtype included)
+      // and the op batch axis.
+      const Request& head = *ts.queue.front();
+      const tune::CacheKey key = tune::cache_key(opt_.spec, head.shape, head.dtype);
+      const int op_batch = head.batch;
       InFlight f;
       while (!ts.queue.empty() &&
              static_cast<int>(f.reqs.size()) < opt_.batch_max &&
-             tune::cache_key(opt_.spec, ts.queue.front()->shape) == key) {
+             ts.queue.front()->batch == op_batch &&
+             tune::cache_key(opt_.spec, ts.queue.front()->shape, ts.queue.front()->dtype) ==
+                 key) {
         f.reqs.push_back(ts.queue.front());
         ts.queue.pop_front();
       }
       queued_total -= f.reqs.size();
 
       const core::HgemmConfig& cfg = winner_for(key, c);
-      const PassCost pc = pass_cost(cfg, key, static_cast<int>(f.reqs.size()));
+      const PassCost pc = pass_cost(cfg, key, static_cast<int>(f.reqs.size()), op_batch);
       c.hazard_diags += pc.hazard_diags;
       if (pc.simulated) ++c.sim_passes;
       ++c.batches;
       c.batched_requests += f.reqs.size();
+      BucketStats& bo = m.bucket_occupancy[key.str()];
+      bo.requests += f.reqs.size();
+      ++bo.batches;
       c.worker_busy_cycles += pc.cycles;
       ts.stats.busy_cycles += pc.cycles;
       ts.vtag += static_cast<double>(pc.cycles) / ts.stats.weight;
@@ -245,6 +245,7 @@ Metrics Server::run(const std::vector<Request>& requests) {
         const std::uint64_t lat = f.completion - r->arrival_cycle;
         latencies.push_back(lat);
         tenants[f.tenant].latencies.push_back(lat);
+        ++m.batch_size_hist[static_cast<int>(f.reqs.size())];
         m.completions.push_back({r->id, f.tenant, r->arrival_cycle, f.start, f.completion,
                                  static_cast<int>(f.reqs.size())});
       }
@@ -333,6 +334,25 @@ void write_metrics_json(JsonWriter& j, const Metrics& m) {
   j.field("qps", m.qps);
   j.field("cache_hit_rate", m.cache_hit_rate);
   j.field("worker_utilization", m.worker_utilization);
+  j.key("batch_size_hist");
+  j.begin_array();
+  for (const auto& [batch, count] : m.batch_size_hist) {
+    j.begin_object();
+    j.field("batch", batch);
+    j.field("requests", count);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("bucket_occupancy");
+  j.begin_array();
+  for (const auto& [bucket, b] : m.bucket_occupancy) {
+    j.begin_object();
+    j.field("bucket", bucket);
+    j.field("requests", b.requests);
+    j.field("batches", b.batches);
+    j.end_object();
+  }
+  j.end_array();
   j.key("tenants");
   j.begin_array();
   for (const TenantStats& t : m.tenants) {

@@ -33,12 +33,22 @@
 
 namespace tc::serve {
 
-/// One GEMM request in the stream.
+/// One GEMM request in the stream. The two trailing fields make a request
+/// op-shaped (tc::op): both are defaulted so every pre-existing call site
+/// and the traffic generator describe the classic single-GEMM request
+/// unchanged.
 struct Request {
   std::uint64_t id = 0;
   int tenant = 0;
   GemmShape shape{};
   std::uint64_t arrival_cycle = 0;  // virtual device-clock timestamp
+  /// Op batch axis: the request is a strided-batched GEMM of `batch`
+  /// independent `shape` problems (one CTA z plane each), served by a single
+  /// batched kernel launch — launch overhead amortizes across the planes.
+  int batch = 1;
+  /// Element dtype; part of the tuning-bucket identity (tune::CacheKey).
+  /// "f16" is the only type the kernel library generates today.
+  std::string dtype = "f16";
 };
 
 struct ServerOptions {
@@ -106,6 +116,12 @@ struct Completion {
   int batch = 1;  // requests fused into the pass that served this one
 };
 
+/// How many requests and worker passes one tuning bucket absorbed.
+struct BucketStats {
+  std::uint64_t requests = 0;  // requests dispatched against the bucket
+  std::uint64_t batches = 0;   // worker passes dispatched against it
+};
+
 struct Metrics {
   Counters counters;
   std::uint64_t makespan_cycles = 0;  // last completion (virtual clock from 0)
@@ -117,6 +133,12 @@ struct Metrics {
   double qps = 0.0;                 // completed / makespan seconds
   double cache_hit_rate = 0.0;      // hits / lookups
   double worker_utilization = 0.0;  // busy / (workers * makespan)
+  /// Per-request batch-size distribution: completed requests keyed by how
+  /// many requests were fused into the pass that served them. std::map so
+  /// iteration (and the JSON) is deterministically sorted.
+  std::map<int, std::uint64_t> batch_size_hist;
+  /// Bucket-occupancy distribution, keyed by CacheKey::str().
+  std::map<std::string, BucketStats> bucket_occupancy;
   std::vector<TenantStats> tenants;
   std::vector<Completion> completions;  // completion order (not in JSON)
 };
@@ -151,13 +173,17 @@ class Server {
 
   /// Winner config for `key`: cache hit, or tune-and-append on miss.
   const core::HgemmConfig& winner_for(const tune::CacheKey& key, Counters& c);
-  /// Cycle cost of one pass of `batch` fused bucket-shaped requests.
-  PassCost pass_cost(const core::HgemmConfig& cfg, const tune::CacheKey& key, int batch);
+  /// Cycle cost of one pass: `fused` bucket-shaped requests concatenated
+  /// along M, each an op batch of `batch` planes, executed as the winner's
+  /// lowered GemmOp plan (split-K plans launch the reduction kernel too and
+  /// are charged the inter-launch overhead).
+  PassCost pass_cost(const core::HgemmConfig& cfg, const tune::CacheKey& key, int fused,
+                     int batch);
 
   ServerOptions opt_;
   tune::TuneCache cache_;
   tune::CacheLoadStats load_stats_;
-  /// Pass-cost memo: (config name, contract m, n, k) -> simulated cycles.
+  /// Pass-cost memo: (config name, contract m, n, k, op batch) -> cycles.
   std::map<std::string, std::uint64_t> cost_memo_;
 };
 

@@ -126,10 +126,10 @@ std::pair<std::uint32_t, std::uint32_t> CtaOrderMap::next() {
 std::unique_ptr<CtaSource> make_cta_source(const Launch& launch) {
   if (launch.launch_order == LaunchOrder::kRowMajor ||
       launch.launch_order == LaunchOrder::kSwizzled) {
-    return std::make_unique<GridCtaSource>(launch.grid_x, launch.grid_y);
+    return std::make_unique<GridCtaSource>(launch.grid_x, launch.grid_y, launch.grid_z);
   }
   return std::make_unique<OrderedCtaSource>(launch.launch_order, launch.grid_x, launch.grid_y,
-                                            launch.supertile_width);
+                                            launch.supertile_width, launch.grid_z);
 }
 
 }  // namespace tc::sim

@@ -54,6 +54,8 @@ class CtaOrderMap {
               int supertile_width);
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint32_t grid_x() const { return grid_x_; }
+  [[nodiscard]] std::uint32_t grid_y() const { return grid_y_; }
 
   /// Coordinates of the next CTA in dispatch order. Precondition: fewer than
   /// total() calls so far.

@@ -42,6 +42,8 @@ std::uint32_t special_value(const ExecContext& ctx, sass::SpecialReg sr, int lan
       return ctx.cta_x;
     case sass::SpecialReg::kCtaIdY:
       return ctx.cta_y;
+    case sass::SpecialReg::kCtaIdZ:
+      return ctx.cta_z;
     case sass::SpecialReg::kNCtaIdX:
       return ctx.launch->grid_x;
     case sass::SpecialReg::kSmId:
@@ -195,6 +197,7 @@ StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, Writ
     case Opcode::kHadd2:
     case Opcode::kHmul2:
     case Opcode::kHfma2:
+    case Opcode::kHmax2:
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if (!active[static_cast<std::size_t>(lane)]) continue;
         const half2 a = half2::unpack(regs.read(inst.srca, lane));
@@ -207,9 +210,18 @@ StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, Writ
           case Opcode::kHfma2:
             v = {fma_round_half(a.lo, b.lo, c.lo), fma_round_half(a.hi, b.hi, c.hi)};
             break;
+          case Opcode::kHmax2: v = {max_half(a.lo, b.lo), max_half(a.hi, b.hi)}; break;
           default: break;
         }
         sink.gpr(inst.dst, lane, v.pack());
+      }
+      break;
+
+    case Opcode::kHgelu2:
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (!active[static_cast<std::size_t>(lane)]) continue;
+        const half2 a = half2::unpack(regs.read(inst.srca, lane));
+        sink.gpr(inst.dst, lane, half2{gelu_half(a.lo), gelu_half(a.hi)}.pack());
       }
       break;
 

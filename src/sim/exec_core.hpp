@@ -70,6 +70,7 @@ struct ExecContext {
   const Launch* launch = nullptr;
   std::uint32_t cta_x = 0;
   std::uint32_t cta_y = 0;
+  std::uint32_t cta_z = 0;
   int warp_in_cta = 0;
   int sm_id = 0;
   std::uint64_t clock = 0;  // value returned by CS2R

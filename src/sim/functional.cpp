@@ -25,6 +25,7 @@ struct WarpRun {
 /// Runs one CTA to completion; returns (instructions, hmma_count).
 std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const Launch& launch,
                                                 std::uint32_t cta_x, std::uint32_t cta_y,
+                                                std::uint32_t cta_z,
                                                 std::uint64_t max_warp_instructions,
                                                 StateProbe* probe) {
   const sass::Program& prog = *launch.program;
@@ -57,6 +58,7 @@ std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const L
       ctx.launch = &launch;
       ctx.cta_x = cta_x;
       ctx.cta_y = cta_y;
+      ctx.cta_z = cta_z;
       ctx.warp_in_cta = wi;
       ImmediateSink sink(*w.regs);
 
@@ -101,7 +103,7 @@ std::pair<std::uint64_t, std::uint64_t> run_cta(mem::GlobalMemory& gmem, const L
   for (const auto& w : warps) instructions += w.executed;
   if (probe != nullptr) {
     for (int wi = 0; wi < num_warps; ++wi) {
-      probe->capture(*warps[static_cast<std::size_t>(wi)].regs, cta_x, cta_y, wi);
+      probe->capture(*warps[static_cast<std::size_t>(wi)].regs, cta_x, cta_y, cta_z, wi);
     }
   }
   return {instructions, hmma};
@@ -140,10 +142,13 @@ FunctionalStats FunctionalExecutor::run(const Launch& launch,
       for (;;) {
         const std::uint64_t i = next.fetch_add(1);
         if (i >= total || failed.load()) return;
-        const auto cx = static_cast<std::uint32_t>(i % launch.grid_x);
-        const auto cy = static_cast<std::uint32_t>(i / launch.grid_x);
+        const std::uint64_t plane = static_cast<std::uint64_t>(launch.grid_x) * launch.grid_y;
+        const auto cz = static_cast<std::uint32_t>(i / plane);
+        const auto cx = static_cast<std::uint32_t>((i % plane) % launch.grid_x);
+        const auto cy = static_cast<std::uint32_t>((i % plane) / launch.grid_x);
         try {
-          const auto [insts, hm] = run_cta(gmem_, launch, cx, cy, max_warp_instructions, probe_);
+          const auto [insts, hm] =
+              run_cta(gmem_, launch, cx, cy, cz, max_warp_instructions, probe_);
           instructions.fetch_add(insts);
           hmma.fetch_add(hm);
         } catch (const std::exception& e) {

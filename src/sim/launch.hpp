@@ -10,13 +10,17 @@
 
 namespace tc::sim {
 
-/// Grid of CTAs (2D, matching the HGEMM tile grid) plus kernel parameters.
+/// Grid of CTAs (2D tile grid plus a z axis for batched / split-K GemmOp
+/// launches) plus kernel parameters.
 /// Parameters are 32-bit words read by MOV.PARAM — device pointers, matrix
 /// dimensions, leading strides.
 struct Launch {
   const sass::Program* program = nullptr;
   std::uint32_t grid_x = 1;
   std::uint32_t grid_y = 1;
+  /// Batch / split-K slice axis (SR_CTAID.Z); dispatch is z-outer, so each
+  /// z plane is walked in the configured 2D launch order before the next.
+  std::uint32_t grid_z = 1;
   std::vector<std::uint32_t> params;
   /// CTA dispatch order. kRowMajor and kSwizzled both dispatch in hardware
   /// row-major order (kSwizzled is an analytic model patch, not a concrete
@@ -30,7 +34,7 @@ struct Launch {
   numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
 
   [[nodiscard]] std::uint64_t num_ctas() const {
-    return static_cast<std::uint64_t>(grid_x) * grid_y;
+    return static_cast<std::uint64_t>(grid_x) * grid_y * grid_z;
   }
   [[nodiscard]] std::uint32_t cta_threads() const { return program->cta_threads; }
   [[nodiscard]] std::uint32_t warps_per_cta() const { return program->cta_threads / 32; }

@@ -13,9 +13,15 @@ void StateProbe::set_num_regs(int num_regs) {
 
 void StateProbe::capture(const WarpRegs& regs, std::uint32_t cta_x, std::uint32_t cta_y,
                          int warp_in_cta) {
+  capture(regs, cta_x, cta_y, 0, warp_in_cta);
+}
+
+void StateProbe::capture(const WarpRegs& regs, std::uint32_t cta_x, std::uint32_t cta_y,
+                         std::uint32_t cta_z, int warp_in_cta) {
   WarpSnapshot snap;
   snap.cta_x = cta_x;
   snap.cta_y = cta_y;
+  snap.cta_z = cta_z;
   snap.warp_in_cta = warp_in_cta;
   std::lock_guard lock(mutex_);
   snap.gprs.reserve(static_cast<std::size_t>(num_regs_) * kWarpSize);
@@ -38,7 +44,8 @@ std::vector<WarpSnapshot> StateProbe::sorted() const {
   std::lock_guard lock(mutex_);
   std::vector<WarpSnapshot> out = snapshots_;
   std::sort(out.begin(), out.end(), [](const WarpSnapshot& a, const WarpSnapshot& b) {
-    return std::tie(a.cta_y, a.cta_x, a.warp_in_cta) < std::tie(b.cta_y, b.cta_x, b.warp_in_cta);
+    return std::tie(a.cta_z, a.cta_y, a.cta_x, a.warp_in_cta) <
+           std::tie(b.cta_z, b.cta_y, b.cta_x, b.warp_in_cta);
   });
   return out;
 }
@@ -59,13 +66,14 @@ std::string StateProbe::diff(const StateProbe& functional, const StateProbe& tim
   std::string out;
   int reports = 0;
   const auto warp_name = [](const WarpSnapshot& w) {
-    return "cta(" + std::to_string(w.cta_x) + "," + std::to_string(w.cta_y) + ") warp " +
-           std::to_string(w.warp_in_cta);
+    return "cta(" + std::to_string(w.cta_x) + "," + std::to_string(w.cta_y) + "," +
+           std::to_string(w.cta_z) + ") warp " + std::to_string(w.warp_in_cta);
   };
   for (std::size_t i = 0; i < fa.size() && reports < max_reports; ++i) {
     const WarpSnapshot& f = fa[i];
     const WarpSnapshot& t = ta[i];
-    if (std::tie(f.cta_x, f.cta_y, f.warp_in_cta) != std::tie(t.cta_x, t.cta_y, t.warp_in_cta)) {
+    if (std::tie(f.cta_x, f.cta_y, f.cta_z, f.warp_in_cta) !=
+        std::tie(t.cta_x, t.cta_y, t.cta_z, t.warp_in_cta)) {
       return "warp keys differ at index " + std::to_string(i) + ": functional " + warp_name(f) +
              " vs timed " + warp_name(t);
     }

@@ -3,7 +3,7 @@
 // Both executors must agree bit-for-bit on what a kernel *computes*: the
 // committed register file, the predicate file, and global memory. A
 // StateProbe attached to a run records each warp's final state keyed by
-// (cta_x, cta_y, warp_in_cta) so the check layer (src/check) can diff a
+// (cta_x, cta_y, cta_z, warp_in_cta) so the check layer (src/check) can diff a
 // functional run against a timed run of the same launch. The functional
 // executor runs CTAs on several host threads, so capture() locks.
 #pragma once
@@ -21,6 +21,7 @@ namespace tc::sim {
 struct WarpSnapshot {
   std::uint32_t cta_x = 0;
   std::uint32_t cta_y = 0;
+  std::uint32_t cta_z = 0;
   int warp_in_cta = 0;
   std::vector<std::uint32_t> gprs;       // num_regs x kWarpSize, register-major
   std::array<std::uint32_t, 7> preds{};  // lane masks for P0..P6
@@ -33,8 +34,10 @@ class StateProbe {
 
   /// Records the committed state of one warp (call after final settle).
   void capture(const WarpRegs& regs, std::uint32_t cta_x, std::uint32_t cta_y, int warp_in_cta);
+  void capture(const WarpRegs& regs, std::uint32_t cta_x, std::uint32_t cta_y,
+               std::uint32_t cta_z, int warp_in_cta);
 
-  /// Snapshots sorted by (cta_y, cta_x, warp_in_cta).
+  /// Snapshots sorted by (cta_z, cta_y, cta_x, warp_in_cta).
   [[nodiscard]] std::vector<WarpSnapshot> sorted() const;
 
   void clear();

@@ -327,7 +327,7 @@ struct TimedSm::Impl {
           w.regs.write_pred(pp.w.pred, pp.w.lane, pp.w.value);
         }
         w.pending_preds.clear();
-        cfg.probe->capture(w.regs, cta.coord.x, cta.coord.y, w.warp_in_cta);
+        cfg.probe->capture(w.regs, cta.coord.x, cta.coord.y, cta.coord.z, w.warp_in_cta);
       }
     }
     cta.coord = coord;
@@ -571,6 +571,7 @@ struct TimedSm::Impl {
         ctx.launch = launch;
         ctx.cta_x = cta.coord.x;
         ctx.cta_y = cta.coord.y;
+        ctx.cta_z = cta.coord.z;
         ctx.warp_in_cta = w.warp_in_cta;
         ctx.sm_id = cfg.sm_id;
         ctx.clock = now;
@@ -754,7 +755,7 @@ struct TimedSm::Impl {
       w->pending_preds.clear();
       if (cfg.probe != nullptr) {
         const CtaCoord coord = cta_state[static_cast<std::size_t>(w->cta_index)].coord;
-        cfg.probe->capture(w->regs, coord.x, coord.y, w->warp_in_cta);
+        cfg.probe->capture(w->regs, coord.x, coord.y, coord.z, w->warp_in_cta);
       }
     }
 

@@ -42,6 +42,7 @@ class StateProbe;
 struct CtaCoord {
   std::uint32_t x = 0;
   std::uint32_t y = 0;
+  std::uint32_t z = 0;
 };
 
 /// Hands out CTAs to SMs as their resident slots free up — the GigaThread
@@ -59,15 +60,19 @@ class CtaSource {
 /// Dispenses a grid_x x grid_y grid in hardware launch order (x fastest).
 class GridCtaSource final : public CtaSource {
  public:
-  GridCtaSource(std::uint32_t grid_x, std::uint32_t grid_y)
-      : grid_x_(grid_x), total_(static_cast<std::uint64_t>(grid_x) * grid_y) {}
+  GridCtaSource(std::uint32_t grid_x, std::uint32_t grid_y, std::uint32_t grid_z = 1)
+      : grid_x_(grid_x),
+        plane_(static_cast<std::uint64_t>(grid_x) * grid_y),
+        total_(static_cast<std::uint64_t>(grid_x) * grid_y * grid_z) {}
 
   std::optional<CtaCoord> next() override {
     std::lock_guard lock(mutex_);
     if (issued_ >= total_) return std::nullopt;
     const std::uint64_t i = issued_++;
-    return CtaCoord{static_cast<std::uint32_t>(i % grid_x_),
-                    static_cast<std::uint32_t>(i / grid_x_)};
+    const std::uint64_t p = i % plane_;
+    return CtaCoord{static_cast<std::uint32_t>(p % grid_x_),
+                    static_cast<std::uint32_t>(p / grid_x_),
+                    static_cast<std::uint32_t>(i / plane_)};
   }
 
   [[nodiscard]] std::uint64_t issued() const override {
@@ -78,6 +83,7 @@ class GridCtaSource final : public CtaSource {
  private:
   mutable std::mutex mutex_;
   std::uint32_t grid_x_;
+  std::uint64_t plane_;
   std::uint64_t total_;
   std::uint64_t issued_ = 0;
 };
@@ -87,15 +93,23 @@ class GridCtaSource final : public CtaSource {
 class OrderedCtaSource final : public CtaSource {
  public:
   OrderedCtaSource(LaunchOrder order, std::uint32_t grid_x, std::uint32_t grid_y,
-                   int supertile_width)
-      : map_(order, grid_x, grid_y, supertile_width) {}
+                   int supertile_width, std::uint32_t grid_z = 1)
+      : order_(order),
+        supertile_width_(supertile_width),
+        grid_z_(grid_z),
+        map_(order, grid_x, grid_y, supertile_width) {}
 
   std::optional<CtaCoord> next() override {
     std::lock_guard lock(mutex_);
-    if (issued_ >= map_.total()) return std::nullopt;
+    if (issued_ >= map_.total() * grid_z_) return std::nullopt;
+    // z-outer: each z plane re-walks the same 2D curve from its start.
+    if (issued_ > 0 && issued_ % map_.total() == 0) {
+      map_ = CtaOrderMap(order_, map_.grid_x(), map_.grid_y(), supertile_width_);
+    }
+    const auto z = static_cast<std::uint32_t>(issued_ / map_.total());
     ++issued_;
     const auto [x, y] = map_.next();
-    return CtaCoord{x, y};
+    return CtaCoord{x, y, z};
   }
 
   [[nodiscard]] std::uint64_t issued() const override {
@@ -105,6 +119,9 @@ class OrderedCtaSource final : public CtaSource {
 
  private:
   mutable std::mutex mutex_;
+  LaunchOrder order_;
+  int supertile_width_;
+  std::uint64_t grid_z_;
   CtaOrderMap map_;
   std::uint64_t issued_ = 0;
 };

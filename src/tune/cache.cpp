@@ -43,6 +43,8 @@ CacheEntry entry_from_json(const JsonValue& v) {
   e.key.m = static_cast<std::size_t>(v.at("m").as_number());
   e.key.n = static_cast<std::size_t>(v.at("n").as_number());
   e.key.k = static_cast<std::size_t>(v.at("k").as_number());
+  // dtype postdates the v1 schema: absence == the f16 default, no bump.
+  if (v.has("dtype")) e.key.dtype = v.at("dtype").as_string();
   const JsonValue& c = v.at("config");
   e.cfg.bm = int_field(c, "bm");
   e.cfg.bn = int_field(c, "bn");
@@ -62,6 +64,10 @@ CacheEntry entry_from_json(const JsonValue& v) {
   if (c.has("supertile_width")) {
     e.cfg.supertile_width = int_field(c, "supertile_width");
   }
+  // split_k postdates the v1 schema too: absent == 1 (single-pass kernel).
+  if (c.has("split_k")) {
+    e.cfg.split_k = int_field(c, "split_k");
+  }
   e.sim_cycles = static_cast<std::uint64_t>(v.at("sim_cycles").as_number());
   e.budget = int_field(v, "budget");
   e.seed = static_cast<std::uint64_t>(v.at("seed").as_number());
@@ -75,6 +81,7 @@ void entry_to_json(JsonWriter& j, const CacheEntry& e) {
   j.field("m", static_cast<std::uint64_t>(e.key.m));
   j.field("n", static_cast<std::uint64_t>(e.key.n));
   j.field("k", static_cast<std::uint64_t>(e.key.k));
+  j.field("dtype", e.key.dtype);
   j.key("config");
   j.begin_object();
   j.field("bm", e.cfg.bm);
@@ -88,6 +95,7 @@ void entry_to_json(JsonWriter& j, const CacheEntry& e) {
   j.field("prefetch", e.cfg.prefetch);
   j.field("launch_order", sim::launch_order_name(e.cfg.launch_order));
   j.field("supertile_width", e.cfg.supertile_width);
+  j.field("split_k", e.cfg.split_k);
   j.end_object();
   j.field("sim_cycles", e.sim_cycles);
   j.field("budget", e.budget);
@@ -99,7 +107,10 @@ void entry_to_json(JsonWriter& j, const CacheEntry& e) {
 }  // namespace
 
 std::string CacheKey::str() const {
-  return device + ":" + std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+  std::string s =
+      device + ":" + std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+  if (dtype != "f16") s += ":" + dtype;
+  return s;
 }
 
 std::size_t bucket_dim(std::size_t v) {
@@ -108,8 +119,9 @@ std::size_t bucket_dim(std::size_t v) {
   return b;
 }
 
-CacheKey cache_key(const device::DeviceSpec& spec, const GemmShape& shape) {
-  return {spec.name, bucket_dim(shape.m), bucket_dim(shape.n), bucket_dim(shape.k)};
+CacheKey cache_key(const device::DeviceSpec& spec, const GemmShape& shape,
+                   const std::string& dtype) {
+  return {spec.name, bucket_dim(shape.m), bucket_dim(shape.n), bucket_dim(shape.k), dtype};
 }
 
 GemmShape bucket_shape(const CacheKey& key) { return {key.m, key.n, key.k}; }
@@ -120,6 +132,10 @@ std::string validate_cache_entry(const CacheEntry& e) {
     spec = device::spec_by_name(e.key.device);
   } catch (const Error&) {
     return e.key.str() + ": unknown device spec '" + e.key.device + "'";
+  }
+  if (e.key.dtype != "f16") {
+    return e.key.str() + ": unsupported dtype '" + e.key.dtype +
+           "' (the kernel library generates f16 only)";
   }
   // The static legality mirror first: cheap, and the builder would throw on
   // anything it rejects.

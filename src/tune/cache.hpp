@@ -26,15 +26,23 @@
 
 namespace tc::tune {
 
-/// Identity of one tuning bucket: device spec name + bucketed shape.
+/// Identity of one tuning bucket: device spec name + bucketed shape +
+/// element dtype.
 struct CacheKey {
   std::string device;
   std::size_t m = 0, n = 0, k = 0;  // bucket edges (power-of-two, >= 64)
+  /// Element type of the bucket. Defaulted (PR-7 launch_order precedent) so
+  /// existing v1 cache files — which predate the field — load unchanged;
+  /// "f16" is the only type the kernel library generates today, and
+  /// validate_cache_entry rejects anything else as unservable.
+  std::string dtype = "f16";
 
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
   friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
 
-  /// "rtx2070:256x256x64" — stable display / map form.
+  /// "rtx2070:256x256x64" — stable display / map form. Only a non-default
+  /// dtype marks the string ("rtx2070:256x256x64:bf16"), so every legacy
+  /// display form is unchanged.
   [[nodiscard]] std::string str() const;
 };
 
@@ -43,7 +51,8 @@ struct CacheKey {
 [[nodiscard]] std::size_t bucket_dim(std::size_t v);
 
 /// The bucket `shape` falls into on `spec`.
-[[nodiscard]] CacheKey cache_key(const device::DeviceSpec& spec, const GemmShape& shape);
+[[nodiscard]] CacheKey cache_key(const device::DeviceSpec& spec, const GemmShape& shape,
+                                 const std::string& dtype = "f16");
 
 /// The canonical shape a bucket is tuned at (its upper edges).
 [[nodiscard]] GemmShape bucket_shape(const CacheKey& key);

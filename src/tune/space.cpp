@@ -11,7 +11,8 @@ std::int64_t SearchSpace::raw_points() const {
          static_cast<std::int64_t>(sts_interleave.size()) *
          static_cast<std::int64_t>(prefetch.size()) *
          static_cast<std::int64_t>(launch_orders.size()) *
-         static_cast<std::int64_t>(supertile_widths.size());
+         static_cast<std::int64_t>(supertile_widths.size()) *
+         static_cast<std::int64_t>(split_ks.size());
 }
 
 const char* reject_name(Reject r) {
@@ -22,6 +23,7 @@ const char* reject_name(Reject r) {
     case Reject::kRegisters: return "registers";
     case Reject::kResources: return "resources";
     case Reject::kLaunchOrder: return "launch_order";
+    case Reject::kSplitK: return "split_k";
   }
   return "?";
 }
@@ -55,6 +57,14 @@ bool launch_order_ok(const core::HgemmConfig& c) {
   return c.supertile_width >= 1 && c.supertile_width <= 1024;
 }
 
+/// Split-K dimension: mirror of HgemmConfig::check()'s power-of-two rule.
+/// The z-offset prologue reuses staging/scratch registers, so split_k never
+/// changes predicted_regs or occupancy.
+bool split_k_ok(const core::HgemmConfig& c) {
+  return c.split_k >= 1 && c.split_k <= 64 &&
+         std::has_single_bit(static_cast<unsigned>(c.split_k));
+}
+
 }  // namespace
 
 int predicted_regs(const core::HgemmConfig& cfg) {
@@ -84,6 +94,10 @@ Legality classify(const device::DeviceSpec& spec, const core::HgemmConfig& cfg) 
   }
   if (!launch_order_ok(cfg)) {
     v.reject = Reject::kLaunchOrder;
+    return v;
+  }
+  if (!split_k_ok(cfg)) {
+    v.reject = Reject::kSplitK;
     return v;
   }
   v.regs = predicted_regs(cfg);
@@ -124,37 +138,41 @@ std::vector<core::HgemmConfig> enumerate(const device::DeviceSpec& spec,
                 for (bool pf : space.prefetch) {
                   for (model::LaunchOrder order : space.launch_orders) {
                     for (int sw : space.supertile_widths) {
-                      ++local.raw;
-                      core::HgemmConfig cfg;
-                      cfg.bm = bm;
-                      cfg.bn = bn;
-                      cfg.bk = bk;
-                      cfg.wm = wm;
-                      cfg.wn = wn;
-                      cfg.layout = layout;
-                      cfg.sts_interleave = il;
-                      cfg.prefetch = pf;
-                      cfg.launch_order = order;
-                      cfg.supertile_width = sw;
-                      // Orders that ignore the width collapse onto one
-                      // config: only the first width value is enumerated,
-                      // the rest are duplicate points pruned by reason.
-                      if (order != model::LaunchOrder::kSupertile &&
-                          sw != space.supertile_widths.front()) {
-                        ++local.launch_order;
-                        continue;
-                      }
-                      const Legality v = classify(spec, cfg);
-                      switch (v.reject) {
-                        case Reject::kTiling: ++local.tiling; break;
-                        case Reject::kGenerator: ++local.generator; break;
-                        case Reject::kRegisters: ++local.registers; break;
-                        case Reject::kResources: ++local.resources; break;
-                        case Reject::kLaunchOrder: ++local.launch_order; break;
-                        case Reject::kNone:
-                          ++local.legal;
-                          out.push_back(cfg);
-                          break;
+                      for (int sk : space.split_ks) {
+                        ++local.raw;
+                        core::HgemmConfig cfg;
+                        cfg.bm = bm;
+                        cfg.bn = bn;
+                        cfg.bk = bk;
+                        cfg.wm = wm;
+                        cfg.wn = wn;
+                        cfg.layout = layout;
+                        cfg.sts_interleave = il;
+                        cfg.prefetch = pf;
+                        cfg.launch_order = order;
+                        cfg.supertile_width = sw;
+                        cfg.split_k = sk;
+                        // Orders that ignore the width collapse onto one
+                        // config: only the first width value is enumerated,
+                        // the rest are duplicate points pruned by reason.
+                        if (order != model::LaunchOrder::kSupertile &&
+                            sw != space.supertile_widths.front()) {
+                          ++local.launch_order;
+                          continue;
+                        }
+                        const Legality v = classify(spec, cfg);
+                        switch (v.reject) {
+                          case Reject::kTiling: ++local.tiling; break;
+                          case Reject::kGenerator: ++local.generator; break;
+                          case Reject::kRegisters: ++local.registers; break;
+                          case Reject::kResources: ++local.resources; break;
+                          case Reject::kLaunchOrder: ++local.launch_order; break;
+                          case Reject::kSplitK: ++local.split_k; break;
+                          case Reject::kNone:
+                            ++local.legal;
+                            out.push_back(cfg);
+                            break;
+                        }
                       }
                     }
                   }

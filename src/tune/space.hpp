@@ -46,6 +46,11 @@ struct SearchSpace {
   /// Panel widths tried for kSupertile. Orders that don't consume a width
   /// are enumerated once, carrying the canonical default width.
   std::vector<int> supertile_widths{8};
+  /// Split-K factors tried (tc::op lowering: >1 means the 2-kernel
+  /// main+reduce plan, costed with the inter-launch overhead). The default
+  /// keeps the stock single-pass space — and every recorded baseline —
+  /// unchanged; add powers of two to search skinny-K shapes.
+  std::vector<int> split_ks{1};
 
   /// Number of raw cartesian points (before any legality filtering).
   [[nodiscard]] std::int64_t raw_points() const;
@@ -59,6 +64,7 @@ enum class Reject {
   kRegisters,    // register budget (builder's R254 cap or spec's per-thread cap)
   kResources,    // smem over per-SM capacity, or zero CTAs fit on the SM
   kLaunchOrder,  // invalid supertile width, or a width on an order that ignores it
+  kSplitK,       // split_k not a power of two in [1, 64]
 };
 
 [[nodiscard]] const char* reject_name(Reject r);
@@ -86,6 +92,7 @@ struct PruneStats {
   std::int64_t registers = 0;
   std::int64_t resources = 0;
   std::int64_t launch_order = 0;
+  std::int64_t split_k = 0;
   std::int64_t legal = 0;
   std::int64_t evaluated = 0;  // filled by tune(): configs run on the simulator
 };

@@ -14,6 +14,7 @@
 #include "mem/global_mem.hpp"
 #include "model/blocking.hpp"
 #include "model/l2_reuse.hpp"
+#include "op/op.hpp"
 #include "sass/diag.hpp"
 #include "sass/validator.hpp"
 #include "sim/launch.hpp"
@@ -57,6 +58,35 @@ namespace {
 void eval_timed_device(const device::DeviceSpec& spec, const GemmShape& user_shape,
                        Candidate& c) {
   const GemmShape s = c.cfg.contract_shape(user_shape);
+
+  // Split-K candidates lower to the multi-kernel GemmOp plan (main pass +
+  // reduction) and are costed with the inter-launch overhead, so they only
+  // win when the extra parallelism actually pays for the second kernel.
+  if (c.cfg.split_k > 1) {
+    op::GemmOp gemm;
+    gemm.shape = user_shape;
+    gemm.split_k = c.cfg.split_k;
+    const op::OpPlan plan = op::lower(gemm, c.cfg);
+    const sass::Program& prog = plan.launches.front().program;
+    c.hazard_diags = 0;  // time_gemm_op hard-gates every launch (throws on any)
+    TC_CHECK(prog.num_regs == c.regs, "predicted register count diverged for " + c.name);
+    const device::Occupancy built = device::occupancy(spec, prog);
+    TC_CHECK(built.ctas_per_sm == c.occ.ctas_per_sm,
+             "predicted occupancy diverged for " + c.name);
+
+    op::TimedOpOptions topts;
+    topts.threads = 1;  // lockstep: candidate-level parallelism lives in tune()
+    topts.forced_l2_hit_rate = predicted_l2_hit_rate(spec, c.cfg, c.occ, s);
+    const op::OpTiming t = op::time_gemm_op(spec, plan, topts);
+    // Launches beyond the first carry the launch overhead; the first one's
+    // cost is common to every candidate and cancels in the ranking.
+    c.sim_cycles = t.total_extra_overhead(spec.launch_overhead_cycles);
+    c.sms_used = t.main_sms_used;
+    c.seconds = spec.cycles_to_seconds(static_cast<double>(c.sim_cycles));
+    c.tflops = s.flops() / c.seconds / 1e12;
+    return;
+  }
+
   const sass::Program prog = core::hgemm_kernel(c.cfg, s);
 
   // Hard gate: no kernel reaches the simulator unvalidated.
@@ -112,6 +142,17 @@ void eval_wave_model(const device::DeviceSpec& spec, const GemmShape& user_shape
   const device::Occupancy built = device::occupancy(spec, prog);
   TC_CHECK(built.ctas_per_sm == c.occ.ctas_per_sm, "predicted occupancy diverged for " + c.name);
 
+  // PerfEstimator's surrogate pipeline is single-pass; split-K candidates
+  // fall back to the split-aware analytic model score (still hard-gated
+  // above).
+  if (c.cfg.split_k > 1) {
+    c.sim_cycles = static_cast<std::uint64_t>(std::llround(c.model.cycles));
+    c.seconds = spec.cycles_to_seconds(c.model.cycles);
+    c.tflops = user_shape.flops() / c.seconds / 1e12;
+    c.sms_used = spec.num_sms;
+    return;
+  }
+
   core::PerfEstimator est(spec, c.cfg);
   const core::PerfPoint p = est.estimate(user_shape);
   const double iters = std::ceil(static_cast<double>(s.k) / c.cfg.bk);
@@ -137,9 +178,12 @@ const char* engine_name(Engine e) {
 ModelScore model_score(const device::DeviceSpec& spec, const core::HgemmConfig& cfg,
                        const device::Occupancy& occ, const GemmShape& shape) {
   const GemmShape s = cfg.contract_shape(shape);
+  // Split-K multiplies the grid by the slice count and divides the per-CTA
+  // main-loop depth; the reduction pass is added to the total below.
   const double grid = static_cast<double>(s.m / static_cast<std::size_t>(cfg.bm)) *
-                      static_cast<double>(s.n / static_cast<std::size_t>(cfg.bn));
-  const double iters = static_cast<double>(s.k) / cfg.bk;
+                      static_cast<double>(s.n / static_cast<std::size_t>(cfg.bn)) *
+                      cfg.split_k;
+  const double iters = static_cast<double>(cfg.slice_k(s)) / cfg.bk;
 
   const model::BlockConfig b{cfg.bm, cfg.bn, cfg.bk, cfg.wm, cfg.wn, cfg.wk};
   const model::CpiSet cpi{};
@@ -190,6 +234,14 @@ ModelScore model_score(const device::DeviceSpec& spec, const core::HgemmConfig& 
       blended_lat + resident * (2.0 * ldg_bytes + c_bytes) / spec.l2_port_bytes_per_cycle;
 
   ms.cycles = ms.waves * (ms.overhead_cycles + iters * ms.iter_cycles);
+  if (cfg.split_k > 1) {
+    // Reduction pass (streaming: split_k partial planes in, one plane out,
+    // DRAM-bound) plus one extra kernel launch.
+    const double reduce_bytes =
+        (cfg.split_k + 1.0) * static_cast<double>(s.m) * static_cast<double>(s.n) * 2.0;
+    ms.cycles += reduce_bytes / spec.dram_bytes_per_cycle() +
+                 static_cast<double>(spec.launch_overhead_cycles);
+  }
   return ms;
 }
 

@@ -19,6 +19,7 @@
 #include "numerics/numerics.hpp"
 #include "device/spec.hpp"
 #include "driver/device.hpp"
+#include "op/op.hpp"
 #include "sim/functional.hpp"
 #include "sim/probe.hpp"
 
@@ -137,6 +138,116 @@ TEST(Equivalence, AllKernelsBitAccurateMode) {
   {
     const GemmShape s{32, 128, 32};
     expect_equivalent(core::wmma_naive_kernel(s), s, 1, 2, rng, mode);
+  }
+}
+
+void fill_random(std::vector<half>& v, Rng& rng, float lo = -0.5f, float hi = 0.5f) {
+  for (auto& x : v) x = half(rng.next_float(lo, hi));
+}
+
+/// Runs one GemmOp through the functional engine and the cycle-level
+/// TimedDevice (multi-launch plans run every kernel on both), and demands
+/// the host reference, the functional output and the timed output agree
+/// BITWISE. This is the op-level analogue of expect_equivalent: a split-K
+/// workspace mistake, a z-offset slip or a reduction-order difference all
+/// show up as a bit diff here.
+void expect_op_equivalent(const device::DeviceSpec& spec, const tc::op::GemmOp& gemm,
+                          core::HgemmConfig cfg, Rng& rng,
+                          numerics::NumericsMode mode = numerics::NumericsMode::kIdealized) {
+  cfg.numerics = mode;
+  const auto batch = static_cast<std::size_t>(gemm.batch.count);
+  const GemmShape& s = gemm.shape;
+  std::vector<half> a((batch - 1) * gemm.batch.a_stride(s) + s.m * s.k);
+  std::vector<half> bt((batch - 1) * gemm.batch.b_stride(s) + s.n * s.k);
+  std::vector<half> c_in((batch - 1) * gemm.batch.c_stride(s) + s.m * s.n);
+  std::vector<half> bias(s.n);
+  fill_random(a, rng);
+  fill_random(bt, rng);
+  fill_random(c_in, rng, -1.0f, 1.0f);
+  fill_random(bias, rng, -1.0f, 1.0f);
+  tc::op::OpInputs in;
+  in.a = std::span<const half>(a);
+  in.bt = std::span<const half>(bt);
+  in.c_in = std::span<const half>(c_in);
+  in.bias = std::span<const half>(bias);
+
+  const std::vector<half> ref = tc::op::gemm_op_ref(gemm, in, cfg, mode);
+
+  driver::Device dev_f(spec);
+  const std::vector<half> out_f = tc::op::run_gemm_op(dev_f, gemm, in, cfg);
+
+  driver::Device dev_t(spec);
+  std::vector<half> out_t(out_f.size());
+  tc::op::OpExec exec;
+  exec.timed = true;
+  tc::op::run_gemm_op(dev_t, gemm, in, std::span<half>(out_t), cfg, exec);
+
+  ASSERT_EQ(out_f.size(), ref.size());
+  std::size_t vs_ref = 0;
+  std::size_t vs_timed = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    vs_ref += out_f[i].bits() != ref[i].bits() ? 1 : 0;
+    vs_timed += out_f[i].bits() != out_t[i].bits() ? 1 : 0;
+  }
+  const std::string what = spec.name + " b" + std::to_string(gemm.batch.count) + " sk" +
+                           std::to_string(gemm.split_k);
+  EXPECT_EQ(vs_ref, 0u) << what << ": functional output differs bitwise from gemm_op_ref";
+  EXPECT_EQ(vs_timed, 0u) << what << ": timed output differs bitwise from functional";
+}
+
+tc::op::GemmOp op_variant(const char* kind, const core::HgemmConfig& cfg) {
+  tc::op::GemmOp g;
+  g.shape = {static_cast<std::size_t>(cfg.bm), static_cast<std::size_t>(cfg.bn), 128};
+  const std::string k = kind;
+  if (k == "batched") {
+    g.batch.count = 2;
+  } else if (k == "strided") {
+    g.batch.count = 2;
+    g.batch.stride_a = g.shape.m * g.shape.k + 64;
+    g.batch.stride_b = g.shape.n * g.shape.k + 32;
+    g.batch.stride_c = g.shape.m * g.shape.n + 96;
+  } else if (k == "split_k") {
+    g.split_k = 2;
+  } else if (k == "fused_axpby_relu") {
+    g.epilogue = {1.25f, -0.5f, false, core::Activation::kRelu};
+  } else if (k == "bias_gelu") {
+    g.epilogue = {1.0f, 0.0f, true, core::Activation::kGelu};
+  } else if (k == "batched_split_scaled") {
+    g.batch.count = 2;
+    g.split_k = 2;
+    g.epilogue = {0.75f, 0.25f, false, core::Activation::kNone};
+  }
+  return g;
+}
+
+TEST(Equivalence, GemmOpVariantsBothSpecs) {
+  // Every GemmOp lowering variant — batched, strided-batched, split-K,
+  // fused scaling+activation, unfused bias epilogue, and the combined
+  // batched+split-K+scaling plan — functional vs timed vs host reference,
+  // bitwise, on both evaluated devices.
+  const char* kinds[] = {"batched",    "strided",   "split_k",
+                         "fused_axpby_relu", "bias_gelu", "batched_split_scaled"};
+  int seed = 900;
+  for (const device::DeviceSpec& spec : {device::rtx2070(), device::t4()}) {
+    for (const char* kind : kinds) {
+      SCOPED_TRACE(spec.name + " " + kind);
+      Rng rng(static_cast<std::uint64_t>(seed++));
+      expect_op_equivalent(spec, op_variant(kind, core::HgemmConfig::cublas_like()),
+                           core::HgemmConfig::cublas_like(), rng);
+    }
+  }
+}
+
+TEST(Equivalence, GemmOpVariantsBitAccurateMode) {
+  // The numerics-mode axis over the op layer: one batched+split-K+epilogue
+  // plan per spec under the bit-accurate HMMA model.
+  int seed = 950;
+  for (const device::DeviceSpec& spec : {device::rtx2070(), device::t4()}) {
+    SCOPED_TRACE(spec.name);
+    Rng rng(static_cast<std::uint64_t>(seed++));
+    expect_op_equivalent(spec, op_variant("batched_split_scaled", core::HgemmConfig::cublas_like()),
+                         core::HgemmConfig::cublas_like(), rng,
+                         numerics::NumericsMode::kBitAccurate);
   }
 }
 

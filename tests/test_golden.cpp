@@ -16,6 +16,10 @@
 //                                  --json tests/golden/fig8_swizzle_rtx2070.json
 //   build/bench/fig8_swizzle --device t4 --step 4096 \
 //                                  --json tests/golden/fig8_swizzle_t4.json
+//   build/bench/batched_splitk --device rtx2070 \
+//                                  --json tests/golden/batched_splitk_rtx2070.json
+//   build/bench/batched_splitk --device t4 \
+//                                  --json tests/golden/batched_splitk_t4.json
 //
 // and explain the delta in the commit message.
 #include <gtest/gtest.h>
@@ -138,6 +142,28 @@ TEST(Golden, Fig8SwizzleRtx2070) {
 
 TEST(Golden, Fig8SwizzleT4) {
   golden_roundtrip_named("fig8_swizzle_t4", "fig8_swizzle", "--device t4 --step 4096");
+}
+
+// The GemmOp PR's acceptance lines, per device spec: a split-K plan beats
+// the single-kernel launch on the skinny-grid deep-K shape even after
+// paying for the reduction pass and the extra launch, and one z-batched
+// launch beats a loop of single-plane launches.
+void expect_op_payoff(const JsonValue& doc) {
+  const auto& series = doc.at("series").as_array();
+  const auto& splitk = series[0].at("summary");
+  EXPECT_GT(splitk.at("best_split_k").as_number(), 1.0);
+  EXPECT_GT(splitk.at("best_speedup").as_number(), 1.0);
+  const auto& batched = series[1].at("summary");
+  EXPECT_GT(batched.at("speedup_at_batch_32").as_number(), 1.0);
+}
+
+TEST(Golden, BatchedSplitkRtx2070) {
+  expect_op_payoff(
+      golden_roundtrip_named("batched_splitk_rtx2070", "batched_splitk", "--device rtx2070"));
+}
+
+TEST(Golden, BatchedSplitkT4) {
+  expect_op_payoff(golden_roundtrip_named("batched_splitk_t4", "batched_splitk", "--device t4"));
 }
 
 // The parser itself: golden comparisons are only as trustworthy as the

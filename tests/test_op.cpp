@@ -1,0 +1,424 @@
+// tc::op regression suite (`op_smoke` CTest label): GemmOp lowering shapes
+// (fusion legality, split-K main+reduce plans, batched z-planes), op-level
+// execution against the bit-exact host reference, op-shaped serving
+// (batch-axis requests, dtype gating, the new metrics distributions), the
+// tuning-cache split_k/dtype defaulted-field contract, the split-K tuner
+// acceptance (a split-K config must beat the best single-pass config on a
+// skinny-grid deep-K shape on both device specs), and the `tcgemm_cli op`
+// tc-cli-v1 contract.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "device/spec.hpp"
+#include "driver/device.hpp"
+#include "op/op.hpp"
+#include "serve/serve.hpp"
+#include "tune/cache.hpp"
+#include "tune/tune.hpp"
+
+namespace tc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lowering shapes.
+// ---------------------------------------------------------------------------
+
+TEST(OpLowering, TrivialOpIsTheClassicSingleKernelLaunch) {
+  op::GemmOp gemm;
+  gemm.shape = {200, 200, 60};
+  const auto cfg = core::HgemmConfig::optimized();
+  const op::OpPlan plan = op::lower(gemm, cfg);
+
+  EXPECT_TRUE(plan.fused);
+  EXPECT_EQ(plan.workspace_elems, 0u);
+  ASSERT_EQ(plan.launches.size(), 1u);
+  const op::PlannedLaunch& l = plan.launches.front();
+  EXPECT_EQ(l.role, op::LaunchRole::kMain);
+  EXPECT_EQ(l.grid_z, 1u);
+  // Byte-identical to the classic run_hgemm kernel: same name, same code.
+  const sass::Program classic = core::hgemm_kernel(cfg, plan.contract);
+  EXPECT_EQ(l.program.name, classic.name);
+  EXPECT_EQ(l.program.disassemble(), classic.disassemble());
+}
+
+TEST(OpLowering, BatchedZPlanesShareOneProgram) {
+  op::GemmOp two;
+  two.shape = {256, 256, 64};
+  two.batch.count = 2;
+  op::GemmOp five = two;
+  five.batch.count = 5;
+  const auto cfg = core::HgemmConfig::optimized();
+  const op::OpPlan p2 = op::lower(two, cfg);
+  const op::OpPlan p5 = op::lower(five, cfg);
+
+  ASSERT_EQ(p2.launches.size(), 1u);
+  EXPECT_EQ(p2.launches[0].grid_z, 2u);
+  EXPECT_EQ(p5.launches[0].grid_z, 5u);
+  // The batch count rides in grid_z only — it is never baked into the SASS,
+  // so every batch size launches the identical program.
+  EXPECT_EQ(p2.launches[0].program.disassemble(), p5.launches[0].program.disassemble());
+  EXPECT_NE(p2.launches[0].program.name.find("_bz"), std::string::npos);
+}
+
+TEST(OpLowering, SplitKLowersToMainPlusReduce) {
+  op::GemmOp gemm;
+  gemm.shape = {256, 256, 256};
+  gemm.split_k = 4;
+  const auto cfg = core::HgemmConfig::optimized();
+  const op::OpPlan plan = op::lower(gemm, cfg);
+
+  EXPECT_FALSE(plan.fused);
+  ASSERT_EQ(plan.launches.size(), 2u);
+  const op::PlannedLaunch& main = plan.launches[0];
+  const op::PlannedLaunch& reduce = plan.launches[1];
+  EXPECT_EQ(main.role, op::LaunchRole::kMain);
+  EXPECT_EQ(reduce.role, op::LaunchRole::kReduce);
+  EXPECT_EQ(main.grid_z, 4u);  // one z plane per K slice
+  EXPECT_NE(main.program.name.find("_sk4"), std::string::npos);
+  // Slices tile the padded K exactly.
+  EXPECT_EQ(plan.slice_k * 4, plan.contract.k);
+  // Workspace: one m x n half plane per slice.
+  EXPECT_EQ(plan.workspace_elems, 4u * plan.contract.m * plan.contract.n);
+  EXPECT_EQ(reduce.grid_y, static_cast<std::uint32_t>(plan.contract.m));
+  EXPECT_EQ(reduce.grid_z, 1u);
+}
+
+TEST(OpLowering, BiasForcesTheReducePassEvenWithoutSplitK) {
+  op::GemmOp gemm;
+  gemm.shape = {256, 256, 64};
+  gemm.epilogue.bias = true;
+  EXPECT_TRUE(gemm.epilogue.fusible() == false);
+  const op::OpPlan plan = op::lower(gemm, core::HgemmConfig::optimized());
+  EXPECT_FALSE(plan.fused);
+  ASSERT_EQ(plan.launches.size(), 2u);
+  // parts == 1: the reduce kernel is a pure epilogue pass over one plane.
+  EXPECT_EQ(plan.workspace_elems, plan.contract.m * plan.contract.n);
+}
+
+TEST(OpLowering, FusibleEpilogueRidesTheMainTail) {
+  op::GemmOp gemm;
+  gemm.shape = {256, 256, 64};
+  gemm.epilogue = {2.0f, 1.0f, false, core::Activation::kRelu};
+  const op::OpPlan plan = op::lower(gemm, core::HgemmConfig::optimized());
+  EXPECT_TRUE(plan.fused);
+  EXPECT_EQ(plan.launches.size(), 1u);
+  EXPECT_EQ(plan.workspace_elems, 0u);
+}
+
+TEST(OpLowering, MismatchedConfigSplitKThrows) {
+  op::GemmOp gemm;
+  gemm.shape = {256, 256, 256};
+  gemm.split_k = 4;
+  auto cfg = core::HgemmConfig::optimized();
+  cfg.split_k = 2;  // neither 1 (auto-adopt) nor the op's 4
+  EXPECT_THROW((void)op::lower(gemm, cfg), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Execution: the everything-at-once op against the host reference.
+// ---------------------------------------------------------------------------
+
+TEST(OpExecution, StridedBatchedSplitKBiasGeluMatchesReferenceBitwise) {
+  op::GemmOp gemm;
+  gemm.shape = {100, 100, 72};
+  gemm.batch.count = 2;
+  gemm.batch.stride_a = 100 * 72 + 48;  // padded user planes
+  gemm.batch.stride_b = 100 * 72 + 16;
+  gemm.batch.stride_c = 100 * 100 + 32;
+  gemm.split_k = 2;
+  gemm.epilogue = {0.75f, 0.25f, true, core::Activation::kGelu};
+  const auto cfg = core::HgemmConfig::cublas_like();
+
+  Rng rng(77);
+  const std::vector<half> a = rng.half_vector(gemm.batch.stride_a + 100 * 72, -0.5f, 0.5f);
+  const std::vector<half> bt = rng.half_vector(gemm.batch.stride_b + 100 * 72, -0.5f, 0.5f);
+  const std::vector<half> c_in =
+      rng.half_vector(gemm.batch.stride_c + 100 * 100, -0.5f, 0.5f);
+  const std::vector<half> bias = rng.half_vector(100, -0.5f, 0.5f);
+  const op::OpInputs in{a, bt, c_in, bias};
+
+  driver::Device dev(device::rtx2070());
+  const std::vector<half> out = op::run_gemm_op(dev, gemm, in, cfg);
+  const std::vector<half> ref = op::gemm_op_ref(gemm, in, cfg);
+  ASSERT_EQ(out.size(), ref.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    mismatches += out[i].bits() != ref[i].bits() ? 1 : 0;
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Op-shaped serving.
+// ---------------------------------------------------------------------------
+
+tune::SearchSpace serve_space() {
+  tune::SearchSpace s;
+  s.bm = {64, 128};
+  s.bn = {64, 128};
+  s.bk = {32, 64};
+  s.wm = {32, 64};
+  s.wn = {32, 64};
+  s.layouts = {core::SmemLayout::kPaddedTile};
+  s.sts_interleave = {5};
+  s.prefetch = {true};
+  return s;
+}
+
+serve::ServerOptions serve_options() {
+  serve::ServerOptions o;
+  o.spec = device::rtx2070();
+  o.space = serve_space();
+  o.tune_budget = 2;
+  o.workers = 1;
+  o.batch_max = 1;
+  o.queue_capacity = 64;
+  return o;
+}
+
+TEST(OpServe, BatchAxisRequestOutperformsALoopOfSingles) {
+  // Four independent 64x64x64 problems: as four plain requests each pass
+  // runs one CTA on a whole simulated device; as one batch-4 op request the
+  // z planes fill four SMs concurrently, so the worker is busy for less
+  // total virtual time.
+  std::vector<serve::Request> singles;
+  for (int i = 0; i < 4; ++i) {
+    singles.push_back({static_cast<std::uint64_t>(i), 0, {64, 64, 64}, 0});
+  }
+  serve::Server loop_server(serve_options());
+  const serve::Metrics loop = loop_server.run(singles);
+  ASSERT_EQ(loop.counters.completed, 4u);
+
+  std::vector<serve::Request> batched;
+  batched.push_back({0, 0, {64, 64, 64}, 0, 4});
+  serve::Server batch_server(serve_options());
+  const serve::Metrics one = batch_server.run(batched);
+  ASSERT_EQ(one.counters.completed, 1u);
+
+  EXPECT_LT(one.counters.worker_busy_cycles, loop.counters.worker_busy_cycles);
+}
+
+TEST(OpServe, MetricsExposeBatchAndBucketDistributions) {
+  // 6 requests in one bucket, batch_max 4 -> passes of 4 and 2; plus 2 in a
+  // second bucket -> one pass of 2.
+  std::vector<serve::Request> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back({static_cast<std::uint64_t>(i), 0, {64, 64, 64}, 0});
+  }
+  reqs.push_back({6, 0, {128, 64, 64}, 0});
+  reqs.push_back({7, 0, {128, 64, 64}, 0});
+  serve::ServerOptions opt = serve_options();
+  opt.batch_max = 4;
+  serve::Server server(opt);
+  const serve::Metrics m = server.run(reqs);
+  ASSERT_EQ(m.counters.completed, 8u);
+
+  // Per-request batch-size distribution: 4 requests rode a batch of 4, 4
+  // rode a batch of 2 (6-request bucket splits 4+2, second bucket is 2).
+  ASSERT_EQ(m.batch_size_hist.size(), 2u);
+  EXPECT_EQ(m.batch_size_hist.at(4), 4u);
+  EXPECT_EQ(m.batch_size_hist.at(2), 4u);
+
+  // Bucket occupancy, keyed by CacheKey::str().
+  ASSERT_EQ(m.bucket_occupancy.size(), 2u);
+  const serve::BucketStats& small = m.bucket_occupancy.at("RTX2070:64x64x64");
+  EXPECT_EQ(small.requests, 6u);
+  EXPECT_EQ(small.batches, 2u);
+  const serve::BucketStats& wide = m.bucket_occupancy.at("RTX2070:128x64x64");
+  EXPECT_EQ(wide.requests, 2u);
+  EXPECT_EQ(wide.batches, 1u);
+
+  // And both land in the metrics JSON.
+  std::ostringstream os;
+  JsonWriter j(os);
+  serve::write_metrics_json(j, m);
+  const JsonValue doc = json_parse(os.str());
+  ASSERT_TRUE(doc.at("batch_size_hist").is_array());
+  EXPECT_EQ(doc.at("batch_size_hist").as_array().size(), 2u);
+  const auto& buckets = doc.at("bucket_occupancy").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].at("bucket").as_string(), "RTX2070:128x64x64");
+  EXPECT_EQ(buckets[1].at("bucket").as_string(), "RTX2070:64x64x64");
+}
+
+TEST(OpServe, MixedBatchAxisRequestsNeverFuse) {
+  // Same bucket, alternating op batch 1 / 2: each run of equal batch is
+  // length 1, so nothing fuses even with batch_max 4.
+  std::vector<serve::Request> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back({static_cast<std::uint64_t>(i), 0, {64, 64, 64}, 0, i % 2 == 0 ? 1 : 2});
+  }
+  serve::ServerOptions opt = serve_options();
+  opt.batch_max = 4;
+  serve::Server server(opt);
+  const serve::Metrics m = server.run(reqs);
+  EXPECT_EQ(m.counters.completed, 6u);
+  EXPECT_EQ(m.counters.batches, 6u);
+}
+
+TEST(OpServe, UnsupportedRequestDtypeIsRejected) {
+  serve::Server server(serve_options());
+  std::vector<serve::Request> reqs;
+  reqs.push_back({0, 0, {64, 64, 64}, 0, 1, "bf16"});
+  EXPECT_THROW((void)server.run(reqs), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Tuning-cache contract: split_k and dtype as defaulted fields, no schema
+// bump (tc-tune-cache-v1 stays tc-tune-cache-v1).
+// ---------------------------------------------------------------------------
+
+TEST(OpCache, SplitKWinnerRoundTripsThroughTheV1Schema) {
+  tune::CacheEntry e;
+  e.key = {"RTX2070", 256, 256, 64};
+  e.cfg = core::HgemmConfig::optimized();
+  e.cfg.split_k = 8;
+  e.sim_cycles = 4242;
+  e.budget = 2;
+  e.seed = 1;
+  e.engine = "timed-device";
+  ASSERT_EQ(tune::validate_cache_entry(e), "");
+
+  tune::TuneCache cache;
+  cache.insert(e);
+  tune::CacheLoadStats stats;
+  const tune::TuneCache back = tune::TuneCache::from_json(cache.to_json(), &stats);
+  EXPECT_EQ(stats.rejected, 0u);
+  const tune::CacheEntry* hit = back.find(e.key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cfg.split_k, 8);
+  EXPECT_EQ(hit->key.dtype, "f16");
+  // The default dtype never marks the display form.
+  EXPECT_EQ(hit->key.str(), "RTX2070:256x256x64");
+}
+
+TEST(OpCache, LegacyEntriesLoadWithDefaultedSplitKAndDtype) {
+  // A pre-split_k / pre-dtype v1 document (the exact shape older builds
+  // wrote): both fields must default rather than fail the parse.
+  const std::string legacy =
+      "{\"schema\":\"tc-tune-cache-v1\",\"entries\":["
+      "{\"device\":\"RTX2070\",\"m\":256,\"n\":256,\"k\":64,\"config\":{\"bm\":256,"
+      "\"bn\":256,\"bk\":32,\"wm\":128,\"wn\":64,\"wk\":8,\"layout\":\"padded_tile\","
+      "\"sts_interleave\":5,\"prefetch\":true},\"sim_cycles\":16090,\"budget\":4,"
+      "\"seed\":1,\"engine\":\"timed-device\"}]}\n";
+  tune::CacheLoadStats stats;
+  const tune::TuneCache cache = tune::TuneCache::from_json(legacy, &stats);
+  EXPECT_EQ(stats.loaded, 1u);
+  EXPECT_EQ(stats.rejected, 0u) << (stats.diagnostics.empty() ? "" : stats.diagnostics[0]);
+  const tune::CacheEntry* e = cache.find({"RTX2070", 256, 256, 64});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->cfg.split_k, 1);
+  EXPECT_EQ(e->key.dtype, "f16");
+}
+
+TEST(OpCache, NonF16DtypeIsUnservable) {
+  tune::CacheEntry e;
+  e.key = {"RTX2070", 256, 256, 64, "bf16"};
+  e.cfg = core::HgemmConfig::optimized();
+  e.engine = "timed-device";
+  EXPECT_EQ(e.key.str(), "RTX2070:256x256x64:bf16");  // non-default marks the key
+  const std::string diag = tune::validate_cache_entry(e);
+  EXPECT_NE(diag.find("unsupported dtype"), std::string::npos) << diag;
+  // And distinct dtypes are distinct buckets.
+  EXPECT_FALSE(tune::cache_key(device::rtx2070(), {256, 256, 64}, "bf16") ==
+               tune::cache_key(device::rtx2070(), {256, 256, 64}));
+}
+
+// ---------------------------------------------------------------------------
+// Split-K tuner acceptance: on a skinny-grid deep-K shape (one CTA of work
+// for the single-pass kernel on a 36+-SM device), a split-K candidate must
+// beat the best non-split-K candidate even after paying for the reduction
+// pass and the extra kernel launch.
+// ---------------------------------------------------------------------------
+
+void expect_split_k_wins(const device::DeviceSpec& spec) {
+  tune::SearchSpace space;
+  space.bm = {256};
+  space.bn = {256};
+  space.bk = {32};
+  space.wm = {128};
+  space.wn = {64};
+  space.layouts = {core::SmemLayout::kPaddedTile};
+  space.sts_interleave = {5};
+  space.prefetch = {true};
+  space.split_ks = {1, 8};
+
+  tune::TuneOptions opt;
+  opt.shape = {256, 256, 4096};
+  opt.budget = 2;  // both candidates run on the timed device
+  opt.explore = 0;
+  opt.seed = 1;
+  opt.space = space;
+  opt.engine = tune::Engine::kTimedDevice;
+  const tune::TuneResult r = tune::tune(spec, opt);
+
+  const tune::Candidate& best = r.best();
+  EXPECT_GT(best.cfg.split_k, 1) << best.name;
+  const tune::Candidate* single = nullptr;
+  for (const auto& c : r.ranked) {
+    if (c.evaluated && c.cfg.split_k == 1) single = &c;
+  }
+  ASSERT_NE(single, nullptr);
+  EXPECT_LT(best.sim_cycles, single->sim_cycles);
+  EXPECT_EQ(best.hazard_diags, 0u);
+}
+
+TEST(OpTune, SplitKWinsSkinnyKShapeOnRtx2070) { expect_split_k_wins(device::rtx2070()); }
+
+TEST(OpTune, SplitKWinsSkinnyKShapeOnT4) { expect_split_k_wins(device::t4()); }
+
+// ---------------------------------------------------------------------------
+// CLI contract: `tcgemm_cli op --json` emits the tc-cli-v1 header plus the
+// op payload (plan + bitwise check).
+// ---------------------------------------------------------------------------
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(OpCliContract, OpCommandEmitsPlanAndBitwiseCheck) {
+  const auto out = std::filesystem::temp_directory_path() / "tc_cli_op.json";
+  std::filesystem::remove(out);
+  const std::string cmd = std::string(TC_CLI_BIN) +
+                          " op --m 96 --n 80 --k 200 --batch 2 --split-k 2 --alpha 1.25"
+                          " --beta 0.5 --act relu --check --json " +
+                          out.string() + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_EQ(rc, 0) << cmd;
+  const JsonValue doc = json_parse(read_file(out));
+  std::filesystem::remove(out);
+
+  EXPECT_EQ(doc.at("schema").as_string(), "tc-cli-v1");
+  EXPECT_EQ(doc.at("command").as_string(), "op");
+  const JsonValue& o = doc.at("op");
+  EXPECT_EQ(o.at("batch").as_number(), 2.0);
+  EXPECT_EQ(o.at("split_k").as_number(), 2.0);
+  EXPECT_FALSE(o.at("fused").as_bool());
+  EXPECT_GT(o.at("workspace_elems").as_number(), 0.0);
+  EXPECT_EQ(o.at("mismatches").as_number(), 0.0);
+  const auto& launches = o.at("launches").as_array();
+  ASSERT_EQ(launches.size(), 2u);
+  EXPECT_EQ(launches[0].at("role").as_string(), "main");
+  EXPECT_EQ(launches[1].at("role").as_string(), "reduce");
+  for (const auto& l : launches) {
+    EXPECT_FALSE(l.at("kernel").as_string().empty());
+    EXPECT_GT(l.at("instructions").as_number(), 0.0);
+    EXPECT_GE(l.at("grid_z").as_number(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tc
