@@ -1,6 +1,7 @@
 // tcgemm_cli — command-line front end for the library.
 //
 //   tcgemm_cli run  --m 512 --n 512 --k 256 [--device rtx2070] [--check]
+//                   [--engine interpret|jit]
 //   tcgemm_cli perf --m 8192 --n 8192 --k 8192 [--device t4] [--baseline]
 //                   [--profile] [--top N] [--trace-out trace.json]
 //   tcgemm_cli lint [--m M --n N --k K] [--baseline]
@@ -8,7 +9,7 @@
 //   tcgemm_cli disasm [--baseline]
 //   tcgemm_cli check [--m M --n N --k K]
 //   tcgemm_cli fuzz [--programs N] [--seed S] [--numerics idealized|bitaccurate]
-//                   [--numeric-operands]
+//                   [--numeric-operands] [--engine timed|jit]
 //   tcgemm_cli numerics [--m M --n N] [--k KMAX] [--seed S]
 //   tcgemm_cli tune [--m M --n N --k K] [--device rtx2070|t4] [--budget N]
 //                   [--explore N] [--seed S] [--threads N] [--engine device|model]
@@ -67,6 +68,7 @@
 #include "sched/schedule.hpp"
 #include "serve/serve.hpp"
 #include "serve/traffic.hpp"
+#include "sim/engine.hpp"
 #include "sim/pipes.hpp"
 #include "tune/cache.hpp"
 #include "tune/tune.hpp"
@@ -88,7 +90,10 @@ struct Args {
   std::uint64_t seed = 1;
   std::string trace_out;
   std::string json;
-  std::string engine = "model";  // perf: "model" (WavePerf) or "device" (TimedDevice)
+  /// Meaning is per command — perf/tune: "model" (WavePerf) or "device"
+  /// (TimedDevice); run: "interpret" or "jit" (functional engine); fuzz:
+  /// "timed" (functional-vs-timed) or "jit" (jit-vs-interpreter).
+  std::string engine = "model";
   bool shape_set = false;        // any of --m/--n/--k given
   bool mn_set = false;           // --m or --n given explicitly
   bool k_set = false;            // --k given explicitly
@@ -156,8 +161,11 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--engine") {
       a.engine = value();
       a.engine_set = true;
-      TC_CHECK(a.engine == "model" || a.engine == "device",
-               "--engine must be 'model' or 'device'");
+      // Command-specific values are checked at the command; here only gate
+      // the union so typos fail at parse time.
+      TC_CHECK(a.engine == "model" || a.engine == "device" || a.engine == "interpret" ||
+                   a.engine == "jit" || a.engine == "timed",
+               "--engine must be one of model|device|interpret|jit|timed");
     } else if (flag == "--budget") {
       a.budget = std::stoi(value());
     } else if (flag == "--explore") {
@@ -218,6 +226,7 @@ int usage() {
   std::cout
       << "usage:\n"
          "  tcgemm_cli run    --m M --n N --k K [--device rtx2070|t4] [--check] [--baseline]\n"
+         "                    [--engine interpret|jit]\n"
          "  tcgemm_cli perf   --m M --n N --k K [--device rtx2070|t4] [--baseline]\n"
          "                    [--engine model|device] [--profile] [--top N]\n"
          "                    [--trace-out trace.json]\n"
@@ -227,7 +236,7 @@ int usage() {
          "  tcgemm_cli disasm [--m M --n N --k K] [--baseline]\n"
          "  tcgemm_cli check  [--m M --n N --k K]\n"
          "  tcgemm_cli fuzz   [--programs N] [--seed S] [--numerics idealized|bitaccurate]\n"
-         "                    [--numeric-operands]\n"
+         "                    [--numeric-operands] [--engine timed|jit]\n"
          "  tcgemm_cli numerics [--m M --n N] [--k KMAX] [--seed S]\n"
          "  tcgemm_cli tune   [--m M --n N --k K] [--device rtx2070|t4] [--budget N]\n"
          "                    [--explore N] [--seed S] [--threads N] [--engine device|model]\n"
@@ -323,6 +332,11 @@ int main(int argc, char** argv) {
     };
 
     if (args.command == "run") {
+      if (args.engine_set) {
+        TC_CHECK(args.engine == "interpret" || args.engine == "jit",
+                 "run --engine must be 'interpret' or 'jit'");
+        cfg.engine = sim::parse_exec_engine(args.engine);
+      }
       Rng rng(1);
       HalfMatrix a(args.m, args.k), bt(args.n, args.k);
       a.randomize(rng, -0.5f, 0.5f);
@@ -330,8 +344,10 @@ int main(int argc, char** argv) {
       driver::Device dev(device::spec_by_name(args.device));
       const HalfMatrix c = core::run_hgemm(dev, a, bt, cfg);
       std::cout << "ran " << cfg.name() << " on " << dev.spec().name << " (numerics="
-                << numerics::numerics_mode_name(cfg.numerics) << "): C is " << c.rows()
+                << numerics::numerics_mode_name(cfg.numerics)
+                << ", engine=" << sim::exec_engine_name(cfg.engine) << "): C is " << c.rows()
                 << " x " << c.cols() << ", C[0][0] = " << c.at(0, 0) << "\n";
+      if (json) json->field("engine", sim::exec_engine_name(cfg.engine));
       int rc = 0;
       if (args.check) {
         // The bit-exact reference must follow the launched semantics.
@@ -350,6 +366,10 @@ int main(int argc, char** argv) {
       return rc;
     }
 
+    if (args.command == "perf" && args.engine_set) {
+      TC_CHECK(args.engine == "model" || args.engine == "device",
+               "perf --engine must be 'model' or 'device'");
+    }
     if (args.command == "perf" && args.engine == "device") {
       // Cycle-level multi-SM simulation of the whole grid (shared L2/DRAM,
       // dynamic CTA dispatch). Cost scales with m*n*k — intended for the
@@ -608,14 +628,22 @@ int main(int argc, char** argv) {
     }
 
     if (args.command == "fuzz") {
+      if (args.engine_set) {
+        TC_CHECK(args.engine == "timed" || args.engine == "jit",
+                 "fuzz --engine must be 'timed' or 'jit'");
+      }
       check::FuzzOptions fopts;
       fopts.numerics = args.numerics;
       fopts.numeric_operands = args.numeric_operands;
+      const bool jit_fuzz = args.engine_set && args.engine == "jit";
+      fopts.compare = jit_fuzz ? check::FuzzCompare::kJitVsInterpreter
+                               : check::FuzzCompare::kFunctionalVsTimed;
       const check::FuzzReport rep = check::run_fuzz(args.seed, args.programs, fopts);
       std::cout << "fuzzed " << rep.programs << " programs (seed " << args.seed
                 << ", numerics=" << numerics::numerics_mode_name(fopts.numerics)
-                << (fopts.numeric_operands ? ", numeric operands" : "") << "): "
-                << rep.divergences << " divergences, " << rep.failures.size()
+                << (fopts.numeric_operands ? ", numeric operands" : "")
+                << ", engines=" << (jit_fuzz ? "jit-vs-interpreter" : "functional-vs-timed")
+                << "): " << rep.divergences << " divergences, " << rep.failures.size()
                 << " failures\n";
       for (const auto& f : rep.failures) {
         std::cout << "\nseed " << f.seed << " [" << f.phase << "] shrunk "
@@ -624,6 +652,7 @@ int main(int argc, char** argv) {
                   << f.program;
       }
       if (json) {
+        json->field("engines", jit_fuzz ? "jit-vs-interpreter" : "functional-vs-timed");
         json->field("programs", static_cast<std::uint64_t>(rep.programs));
         json->field("divergences", static_cast<std::uint64_t>(rep.divergences));
         json->key("failures");
@@ -645,6 +674,10 @@ int main(int argc, char** argv) {
     }
 
     if (args.command == "tune") {
+      if (args.engine_set) {
+        TC_CHECK(args.engine == "model" || args.engine == "device",
+                 "tune --engine must be 'model' or 'device'");
+      }
       const device::DeviceSpec spec = device::spec_by_name(args.device);
       const tune::CacheKey ckey = tune::cache_key(spec, {args.m, args.n, args.k});
       tune::TuneCache cache;

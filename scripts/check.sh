@@ -24,6 +24,18 @@ echo "== schedule checks: kernel hazard scan + fuzz smoke + device/L2 xval =="
 # device's emergent sector-cache hit rate for every launch order.
 ctest --test-dir build --output-on-failure -L "fuzz_smoke|device_xval|l2_xval"
 
+echo "== jit gate: differential layer + compiled-engine CLI smoke =="
+# jit_smoke carries the JIT-vs-interpreter differential layer (1000-seed
+# engine-axis fuzz in both numerics modes, per-pass translation validation,
+# regression vectors). The CLI passes then drive the compiled engine end to
+# end: run --engine jit must match the reference bitwise in both numerics
+# modes, and fuzz --engine jit must report zero divergences.
+ctest --test-dir build --output-on-failure -L "jit_smoke" -j "$JOBS"
+./build/examples/tcgemm_cli run --m 64 --n 64 --k 64 --engine jit --check >/dev/null
+./build/examples/tcgemm_cli run --m 64 --n 64 --k 64 --engine jit \
+  --numerics bitaccurate --check >/dev/null
+./build/examples/tcgemm_cli fuzz --engine jit --programs 200 >/dev/null
+
 echo "== numerics gate: HMMA conformance suite + executor-vs-engine check =="
 # numerics_smoke carries the bit-accurate HMMA conformance suite (SMT-model
 # vectors, long-double oracle properties, golden error curves, executor e2e

@@ -532,10 +532,13 @@ FuzzCase generate_case(std::uint64_t seed, const FuzzOptions& opts) {
 
 std::optional<std::string> run_case(const FuzzCase& c, const FuzzOptions& opts) {
   try {
-    sim::StateProbe functional_probe;
-    sim::StateProbe timed_probe;
-    functional_probe.set_num_regs(c.prog.num_regs);
-    timed_probe.set_num_regs(c.prog.num_regs);
+    const bool jit_mode = opts.compare == FuzzCompare::kJitVsInterpreter;
+    const std::string name_a = jit_mode ? "interpret" : "functional";
+    const std::string name_b = jit_mode ? "jit" : "timed";
+    sim::StateProbe probe_a;
+    sim::StateProbe probe_b;
+    probe_a.set_num_regs(c.prog.num_regs);
+    probe_b.set_num_regs(c.prog.num_regs);
 
     // Two memories with identical allocation order; addresses match, but each
     // launch carries its own params so no aliasing is assumed.
@@ -553,23 +556,30 @@ std::optional<std::string> run_case(const FuzzCase& c, const FuzzOptions& opts) 
     launch_f.params = {in_f, out_f};
     launch_f.numerics = opts.numerics;
     sim::FunctionalExecutor fx(gmem_f, /*host_threads=*/1);
-    fx.set_probe(&functional_probe);
+    fx.set_probe(&probe_a);
     fx.run(launch_f);
 
     sim::Launch launch_t;
     launch_t.program = &c.prog;
     launch_t.params = {in_t, out_t};
     launch_t.numerics = opts.numerics;
-    sim::TimedConfig cfg;
-    cfg.spec = device::rtx2070();
-    cfg.probe = &timed_probe;
-    cfg.max_cycles = opts.timed_max_cycles;
-    sim::TimedSm sm(cfg, gmem_t);
-    const sim::CtaCoord cta{0, 0};
-    sm.run(launch_t, std::span(&cta, 1));
+    if (jit_mode) {
+      launch_t.engine = sim::ExecEngine::kJit;
+      sim::FunctionalExecutor jx(gmem_t, /*host_threads=*/1);
+      jx.set_probe(&probe_b);
+      jx.run(launch_t);
+    } else {
+      sim::TimedConfig cfg;
+      cfg.spec = device::rtx2070();
+      cfg.probe = &probe_b;
+      cfg.max_cycles = opts.timed_max_cycles;
+      sim::TimedSm sm(cfg, gmem_t);
+      const sim::CtaCoord cta{0, 0};
+      sm.run(launch_t, std::span(&cta, 1));
+    }
 
     const std::string reg_diff =
-        sim::StateProbe::diff(functional_probe, timed_probe);
+        sim::StateProbe::diff(probe_a, probe_b, /*max_reports=*/4, name_a, name_b);
     if (!reg_diff.empty()) return reg_diff;
 
     std::vector<std::uint8_t> buf_f(c.out_bytes);
@@ -578,8 +588,8 @@ std::optional<std::string> run_case(const FuzzCase& c, const FuzzOptions& opts) 
     gmem_t.read(out_t, std::span(buf_t));
     for (std::uint32_t i = 0; i < c.out_bytes; ++i) {
       if (buf_f[i] != buf_t[i]) {
-        return "output byte " + std::to_string(i) + ": functional 0x" +
-               std::to_string(buf_f[i]) + " vs timed " + std::to_string(buf_t[i]);
+        return "output byte " + std::to_string(i) + ": " + name_a + " 0x" +
+               std::to_string(buf_f[i]) + " vs " + name_b + " " + std::to_string(buf_t[i]);
       }
     }
     // The input buffer must be untouched by both engines.

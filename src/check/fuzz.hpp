@@ -30,6 +30,12 @@
 
 namespace tc::check {
 
+/// Which pair of engines a fuzz case is differenced across.
+enum class FuzzCompare : std::uint8_t {
+  kFunctionalVsTimed,   // functional interpreter vs hazard-accurate timed SM
+  kJitVsInterpreter,    // functional JIT vs functional interpreter (the oracle)
+};
+
 struct FuzzOptions {
   int max_body_ops = 24;       // upper bound on random body instructions
   bool allow_loops = true;
@@ -45,6 +51,10 @@ struct FuzzOptions {
   /// HMMA semantics BOTH engines run with; the differential comparison is
   /// still bitwise, so each mode must be self-consistent across executors.
   numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
+  /// Engine pair to difference. kJitVsInterpreter runs the SAME functional
+  /// executor twice — once with ExecEngine::kJit, once interpreting — so any
+  /// divergence is a compiler/backend bug against the interpreter oracle.
+  FuzzCompare compare = FuzzCompare::kFunctionalVsTimed;
 };
 
 /// One generated test case: the program plus everything needed to launch it

@@ -11,6 +11,7 @@
 #include "common/matrix.hpp"
 #include "model/l2_reuse.hpp"
 #include "numerics/numerics.hpp"
+#include "sim/engine.hpp"
 
 namespace tc::core {
 
@@ -71,6 +72,13 @@ struct HgemmConfig {
   /// changes the math, not the generated SASS, so tuning-cache keys and
   /// recorded kernel names stay stable.
   numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
+
+  /// Functional execution engine (sim/engine.hpp): the reference interpreter
+  /// or the threaded-code JIT held bitwise to it. Like `numerics`,
+  /// deliberately NOT part of name(): the engine changes how the SASS is
+  /// executed, never the SASS or the results, so tuning-cache keys and
+  /// recorded kernel names stay stable. The timed SM ignores it.
+  sim::ExecEngine engine = sim::ExecEngine::kInterpret;
 
   /// The paper's optimized kernel (Table VII left column).
   static HgemmConfig optimized() { return {}; }

@@ -27,7 +27,8 @@ HalfMatrix launch_and_collect(driver::Device& dev, const sass::Program& prog,
                               std::uint32_t grid_x, std::uint32_t grid_y, std::size_t out_m,
                               std::size_t out_n, const HalfMatrix* c_pad = nullptr,
                               numerics::NumericsMode numerics_mode =
-                                  numerics::NumericsMode::kIdealized) {
+                                  numerics::NumericsMode::kIdealized,
+                              sim::ExecEngine engine = sim::ExecEngine::kInterpret) {
   const std::size_t mp = a_pad.rows();
   const std::size_t np = bt_pad.rows();
 
@@ -47,6 +48,7 @@ HalfMatrix launch_and_collect(driver::Device& dev, const sass::Program& prog,
   launch.grid_y = grid_y;
   launch.params = {da.addr, db.addr, dc.addr};
   launch.numerics = numerics_mode;
+  launch.engine = engine;
   dev.launch(launch);
 
   HalfMatrix c_full(mp, np);
@@ -65,7 +67,8 @@ HalfMatrix launch_and_collect(driver::Device& dev, const sass::Program& prog,
 // both are trivial GemmOp instantiations of the tc::op lowering (the layer
 // above tc_core), kept byte-identical to the historic single-kernel path.
 
-HalfMatrix run_wmma_naive(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt) {
+HalfMatrix run_wmma_naive(driver::Device& dev, const HalfMatrix& a, const HalfMatrix& bt,
+                          sim::ExecEngine engine) {
   TC_CHECK(a.cols() == bt.cols(), "A (m x k) and B^T (n x k): k mismatch");
   const std::size_t mp = round_up(a.rows(), 16);
   const std::size_t np = round_up(bt.rows(), 128);
@@ -77,7 +80,8 @@ HalfMatrix run_wmma_naive(driver::Device& dev, const HalfMatrix& a, const HalfMa
   const GemmShape shape{mp, np, kp};
   const sass::Program prog = wmma_naive_kernel(shape);
   return launch_and_collect(dev, prog, a_pad, bt_pad, static_cast<std::uint32_t>(np) / 128,
-                            static_cast<std::uint32_t>(mp) / 16, a.rows(), bt.rows());
+                            static_cast<std::uint32_t>(mp) / 16, a.rows(), bt.rows(),
+                            /*c_pad=*/nullptr, numerics::NumericsMode::kIdealized, engine);
 }
 
 PerfEstimator::PerfEstimator(device::DeviceSpec spec, HgemmConfig cfg)

@@ -40,9 +40,12 @@ namespace tc::core {
                                          float alpha, float beta,
                                          const HgemmConfig& cfg = HgemmConfig::optimized());
 
-/// Same contract, executed by the naive WMMA-style kernel.
+/// Same contract, executed by the naive WMMA-style kernel. `engine` picks the
+/// functional execution engine (interpreter or JIT; results are bitwise
+/// identical either way).
 [[nodiscard]] HalfMatrix run_wmma_naive(driver::Device& dev, const HalfMatrix& a,
-                                        const HalfMatrix& bt);
+                                        const HalfMatrix& bt,
+                                        sim::ExecEngine engine = sim::ExecEngine::kInterpret);
 
 /// One point of a performance sweep.
 struct PerfPoint {

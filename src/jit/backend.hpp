@@ -1,0 +1,42 @@
+// Backend-internal interface: emission (IR -> threaded code) and the block
+// dispatcher. Split from jit.hpp so a future native emitter can slot in as a
+// second implementation of the same two entry points.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "jit/jit.hpp"
+#include "mem/banked_smem.hpp"
+#include "mem/global_mem.hpp"
+#include "sim/launch.hpp"
+#include "sim/reg_file.hpp"
+
+namespace tc::jit {
+
+/// Binds operands and packs each surviving IrInst into a TOp; fills the
+/// const pool and stats.
+[[nodiscard]] JitProgram emit(const sass::Program& prog, const std::vector<IrBlock>& blocks,
+                              const PassStats& pass_stats, std::uint32_t ir_instructions);
+
+/// Per-warp execution context for one CTA. `gpr` aliases regs->rows();
+/// `dump` receives RZ-destination writes (discarded, like write_now on RZ).
+struct RunCtx {
+  std::array<std::uint32_t, 32>* gpr = nullptr;
+  sim::WarpRegs* regs = nullptr;
+  const std::array<std::uint32_t, 32>* cpool = nullptr;
+  mem::SharedMemory* smem = nullptr;
+  mem::GlobalMemory* gmem = nullptr;
+  const sim::Launch* launch = nullptr;
+  std::uint32_t cta_x = 0;
+  std::uint32_t cta_y = 0;
+  std::uint32_t cta_z = 0;
+  int warp_in_cta = 0;
+  std::uint64_t clock_base = 0;  // warp's executed count at block entry
+  std::array<std::uint32_t, 32> dump{};
+};
+
+/// Executes one compiled block's body (not the terminator) for one warp.
+void exec_block(const CompiledBlock& blk, RunCtx& ctx);
+
+}  // namespace tc::jit

@@ -1,0 +1,142 @@
+// compile(): validate -> blocks -> passes -> emit.
+// run_cta(): the interpreter's warp/barrier loop (sim/functional.cpp) over
+// compiled blocks, with identical stats, budget, and error behavior.
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "jit/backend.hpp"
+#include "jit/jit.hpp"
+#include "mem/banked_smem.hpp"
+#include "sass/validator.hpp"
+#include "sim/probe.hpp"
+
+namespace tc::jit {
+
+JitProgram compile(const sass::Program& prog, const JitOptions& opts) {
+  sass::validate(prog);
+  std::vector<IrBlock> blocks = build_blocks(prog);
+  std::uint32_t ir_instructions = 0;
+  for (const IrBlock& b : blocks) ir_instructions += static_cast<std::uint32_t>(b.insts.size());
+  PassStats stats;
+  run_passes(blocks, prog, opts, stats);
+  return emit(prog, blocks, stats, ir_instructions);
+}
+
+namespace {
+
+struct WarpRun {
+  std::unique_ptr<sim::WarpRegs> regs = std::make_unique<sim::WarpRegs>();
+  std::int32_t pc = 0;
+  bool exited = false;
+  bool at_barrier = false;
+  std::uint64_t executed = 0;
+};
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> run_cta(const JitProgram& jp, mem::GlobalMemory& gmem,
+                                                const sim::Launch& launch, std::uint32_t cta_x,
+                                                std::uint32_t cta_y, std::uint32_t cta_z,
+                                                std::uint64_t max_warp_instructions,
+                                                sim::StateProbe* probe) {
+  const sass::Program& prog = *jp.program;
+  const int num_warps = static_cast<int>(launch.warps_per_cta());
+  mem::SharedMemory smem(prog.smem_bytes);
+
+  std::vector<WarpRun> warps(static_cast<std::size_t>(num_warps));
+  std::uint64_t instructions = 0;
+  std::uint64_t hmma = 0;
+
+  auto alive = [&] {
+    int n = 0;
+    for (const auto& w : warps) n += w.exited ? 0 : 1;
+    return n;
+  };
+  auto block_at = [&](std::int32_t pc) -> const CompiledBlock& {
+    TC_CHECK(pc >= 0 && static_cast<std::size_t>(pc) < jp.block_of_pc.size() &&
+                 jp.block_of_pc[static_cast<std::size_t>(pc)] >= 0,
+             "jit: control transfer to pc " + std::to_string(pc) +
+                 " which is not a compiled block entry in kernel '" + prog.name + "'");
+    return jp.blocks[static_cast<std::size_t>(jp.block_of_pc[static_cast<std::size_t>(pc)])];
+  };
+
+  while (alive() > 0) {
+    int arrived = 0;
+    for (int wi = 0; wi < num_warps; ++wi) {
+      WarpRun& w = warps[static_cast<std::size_t>(wi)];
+      if (w.exited || w.at_barrier) {
+        arrived += w.at_barrier ? 1 : 0;
+        continue;
+      }
+      RunCtx ctx;
+      ctx.gpr = w.regs->rows();
+      ctx.regs = w.regs.get();
+      ctx.cpool = jp.cpool.data();
+      ctx.smem = &smem;
+      ctx.gmem = &gmem;
+      ctx.launch = &launch;
+      ctx.cta_x = cta_x;
+      ctx.cta_y = cta_y;
+      ctx.cta_z = cta_z;
+      ctx.warp_in_cta = wi;
+
+      while (true) {
+        const CompiledBlock& b = block_at(w.pc);
+        // Block-entry form of the interpreter's per-instruction budget
+        // check: the interpreter would trip inside this block iff
+        // executed + static_count exceeds the budget (worst instruction is
+        // the block's last), and the failed run's partial effects are
+        // unobservable, so the trigger sets are identical.
+        TC_CHECK(w.executed + b.static_count <= max_warp_instructions,
+                 "warp exceeded instruction budget (runaway loop?) in kernel '" + prog.name +
+                     "'");
+        ctx.clock_base = w.executed;
+        exec_block(b, ctx);
+        w.executed += b.static_count;
+        hmma += b.static_mma;
+        if (b.term == Term::kFall) {
+          w.pc = b.next_pc;
+          continue;
+        }
+        if (b.term == Term::kBra || b.term == Term::kExit) {
+          const std::uint32_t m =
+              w.regs->pred_mask(sass::Pred{b.term_guard}) ^ b.term_gxor;
+          const bool any = m != 0;
+          const bool all = m == ~0u;
+          if (b.term == Term::kBra) {
+            TC_CHECK(all || !any, "divergent BRA is not supported (warp-uniform branches only)");
+            w.pc = any ? b.target : b.next_pc;
+            continue;
+          }
+          TC_CHECK(all || !any, "divergent EXIT is not supported");
+          if (!any) {  // predicated-off EXIT falls through
+            w.pc = b.next_pc;
+            continue;
+          }
+          w.exited = true;
+          break;
+        }
+        // Term::kBar — the interpreter barriers regardless of the guard.
+        w.pc = b.next_pc;
+        w.at_barrier = true;
+        break;
+      }
+      if (w.at_barrier) ++arrived;
+    }
+
+    if (arrived > 0) {
+      TC_CHECK(arrived == alive(), "deadlock: some warps exited while others wait at BAR.SYNC");
+      for (auto& w : warps) w.at_barrier = false;
+    }
+  }
+  for (const auto& w : warps) instructions += w.executed;
+  if (probe != nullptr) {
+    for (int wi = 0; wi < num_warps; ++wi) {
+      probe->capture(*warps[static_cast<std::size_t>(wi)].regs, cta_x, cta_y, cta_z, wi);
+    }
+  }
+  return {instructions, hmma};
+}
+
+}  // namespace tc::jit

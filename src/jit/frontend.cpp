@@ -1,0 +1,234 @@
+// JIT frontend: basic-block partitioning + SASS -> IR translation.
+//
+// Leaders are pc 0, every BRA target, and the instruction after each
+// BRA/EXIT/BAR (a predicated-off EXIT falls through; a warp resumes after a
+// BAR). Blocks are maximal leader-to-terminator runs, so every pc the
+// executor can land on — entry, branch target, barrier resume — is a block
+// start, which is what lets run_cta() dispatch whole blocks.
+#include "common/error.hpp"
+#include "jit/ir.hpp"
+
+namespace tc::jit {
+
+namespace {
+
+using sass::Opcode;
+
+[[nodiscard]] Ref reg_ref(sass::Reg r) {
+  // RZ reads as zero in the interpreter; lower it to a splat constant.
+  return r.is_rz() ? Ref::of_const(0) : Ref::of_reg(r.idx);
+}
+
+/// srcb for IADD3/IMAD/ISETP/MOV/shifts: an immediate when has_imm is set.
+[[nodiscard]] Ref b_ref(const sass::Instruction& in) {
+  return in.has_imm ? Ref::of_const(static_cast<std::uint32_t>(in.imm)) : reg_ref(in.srcb);
+}
+
+[[nodiscard]] IrInst translate(const sass::Instruction& in, std::int32_t pc,
+                               std::int32_t block_first_pc) {
+  IrInst ir;
+  ir.sass_op = in.op;
+  ir.guard = in.guard;
+  ir.guard_negated = in.guard_negated;
+  ir.dst = in.dst.idx;
+  ir.dst_count = 1;
+  ir.pc = pc;
+  switch (in.op) {
+    case Opcode::kMov:
+      ir.op = IrOp::kMov;
+      ir.a = in.has_imm ? Ref::of_const(static_cast<std::uint32_t>(in.imm)) : reg_ref(in.srca);
+      break;
+    case Opcode::kMovParam:
+      ir.op = IrOp::kParam;
+      ir.param_index = in.param_index;
+      break;
+    case Opcode::kS2r:
+      ir.op = IrOp::kSpecial;
+      ir.sreg = in.sreg;
+      break;
+    case Opcode::kCs2rClock:
+      ir.op = IrOp::kClock;
+      ir.imm = pc - block_first_pc;  // executed-at = block entry count + offset
+      break;
+    case Opcode::kIadd3:
+    case Opcode::kImad:
+      ir.op = in.op == Opcode::kIadd3 ? IrOp::kIadd3 : IrOp::kImad;
+      ir.a = reg_ref(in.srca);
+      ir.b = b_ref(in);
+      ir.c = reg_ref(in.srcc);
+      break;
+    case Opcode::kLop3And:
+    case Opcode::kLop3Or:
+    case Opcode::kLop3Xor:
+      ir.op = in.op == Opcode::kLop3And ? IrOp::kAnd
+              : in.op == Opcode::kLop3Or ? IrOp::kOr
+                                         : IrOp::kXor;
+      ir.a = reg_ref(in.srca);
+      ir.b = b_ref(in);
+      break;
+    case Opcode::kShfL:
+    case Opcode::kShfR:
+      ir.op = in.op == Opcode::kShfL ? IrOp::kShl : IrOp::kShr;
+      ir.a = reg_ref(in.srca);
+      ir.b = b_ref(in);
+      break;
+    case Opcode::kIsetp:
+      ir.op = IrOp::kIsetp;
+      ir.dst = 255;
+      ir.dst_count = 0;
+      ir.pdst = in.pdst.idx;
+      ir.cmp = in.cmp;
+      ir.a = reg_ref(in.srca);
+      ir.b = b_ref(in);
+      break;
+    case Opcode::kSel:
+      ir.op = IrOp::kSel;
+      ir.pdst = in.pdst.idx;
+      ir.a = reg_ref(in.srca);
+      ir.b = reg_ref(in.srcb);
+      break;
+    case Opcode::kFadd:
+    case Opcode::kFmul:
+    case Opcode::kFfma:
+      ir.op = in.op == Opcode::kFadd ? IrOp::kFadd
+              : in.op == Opcode::kFmul ? IrOp::kFmul
+                                       : IrOp::kFfma;
+      ir.a = reg_ref(in.srca);
+      ir.b = reg_ref(in.srcb);
+      ir.c = reg_ref(in.srcc);
+      break;
+    case Opcode::kHadd2:
+    case Opcode::kHmul2:
+    case Opcode::kHfma2:
+    case Opcode::kHmax2:
+      ir.op = in.op == Opcode::kHadd2   ? IrOp::kHadd2
+              : in.op == Opcode::kHmul2 ? IrOp::kHmul2
+              : in.op == Opcode::kHfma2 ? IrOp::kHfma2
+                                        : IrOp::kHmax2;
+      ir.a = reg_ref(in.srca);
+      ir.b = reg_ref(in.srcb);
+      ir.c = reg_ref(in.srcc);
+      break;
+    case Opcode::kHgelu2:
+      ir.op = IrOp::kHgelu2;
+      ir.a = reg_ref(in.srca);
+      break;
+    case Opcode::kF2fF32ToF16:
+      ir.op = IrOp::kF2fNarrow;
+      ir.a = reg_ref(in.srca);
+      break;
+    case Opcode::kF2fF16ToF32:
+      ir.op = IrOp::kF2fWiden;
+      ir.a = reg_ref(in.srca);
+      break;
+    case Opcode::kLdg:
+    case Opcode::kLds:
+      ir.op = IrOp::kLoad;
+      ir.a = reg_ref(in.srca);
+      ir.imm = in.imm;
+      ir.width = in.width;
+      ir.dst_count = static_cast<std::uint8_t>(sass::width_regs(in.width));
+      break;
+    case Opcode::kStg:
+    case Opcode::kSts:
+      ir.op = IrOp::kStore;
+      ir.a = reg_ref(in.srca);
+      ir.imm = in.imm;
+      ir.width = in.width;
+      ir.dst = 255;
+      ir.dst_count = 0;
+      ir.data = in.srcb.idx;
+      break;
+    case Opcode::kHmma1688F16:
+    case Opcode::kHmma1688F32:
+    case Opcode::kHmma884F16:
+    case Opcode::kImma8816S8: {
+      ir.op = IrOp::kMma;
+      const auto counts = sass::mma_reg_counts(in.op);
+      ir.dst_count = static_cast<std::uint8_t>(counts.d);
+      ir.ma = in.srca.idx;
+      ir.mb = in.srcb.idx;
+      ir.mc = in.srcc.idx;
+      break;
+    }
+    case Opcode::kNop:
+    case Opcode::kBar:
+    case Opcode::kBra:
+    case Opcode::kExit:
+      TC_CHECK(false, "jit: control opcode reached body translation");
+      break;
+  }
+  return ir;
+}
+
+}  // namespace
+
+std::vector<IrBlock> build_blocks(const sass::Program& prog) {
+  const auto& code = prog.code;
+  const auto n = static_cast<std::int32_t>(code.size());
+  std::vector<bool> leader(static_cast<std::size_t>(n), false);
+  if (n > 0) leader[0] = true;
+  for (std::int32_t pc = 0; pc < n; ++pc) {
+    const auto& in = code[static_cast<std::size_t>(pc)];
+    if (in.op == Opcode::kBra) {
+      if (in.target >= 0 && in.target < n) leader[static_cast<std::size_t>(in.target)] = true;
+    }
+    if ((in.op == Opcode::kBra || in.op == Opcode::kExit || in.op == Opcode::kBar) &&
+        pc + 1 < n) {
+      leader[static_cast<std::size_t>(pc + 1)] = true;
+    }
+  }
+
+  std::vector<IrBlock> blocks;
+  std::int32_t pc = 0;
+  while (pc < n) {
+    IrBlock b;
+    b.first_pc = pc;
+    std::int32_t end = pc;
+    bool terminated = false;
+    while (end < n) {
+      const Opcode op = code[static_cast<std::size_t>(end)].op;
+      ++end;
+      if (op == Opcode::kBra || op == Opcode::kExit || op == Opcode::kBar) {
+        terminated = true;
+        break;
+      }
+      if (end < n && leader[static_cast<std::size_t>(end)]) break;
+    }
+    b.past_pc = end;
+    b.next_pc = end;
+    b.static_count = static_cast<std::uint32_t>(end - pc);
+    const std::int32_t body_end = terminated ? end - 1 : end;
+    for (std::int32_t i = pc; i < body_end; ++i) {
+      const auto& in = code[static_cast<std::size_t>(i)];
+      if (sass::is_mma(in.op)) ++b.static_mma;
+      if (in.op == Opcode::kNop) continue;  // counted, no work
+      b.insts.push_back(translate(in, i, pc));
+    }
+    if (terminated) {
+      const auto& t = code[static_cast<std::size_t>(end - 1)];
+      b.term_guard = t.guard;
+      b.term_negated = t.guard_negated;
+      switch (t.op) {
+        case Opcode::kBra:
+          b.term = Term::kBra;
+          b.target = t.target;
+          break;
+        case Opcode::kExit:
+          b.term = Term::kExit;
+          break;
+        case Opcode::kBar:
+          // The interpreter barriers unconditionally, guard ignored.
+          b.term = Term::kBar;
+          break;
+        default:
+          break;
+      }
+    }
+    blocks.push_back(std::move(b));
+    pc = end;
+  }
+  return blocks;
+}
+
+}  // namespace tc::jit

@@ -1,0 +1,155 @@
+// Basic-block IR for the SASS JIT (internal to tc::jit, visible to tests).
+//
+// The frontend (frontend.cpp) partitions a validated program into maximal
+// basic blocks — leaders are pc 0, every branch target, and the instruction
+// after each BRA/EXIT/BAR — and translates each block's body into a linear
+// list of warp-level IrInsts. Each IrInst computes one value (or performs
+// one memory/MMA side effect); source operands are SSA-ish `Ref`s that name
+// an architectural register, a splat constant, or a defining instruction in
+// the same block. Control never appears in the body: the block's terminator
+// (fallthrough / BRA / EXIT / BAR) is stored on the block itself.
+//
+// Pass discipline (passes.cpp): passes only *rewrite operands* or *remove
+// instructions*; they never reorder, so every surviving register read still
+// happens at its original program position. That property — plus forwarding
+// only across write-free ranges — is what makes direct register-row binding
+// in the backend bitwise-equal to the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sass/instruction.hpp"
+#include "sass/program.hpp"
+
+namespace tc::jit {
+
+/// Where a source operand's 32 lane values come from.
+struct Ref {
+  enum class Kind : std::uint8_t {
+    kNone,   // operand unused by this op
+    kReg,    // architectural register row, read at execution time
+    kConst,  // splat constant (RZ reads lower to kConst 0)
+    kDef,    // result of insts[def] in the same block (still stored in its
+             // dst register row; forwarding guarantees no intervening write)
+  };
+  Kind kind = Kind::kNone;
+  std::uint8_t reg = 0;     // kReg
+  std::uint32_t cval = 0;   // kConst
+  std::int32_t def = -1;    // kDef
+
+  [[nodiscard]] static Ref none() { return {}; }
+  [[nodiscard]] static Ref of_reg(std::uint8_t r) {
+    Ref x;
+    x.kind = Kind::kReg;
+    x.reg = r;
+    return x;
+  }
+  [[nodiscard]] static Ref of_const(std::uint32_t v) {
+    Ref x;
+    x.kind = Kind::kConst;
+    x.cval = v;
+    return x;
+  }
+  [[nodiscard]] static Ref of_def(std::int32_t i) {
+    Ref x;
+    x.kind = Kind::kDef;
+    x.def = i;
+    return x;
+  }
+};
+
+/// IR operations. One SASS body instruction lowers to exactly one IrInst
+/// (NOPs lower to none); MOV with an immediate becomes kMov with a const
+/// operand, which is also what constant folding rewrites foldable ALU ops to.
+enum class IrOp : std::uint8_t {
+  kMov,     // d = a
+  kParam,   // d = params[param_index] (bounds-checked like the interpreter)
+  kSpecial, // d = special register (sreg)
+  kClock,   // d = low 32 bits of warp instruction counter at this pc
+  kIadd3,   // d = a + b + c
+  kImad,    // d = a * b + c
+  kAnd,
+  kOr,
+  kXor,
+  kShl,     // d = a << (b & 31)
+  kShr,     // d = a >> (b & 31)
+  kSel,     // d = pdst-lane ? a : b
+  kIsetp,   // pdst-lane = cmp(a, b), active lanes only
+  kFadd,
+  kFmul,
+  kFfma,
+  kHadd2,
+  kHmul2,
+  kHfma2,
+  kHmax2,
+  kHgelu2,
+  kF2fNarrow,  // f32 -> f16 (low half of d)
+  kF2fWiden,   // low f16 of a -> f32
+  kLoad,       // LDG/LDS: regs [dst, dst+dst_count) <- mem[a + imm]
+  kStore,      // STG/STS: mem[a + imm] <- regs [data, data+n)
+  kMma,        // HMMA/IMMA via sim::exec_mma (ma/mb/mc/dst register bases)
+};
+
+struct IrInst {
+  IrOp op = IrOp::kMov;
+  sass::Opcode sass_op = sass::Opcode::kNop;  // memory kind / MMA shape
+  sass::Pred guard = sass::PT;
+  bool guard_negated = false;
+  std::uint8_t dst = 255;      // dst GPR base; 255 = RZ (writes discarded)
+  std::uint8_t dst_count = 0;  // 1 for ALU, width_regs for loads, d-regs for MMA
+  std::uint8_t pdst = 7;       // ISETP destination / SEL source predicate
+  std::uint8_t data = 255;     // store source-data base register
+  std::uint8_t ma = 255, mb = 255, mc = 255;  // MMA source bases
+  Ref a, b, c;
+  std::int32_t imm = 0;        // memory byte offset / kClock pc offset in block
+  sass::MemWidth width = sass::MemWidth::k32;
+  sass::CmpOp cmp = sass::CmpOp::kLt;
+  sass::SpecialReg sreg = sass::SpecialReg::kLaneId;
+  std::uint16_t param_index = 0;
+  std::int32_t pc = 0;         // source SASS pc (diagnostics)
+  bool removed = false;        // set by DCE; skipped at emission
+};
+
+/// How control leaves a block.
+enum class Term : std::uint8_t { kFall, kBra, kExit, kBar };
+
+struct IrBlock {
+  std::int32_t first_pc = 0;  // SASS range [first_pc, past_pc)
+  std::int32_t past_pc = 0;
+  std::vector<IrInst> insts;
+  Term term = Term::kFall;
+  sass::Pred term_guard = sass::PT;  // BRA/EXIT guard (BAR ignores its guard)
+  bool term_negated = false;
+  std::int32_t target = -1;   // BRA taken target
+  std::int32_t next_pc = -1;  // fallthrough / branch-not-taken / barrier resume
+  /// SASS instructions this block accounts for — terminator, NOPs and
+  /// predicated-off bodies included — so `executed` and the budget check
+  /// advance exactly like the interpreter's per-instruction accounting.
+  std::uint32_t static_count = 0;
+  std::uint32_t static_mma = 0;  // MMA count (stats parity with functional.cpp)
+};
+
+struct PassStats {
+  std::uint64_t forwarded = 0;  // operand reads rewired to defs/constants (LSE)
+  std::uint64_t folded = 0;     // ALU ops reduced to constant moves
+  std::uint64_t removed = 0;    // dead instructions eliminated (DCE/DSE)
+};
+
+/// Pass toggles, all on by default. tests/test_jit.cpp drives each pass
+/// alone and translation-validates the result against the interpreter.
+struct JitOptions {
+  bool forward = true;  // load-store elimination over the register file
+  bool fold = true;     // constant folding (integer/logic/shift ops)
+  bool dce = true;      // dead-code / dead-store elimination
+};
+
+/// Splits a program into translated basic blocks. The program must already
+/// be sass::validate()-clean (compile() enforces this).
+[[nodiscard]] std::vector<IrBlock> build_blocks(const sass::Program& prog);
+
+/// Runs the enabled passes over every block, accumulating stats.
+void run_passes(std::vector<IrBlock>& blocks, const sass::Program& prog, const JitOptions& opts,
+                PassStats& stats);
+
+}  // namespace tc::jit

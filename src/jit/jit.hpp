@@ -1,0 +1,141 @@
+// Block JIT for the functional executor: SASS -> IR -> passes -> threaded code.
+//
+// compile() validates the program, builds the basic-block IR (ir.hpp), runs
+// the pass pipeline, and emits portable threaded code: per block, a flat
+// array of TOps whose operand slots are pre-bound to register rows or
+// const-pool rows, dispatched by computed goto (backend.cpp). run_cta()
+// mirrors sim/functional.cpp's warp/barrier loop over compiled blocks.
+//
+// Bitwise contract with the interpreter (the oracle, kept permanently):
+//  * handlers compute lane-wise under the guard mask, writing only active
+//    lanes — exactly exec_step()'s per-lane guard semantics;
+//  * passes never reorder, so every surviving register read happens at its
+//    original program position; forwarded operands only cross write-free
+//    ranges, so binding a def's dst row is indistinguishable from re-reading;
+//  * MMA steps call sim::exec_mma with the same NumericsMode, so both
+//    numerics modes stay exact;
+//  * error behavior (divergent BRA/EXIT, predicated MMA, misalignment,
+//    param bounds, instruction budget, barrier deadlock) reproduces the
+//    interpreter's messages; the budget trips at block entry exactly when
+//    the interpreter's per-instruction check would trip inside the block.
+//
+// The backend interface is deliberately narrow — a CompiledBlock is a
+// self-contained (ops, terminator) pair and exec_block() is the only entry —
+// so a native x64 emitter can later replace the threaded dispatch per block
+// without touching the frontend, the passes, or the executor loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jit/ir.hpp"
+#include "mem/global_mem.hpp"
+#include "sass/program.hpp"
+#include "sim/launch.hpp"
+
+namespace tc::sim {
+class StateProbe;
+}
+
+namespace tc::jit {
+
+/// Threaded-code handler ids (dense; backend.cpp owns the dispatch table).
+enum Handler : std::uint16_t {
+  hMov,
+  hParam,
+  hSpecial,
+  hClock,
+  hIadd3,
+  hImad,
+  hAnd,
+  hOr,
+  hXor,
+  hShl,
+  hShr,
+  hSel,
+  hIsetp,
+  hFadd,
+  hFmul,
+  hFfma,
+  hHadd2,
+  hHmul2,
+  hHfma2,
+  hHmax2,
+  hHgelu2,
+  hF2fNarrow,
+  hF2fWiden,
+  hLdg,
+  hLds,
+  hStg,
+  hSts,
+  hMma,
+  kNumHandlers,
+};
+
+/// Source-operand slot: a register row index, or a const-pool row when
+/// kConstBit is set. Bound once at compile time.
+inline constexpr std::uint16_t kConstBit = 0x8000;
+
+/// One threaded op: handler id plus pre-bound operand slots. Memory ops keep
+/// their base registers (`dst`/`data`) and width (`aux`); MMA keeps its SASS
+/// opcode in `imm` and its source bases in `data`/`b`/`c`.
+struct TOp {
+  std::uint16_t handler = hMov;
+  std::uint8_t dst = 255;    // dst GPR base; ISETP predicate index; 255 discards
+  std::uint8_t aux = 0;      // mem nregs / SEL pred / ISETP CmpOp / S2R sreg
+  std::uint8_t guard = 7;    // guard predicate index (7 = PT)
+  std::uint8_t data = 255;   // store data base / MMA srca base
+  std::uint32_t gxor = 0;    // 0 or ~0u: XORed into the guard lane mask (@!P)
+  std::uint16_t a = 0;       // source row slots (kConstBit selects const pool)
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::uint32_t imm = 0;     // imm / mem offset / param index / clock offset
+};
+
+struct CompiledBlock {
+  std::vector<TOp> ops;
+  Term term = Term::kFall;
+  std::uint8_t term_guard = 7;
+  std::uint32_t term_gxor = 0;
+  std::int32_t target = -1;   // BRA taken pc
+  std::int32_t next_pc = -1;  // fallthrough / not-taken / barrier resume pc
+  std::uint32_t static_count = 0;  // SASS instructions represented (see ir.hpp)
+  std::uint32_t static_mma = 0;
+};
+
+struct JitStats {
+  std::uint32_t blocks = 0;
+  std::uint32_t sass_instructions = 0;
+  std::uint32_t ir_instructions = 0;  // translated, before passes
+  std::uint32_t emitted_ops = 0;      // surviving TOps after passes
+  PassStats passes;
+};
+
+/// A compiled program: read-only after compile(), safe to share across the
+/// functional executor's CTA worker threads.
+struct JitProgram {
+  const sass::Program* program = nullptr;
+  std::vector<CompiledBlock> blocks;
+  /// pc -> block index for block leaders; -1 for mid-block pcs (never a
+  /// branch target by construction).
+  std::vector<std::int32_t> block_of_pc;
+  /// Splat constants, one 32-lane row per distinct value.
+  std::vector<std::array<std::uint32_t, 32>> cpool;
+  JitStats stats;
+};
+
+/// Validates (sass::validate) and compiles. Throws tc::Error on invalid
+/// programs; hazard gating (check::find_hazards) stays with the callers that
+/// already enforce it — src/check cannot be linked from here without a cycle.
+[[nodiscard]] JitProgram compile(const sass::Program& prog, const JitOptions& opts = {});
+
+/// Runs one CTA to completion over compiled blocks, mirroring the
+/// interpreter's warp/barrier loop bit for bit. Returns (instructions, mma).
+std::pair<std::uint64_t, std::uint64_t> run_cta(const JitProgram& jp, mem::GlobalMemory& gmem,
+                                                const sim::Launch& launch, std::uint32_t cta_x,
+                                                std::uint32_t cta_y, std::uint32_t cta_z,
+                                                std::uint64_t max_warp_instructions,
+                                                sim::StateProbe* probe);
+
+}  // namespace tc::jit

@@ -1,0 +1,297 @@
+// JIT pass pipeline: forwarding (load-store elimination over the register
+// file), constant folding, and dead-code/dead-store elimination — all block-
+// local, all remove-or-rewrite-only (never reorder), each independently
+// toggleable so tests can translation-validate one pass at a time.
+//
+// Forwarding tracks what each register cell holds while walking a block in
+// order: an unconditional single-register def installs itself (or its splat
+// constant), any other write to the cell — guarded defs, load/MMA ranges —
+// kills it. A kReg operand whose cell is known becomes kConst/kDef; since
+// nothing between the def and the use writes the cell, the backend binding
+// the def's dst row reads exactly the bytes the interpreter would.
+//
+// Folding rewrites integer/logic/shift ops whose (forwarded) operands are
+// all constants into constant moves, using the interpreter's uint32
+// expressions verbatim. Forward+fold iterate to propagate through chains.
+//
+// DCE walks backward with per-cell liveness. Every register and predicate
+// is live at block end (StateProbe observes final state; successor blocks
+// read freely), so only values unconditionally overwritten later in the
+// SAME block with no intervening read can die. Memory ops, MMA, and
+// out-of-range param reads are never removed: their checks (alignment,
+// bounds) must still fire exactly where the interpreter fires them.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jit/ir.hpp"
+
+namespace tc::jit {
+
+namespace {
+
+using sass::Opcode;
+
+[[nodiscard]] bool unconditional(const IrInst& x) { return x.guard.is_pt() && !x.guard_negated; }
+
+// ---------------------------------------------------------------- forwarding
+
+struct Cell {
+  enum class K : std::uint8_t { kUnknown, kConst, kDef };
+  K k = K::kUnknown;
+  std::uint32_t cval = 0;
+  std::int32_t def = -1;
+};
+
+/// Which Refs an op reads from the register file / prior defs. Store data
+/// and MMA sources stay raw register ranges (never forwarded).
+template <typename Fn>
+void for_each_src(IrInst& x, Fn&& fn) {
+  switch (x.op) {
+    case IrOp::kMov:
+    case IrOp::kF2fNarrow:
+    case IrOp::kF2fWiden:
+    case IrOp::kHgelu2:
+    case IrOp::kLoad:
+    case IrOp::kStore:
+      fn(x.a);
+      break;
+    case IrOp::kAnd:
+    case IrOp::kOr:
+    case IrOp::kXor:
+    case IrOp::kShl:
+    case IrOp::kShr:
+    case IrOp::kIsetp:
+    case IrOp::kSel:
+      fn(x.a);
+      fn(x.b);
+      break;
+    case IrOp::kIadd3:
+    case IrOp::kImad:
+    case IrOp::kFadd:
+    case IrOp::kFmul:
+    case IrOp::kFfma:
+    case IrOp::kHadd2:
+    case IrOp::kHmul2:
+    case IrOp::kHfma2:
+    case IrOp::kHmax2:
+      fn(x.a);
+      fn(x.b);
+      fn(x.c);
+      break;
+    case IrOp::kParam:
+    case IrOp::kSpecial:
+    case IrOp::kClock:
+    case IrOp::kMma:
+      break;
+  }
+}
+
+/// True when the op writes exactly one register row (a forwardable def).
+[[nodiscard]] bool single_def(const IrInst& x) {
+  return x.op != IrOp::kStore && x.op != IrOp::kIsetp && x.op != IrOp::kLoad &&
+         x.op != IrOp::kMma && x.dst != 255;
+}
+
+void kill_range(std::array<Cell, 255>& cells, std::uint8_t base, int count) {
+  for (int r = 0; r < count; ++r) {
+    const auto idx = static_cast<std::uint8_t>(base + r);  // uint8 wrap like exec_step
+    if (idx != 255) cells[idx] = Cell{};
+  }
+}
+
+bool forward_block(IrBlock& b, PassStats& stats) {
+  std::array<Cell, 255> cells{};
+  bool changed = false;
+  for (std::size_t i = 0; i < b.insts.size(); ++i) {
+    IrInst& x = b.insts[i];
+    if (x.removed) continue;
+    for_each_src(x, [&](Ref& r) {
+      if (r.kind != Ref::Kind::kReg) return;
+      const Cell& c = cells[r.reg];
+      if (c.k == Cell::K::kConst) {
+        r = Ref::of_const(c.cval);
+      } else if (c.k == Cell::K::kDef) {
+        r = Ref::of_def(c.def);
+      } else {
+        return;
+      }
+      ++stats.forwarded;
+      changed = true;
+    });
+    // Update cell knowledge with this op's writes.
+    if (single_def(x)) {
+      if (unconditional(x)) {
+        Cell c;
+        if (x.op == IrOp::kMov && x.a.kind == Ref::Kind::kConst) {
+          c.k = Cell::K::kConst;
+          c.cval = x.a.cval;
+        } else {
+          c.k = Cell::K::kDef;
+          c.def = static_cast<std::int32_t>(i);
+        }
+        cells[x.dst] = c;
+      } else {
+        cells[x.dst] = Cell{};
+      }
+    } else if (x.op == IrOp::kLoad || x.op == IrOp::kMma) {
+      kill_range(cells, x.dst, x.dst_count);
+    }
+  }
+  return changed;
+}
+
+// ------------------------------------------------------------------- folding
+
+bool fold_block(IrBlock& b, PassStats& stats) {
+  bool changed = false;
+  for (IrInst& x : b.insts) {
+    if (x.removed) continue;
+    const bool abc = x.op == IrOp::kIadd3 || x.op == IrOp::kImad;
+    const bool ab = x.op == IrOp::kAnd || x.op == IrOp::kOr || x.op == IrOp::kXor ||
+                    x.op == IrOp::kShl || x.op == IrOp::kShr;
+    if (!abc && !ab) continue;
+    if (x.a.kind != Ref::Kind::kConst || x.b.kind != Ref::Kind::kConst) continue;
+    if (abc && x.c.kind != Ref::Kind::kConst) continue;
+    const std::uint32_t a = x.a.cval;
+    const std::uint32_t bb = x.b.cval;
+    const std::uint32_t c = abc ? x.c.cval : 0;
+    std::uint32_t v = 0;
+    switch (x.op) {  // the interpreter's expressions, verbatim
+      case IrOp::kIadd3: v = a + bb + c; break;
+      case IrOp::kImad: v = a * bb + c; break;
+      case IrOp::kAnd: v = a & bb; break;
+      case IrOp::kOr: v = a | bb; break;
+      case IrOp::kXor: v = a ^ bb; break;
+      case IrOp::kShl: v = a << (bb & 31u); break;
+      case IrOp::kShr: v = a >> (bb & 31u); break;
+      default: break;
+    }
+    x.op = IrOp::kMov;
+    x.a = Ref::of_const(v);
+    x.b = Ref::none();
+    x.c = Ref::none();
+    ++stats.folded;
+    changed = true;
+  }
+  return changed;
+}
+
+// ----------------------------------------------------------------------- DCE
+
+[[nodiscard]] bool removable(const IrInst& x, const sass::Program& prog) {
+  switch (x.op) {
+    case IrOp::kLoad:
+    case IrOp::kStore:
+    case IrOp::kMma:
+      // Side effects and/or checks (alignment, bounds) must still fire.
+      return false;
+    case IrOp::kParam:
+      // The interpreter range-checks at execution; only reads the run-level
+      // precheck already proves in range may disappear.
+      return x.param_index < prog.num_param_words;
+    default:
+      return true;
+  }
+}
+
+bool dce_block(IrBlock& b, const sass::Program& prog, PassStats& stats) {
+  // Use counts pin defs referenced by surviving kDef operands.
+  std::vector<int> uses(b.insts.size(), 0);
+  for (IrInst& x : b.insts) {
+    if (x.removed) continue;
+    for_each_src(x, [&](Ref& r) {
+      if (r.kind == Ref::Kind::kDef) ++uses[static_cast<std::size_t>(r.def)];
+    });
+  }
+
+  // Backward liveness. Everything is live at block end.
+  std::array<bool, 255> live_gpr;
+  live_gpr.fill(true);
+  std::array<bool, 7> live_pred;
+  live_pred.fill(true);
+
+  auto mark_ref = [&](const Ref& r) {
+    if (r.kind == Ref::Kind::kReg) {
+      live_gpr[r.reg] = true;
+    } else if (r.kind == Ref::Kind::kDef) {
+      // A forwarded use still reads the producer's dst row at run time.
+      live_gpr[b.insts[static_cast<std::size_t>(r.def)].dst] = true;
+    }
+  };
+  auto mark_range = [&](std::uint8_t base, int count) {
+    for (int r = 0; r < count; ++r) {
+      const auto idx = static_cast<std::uint8_t>(base + r);
+      if (idx != 255) live_gpr[idx] = true;
+    }
+  };
+
+  bool changed = false;
+  for (std::size_t ii = b.insts.size(); ii-- > 0;) {
+    IrInst& x = b.insts[ii];
+    if (x.removed) continue;
+
+    // Removal decision against liveness *after* this op.
+    if (removable(x, prog) && uses[ii] == 0) {
+      const bool dead_gpr = x.op != IrOp::kIsetp && (x.dst == 255 || !live_gpr[x.dst]);
+      const bool dead_pred = x.op == IrOp::kIsetp && (x.pdst >= 7 || !live_pred[x.pdst]);
+      if (dead_gpr || dead_pred) {
+        x.removed = true;
+        ++stats.removed;
+        changed = true;
+        continue;
+      }
+    }
+
+    // live_before = (live_after - unconditional defs) + uses.
+    if (unconditional(x)) {
+      if (x.op == IrOp::kIsetp) {
+        if (x.pdst < 7) live_pred[x.pdst] = false;
+      } else if (x.op == IrOp::kLoad || x.op == IrOp::kMma) {
+        for (int r = 0; r < x.dst_count; ++r) {
+          const auto idx = static_cast<std::uint8_t>(x.dst + r);
+          if (idx != 255) live_gpr[idx] = false;
+        }
+      } else if (single_def(x)) {
+        live_gpr[x.dst] = false;
+      }
+    }
+    for_each_src(x, [&](Ref& r) { mark_ref(r); });
+    if (x.op == IrOp::kStore) mark_range(x.data, sass::width_regs(x.width));
+    if (x.op == IrOp::kMma) {
+      const auto counts = sass::mma_reg_counts(x.sass_op);
+      mark_range(x.ma, counts.a);
+      mark_range(x.mb, counts.b);
+      mark_range(x.mc, counts.c);
+      mark_range(x.dst, counts.d);  // accumulate-in-place: C aliases D's cells
+    }
+    if (x.op == IrOp::kSel && x.pdst < 7) live_pred[x.pdst] = true;
+    if (x.guard.idx < 7) live_pred[x.guard.idx] = true;
+  }
+  return changed;
+}
+
+}  // namespace
+
+void run_passes(std::vector<IrBlock>& blocks, const sass::Program& prog, const JitOptions& opts,
+                PassStats& stats) {
+  for (IrBlock& b : blocks) {
+    if (opts.forward || opts.fold) {
+      // Iterate so folded constants feed further forwarding; each round only
+      // rewrites operands, so this terminates (bounded by operand count).
+      for (int round = 0; round < 8; ++round) {
+        bool changed = false;
+        if (opts.forward) changed |= forward_block(b, stats);
+        if (opts.fold) changed |= fold_block(b, stats);
+        if (!changed) break;
+      }
+    }
+    if (opts.dce) {
+      // Removing a consumer can free its producers; iterate to a fixpoint.
+      while (dce_block(b, prog, stats)) {
+      }
+    }
+  }
+}
+
+}  // namespace tc::jit

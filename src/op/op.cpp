@@ -162,6 +162,7 @@ void run_gemm_op(driver::Device& dev, const GemmOp& gemm, const OpInputs& in,
     launch.grid_y = planned.grid_y;
     launch.grid_z = planned.grid_z;
     launch.numerics = plan.cfg.numerics;
+    launch.engine = plan.cfg.engine;
     if (planned.role == LaunchRole::kMain) {
       launch.params = {da.addr, db.addr, plan.fused ? dc.addr : dw.addr};
     } else {
@@ -319,6 +320,7 @@ OpTiming time_gemm_op(const device::DeviceSpec& spec, const OpPlan& plan,
     launch.launch_order = plan.cfg.launch_order;
     launch.supertile_width = plan.cfg.supertile_width;
     launch.numerics = plan.cfg.numerics;
+    launch.engine = plan.cfg.engine;
     if (planned.role == LaunchRole::kMain) {
       launch.params = {a_addr, b_addr, plan.fused ? c_addr : w_addr};
     } else {

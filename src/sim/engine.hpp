@@ -1,0 +1,34 @@
+// Functional execution engine selection.
+//
+// The interpreter (sim/exec_core + sim/functional) is the permanent
+// semantics oracle: one decoded instruction at a time, shared with the
+// timing engine. The JIT (src/jit) compiles SASS basic blocks to threaded
+// code for ~order-of-magnitude faster functional runs and is held bitwise
+// to the interpreter by the differential test layer (check::fuzz engine
+// axis, tests/test_jit.cpp, tests/test_equivalence.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace tc::sim {
+
+enum class ExecEngine : std::uint8_t {
+  kInterpret,  // instruction-at-a-time oracle (default)
+  kJit,        // block-compiled threaded code (src/jit), bitwise-identical
+};
+
+[[nodiscard]] inline const char* exec_engine_name(ExecEngine e) {
+  return e == ExecEngine::kJit ? "jit" : "interpret";
+}
+
+[[nodiscard]] inline ExecEngine parse_exec_engine(const std::string& name) {
+  if (name == "interpret") return ExecEngine::kInterpret;
+  if (name == "jit") return ExecEngine::kJit;
+  TC_CHECK(false, "unknown exec engine '" + name + "' (interpret|jit)");
+  return ExecEngine::kInterpret;
+}
+
+}  // namespace tc::sim

@@ -3,24 +3,21 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "sim/lane_ops.hpp"
 #include "sim/mma_exec.hpp"
 
 namespace tc::sim {
 
 namespace {
 
-std::uint32_t float_bits(float f) {
-  std::uint32_t b;
-  std::memcpy(&b, &f, 4);
-  return b;
-}
-float bits_float(std::uint32_t b) {
-  float f;
-  std::memcpy(&f, &b, 4);
-  return f;
+std::uint32_t special_value(const ExecContext& ctx, sass::SpecialReg sr, int lane) {
+  return special_reg_value(sr, lane, ctx.warp_in_cta, ctx.cta_x, ctx.cta_y, ctx.cta_z,
+                           ctx.launch->grid_x, ctx.sm_id);
 }
 
-bool compare(sass::CmpOp op, std::int32_t a, std::int32_t b) {
+}  // namespace
+
+bool eval_cmp(sass::CmpOp op, std::int32_t a, std::int32_t b) {
   switch (op) {
     case sass::CmpOp::kLt: return a < b;
     case sass::CmpOp::kLe: return a <= b;
@@ -32,27 +29,27 @@ bool compare(sass::CmpOp op, std::int32_t a, std::int32_t b) {
   return false;
 }
 
-std::uint32_t special_value(const ExecContext& ctx, sass::SpecialReg sr, int lane) {
+std::uint32_t special_reg_value(sass::SpecialReg sr, int lane, int warp_in_cta,
+                                std::uint32_t cta_x, std::uint32_t cta_y, std::uint32_t cta_z,
+                                std::uint32_t grid_x, int sm_id) {
   switch (sr) {
     case sass::SpecialReg::kLaneId:
       return static_cast<std::uint32_t>(lane);
     case sass::SpecialReg::kTidX:
-      return static_cast<std::uint32_t>(ctx.warp_in_cta * kWarpSize + lane);
+      return static_cast<std::uint32_t>(warp_in_cta * kWarpSize + lane);
     case sass::SpecialReg::kCtaIdX:
-      return ctx.cta_x;
+      return cta_x;
     case sass::SpecialReg::kCtaIdY:
-      return ctx.cta_y;
+      return cta_y;
     case sass::SpecialReg::kCtaIdZ:
-      return ctx.cta_z;
+      return cta_z;
     case sass::SpecialReg::kNCtaIdX:
-      return ctx.launch->grid_x;
+      return grid_x;
     case sass::SpecialReg::kSmId:
-      return static_cast<std::uint32_t>(ctx.sm_id);
+      return static_cast<std::uint32_t>(sm_id);
   }
   return 0;
 }
-
-}  // namespace
 
 StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, WriteSink& sink) {
   WarpRegs& regs = *ctx.regs;
@@ -163,7 +160,7 @@ StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, Writ
         const auto a = static_cast<std::int32_t>(regs.read(inst.srca, lane));
         const auto b = inst.has_imm ? inst.imm
                                     : static_cast<std::int32_t>(regs.read(inst.srcb, lane));
-        sink.pred(inst.pdst, lane, compare(inst.cmp, a, b));
+        sink.pred(inst.pdst, lane, eval_cmp(inst.cmp, a, b));
       }
       break;
 
@@ -175,22 +172,24 @@ StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, Writ
       }
       break;
 
+    // Float and half lanes go through sim/lane_ops.cpp: one compiled copy of
+    // each operation keeps NaN payloads identical across every executor.
     case Opcode::kFadd:
     case Opcode::kFmul:
     case Opcode::kFfma:
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if (!active[static_cast<std::size_t>(lane)]) continue;
-        const float a = bits_float(regs.read(inst.srca, lane));
-        const float b = bits_float(regs.read(inst.srcb, lane));
-        const float c = bits_float(regs.read(inst.srcc, lane));
-        float v = 0.0f;
+        const std::uint32_t a = regs.read(inst.srca, lane);
+        const std::uint32_t b = regs.read(inst.srcb, lane);
+        const std::uint32_t c = regs.read(inst.srcc, lane);
+        std::uint32_t v = 0;
         switch (inst.op) {
-          case Opcode::kFadd: v = a + b; break;
-          case Opcode::kFmul: v = a * b; break;
-          case Opcode::kFfma: v = a * b + c; break;
+          case Opcode::kFadd: v = fadd_bits(a, b); break;
+          case Opcode::kFmul: v = fmul_bits(a, b); break;
+          case Opcode::kFfma: v = ffma_bits(a, b, c); break;
           default: break;
         }
-        sink.gpr(inst.dst, lane, float_bits(v));
+        sink.gpr(inst.dst, lane, v);
       }
       break;
 
@@ -200,44 +199,39 @@ StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, Writ
     case Opcode::kHmax2:
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if (!active[static_cast<std::size_t>(lane)]) continue;
-        const half2 a = half2::unpack(regs.read(inst.srca, lane));
-        const half2 b = half2::unpack(regs.read(inst.srcb, lane));
-        const half2 c = half2::unpack(regs.read(inst.srcc, lane));
-        half2 v;
+        const std::uint32_t a = regs.read(inst.srca, lane);
+        const std::uint32_t b = regs.read(inst.srcb, lane);
+        const std::uint32_t c = regs.read(inst.srcc, lane);
+        std::uint32_t v = 0;
         switch (inst.op) {
-          case Opcode::kHadd2: v = {a.lo + b.lo, a.hi + b.hi}; break;
-          case Opcode::kHmul2: v = {a.lo * b.lo, a.hi * b.hi}; break;
-          case Opcode::kHfma2:
-            v = {fma_round_half(a.lo, b.lo, c.lo), fma_round_half(a.hi, b.hi, c.hi)};
-            break;
-          case Opcode::kHmax2: v = {max_half(a.lo, b.lo), max_half(a.hi, b.hi)}; break;
+          case Opcode::kHadd2: v = hadd2_bits(a, b); break;
+          case Opcode::kHmul2: v = hmul2_bits(a, b); break;
+          case Opcode::kHfma2: v = hfma2_bits(a, b, c); break;
+          case Opcode::kHmax2: v = hmax2_bits(a, b); break;
           default: break;
         }
-        sink.gpr(inst.dst, lane, v.pack());
+        sink.gpr(inst.dst, lane, v);
       }
       break;
 
     case Opcode::kHgelu2:
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if (!active[static_cast<std::size_t>(lane)]) continue;
-        const half2 a = half2::unpack(regs.read(inst.srca, lane));
-        sink.gpr(inst.dst, lane, half2{gelu_half(a.lo), gelu_half(a.hi)}.pack());
+        sink.gpr(inst.dst, lane, hgelu2_bits(regs.read(inst.srca, lane)));
       }
       break;
 
     case Opcode::kF2fF32ToF16:
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if (!active[static_cast<std::size_t>(lane)]) continue;
-        const float a = bits_float(regs.read(inst.srca, lane));
-        sink.gpr(inst.dst, lane, static_cast<std::uint32_t>(half(a).bits()));
+        sink.gpr(inst.dst, lane, f2f_narrow_bits(regs.read(inst.srca, lane)));
       }
       break;
 
     case Opcode::kF2fF16ToF32:
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if (!active[static_cast<std::size_t>(lane)]) continue;
-        const half lo = half2::unpack(regs.read(inst.srca, lane)).lo;
-        sink.gpr(inst.dst, lane, float_bits(lo.to_float()));
+        sink.gpr(inst.dst, lane, f2f_widen_bits(regs.read(inst.srca, lane)));
       }
       break;
 

@@ -82,4 +82,15 @@ struct ExecContext {
 /// loaded values in registers is the sink's concern.
 StepResult exec_step(const ExecContext& ctx, const sass::Instruction& inst, WriteSink& sink);
 
+/// ISETP comparison semantics (signed 32-bit), shared with the JIT so both
+/// engines agree by construction.
+[[nodiscard]] bool eval_cmp(sass::CmpOp op, std::int32_t a, std::int32_t b);
+
+/// S2R special-register semantics, shared with the JIT. `grid_x` is the
+/// launch's x dimension (SR_NCTAID.X).
+[[nodiscard]] std::uint32_t special_reg_value(sass::SpecialReg sr, int lane, int warp_in_cta,
+                                              std::uint32_t cta_x, std::uint32_t cta_y,
+                                              std::uint32_t cta_z, std::uint32_t grid_x,
+                                              int sm_id);
+
 }  // namespace tc::sim

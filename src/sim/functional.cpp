@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "jit/jit.hpp"
 #include "mem/banked_smem.hpp"
 #include "sim/exec_core.hpp"
 #include "sim/probe.hpp"
@@ -125,6 +126,14 @@ FunctionalStats FunctionalExecutor::run(const Launch& launch,
                std::to_string(launch.program->num_param_words) + " param words, " +
                std::to_string(launch.params.size()) + " provided");
 
+  // JIT engine: compile once up front (validated, optimized, operand-bound);
+  // the compiled program is read-only and shared by all CTA workers. The
+  // interpreter path below stays byte-for-byte untouched — it is the oracle.
+  std::unique_ptr<const jit::JitProgram> jp;
+  if (launch.engine == ExecEngine::kJit) {
+    jp = std::make_unique<const jit::JitProgram>(jit::compile(*launch.program));
+  }
+
   const std::uint64_t total = launch.num_ctas();
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> instructions{0};
@@ -148,7 +157,9 @@ FunctionalStats FunctionalExecutor::run(const Launch& launch,
         const auto cy = static_cast<std::uint32_t>((i % plane) / launch.grid_x);
         try {
           const auto [insts, hm] =
-              run_cta(gmem_, launch, cx, cy, cz, max_warp_instructions, probe_);
+              jp != nullptr
+                  ? jit::run_cta(*jp, gmem_, launch, cx, cy, cz, max_warp_instructions, probe_)
+                  : run_cta(gmem_, launch, cx, cy, cz, max_warp_instructions, probe_);
           instructions.fetch_add(insts);
           hmma.fetch_add(hm);
         } catch (const std::exception& e) {

@@ -1,0 +1,80 @@
+#include "sim/lane_ops.hpp"
+
+#include <cstring>
+
+#include "common/half.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TC_LANE_OP [[gnu::noinline]]
+#else
+#define TC_LANE_OP
+#endif
+
+namespace tc::sim {
+
+namespace {
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+float bits_float(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+}  // namespace
+
+TC_LANE_OP std::uint32_t fadd_bits(std::uint32_t a, std::uint32_t b) {
+  return float_bits(bits_float(a) + bits_float(b));
+}
+
+TC_LANE_OP std::uint32_t fmul_bits(std::uint32_t a, std::uint32_t b) {
+  return float_bits(bits_float(a) * bits_float(b));
+}
+
+TC_LANE_OP std::uint32_t ffma_bits(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return float_bits(bits_float(a) * bits_float(b) + bits_float(c));
+}
+
+TC_LANE_OP std::uint32_t hadd2_bits(std::uint32_t a, std::uint32_t b) {
+  const half2 x = half2::unpack(a);
+  const half2 y = half2::unpack(b);
+  return half2{x.lo + y.lo, x.hi + y.hi}.pack();
+}
+
+TC_LANE_OP std::uint32_t hmul2_bits(std::uint32_t a, std::uint32_t b) {
+  const half2 x = half2::unpack(a);
+  const half2 y = half2::unpack(b);
+  return half2{x.lo * y.lo, x.hi * y.hi}.pack();
+}
+
+TC_LANE_OP std::uint32_t hfma2_bits(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  const half2 x = half2::unpack(a);
+  const half2 y = half2::unpack(b);
+  const half2 z = half2::unpack(c);
+  return half2{fma_round_half(x.lo, y.lo, z.lo), fma_round_half(x.hi, y.hi, z.hi)}.pack();
+}
+
+TC_LANE_OP std::uint32_t hmax2_bits(std::uint32_t a, std::uint32_t b) {
+  const half2 x = half2::unpack(a);
+  const half2 y = half2::unpack(b);
+  return half2{max_half(x.lo, y.lo), max_half(x.hi, y.hi)}.pack();
+}
+
+TC_LANE_OP std::uint32_t hgelu2_bits(std::uint32_t a) {
+  const half2 x = half2::unpack(a);
+  return half2{gelu_half(x.lo), gelu_half(x.hi)}.pack();
+}
+
+TC_LANE_OP std::uint32_t f2f_narrow_bits(std::uint32_t a) {
+  return static_cast<std::uint32_t>(half(bits_float(a)).bits());
+}
+
+TC_LANE_OP std::uint32_t f2f_widen_bits(std::uint32_t a) {
+  return float_bits(half2::unpack(a).lo.to_float());
+}
+
+}  // namespace tc::sim

@@ -1,0 +1,31 @@
+// One compiled copy of every host-float lane operation, shared by the
+// interpreter (sim/exec_core.cpp) and the JIT backend (jit/backend.cpp).
+//
+// Bitwise identity between the two engines requires exactly ONE machine-code
+// implementation of each operation: for `a + b` with two NaN operands, x86
+// returns whichever NaN codegen placed in the destination register, so two
+// inlined copies of the same C++ expression can legally produce different
+// NaN payloads. The engine-differential fuzzer caught exactly that (FFMA
+// over NaN inputs) when these expressions lived inline in each executor.
+// The definitions are noinline so even the defining TU goes through the one
+// compiled body.
+#pragma once
+
+#include <cstdint>
+
+namespace tc::sim {
+
+std::uint32_t fadd_bits(std::uint32_t a, std::uint32_t b);
+std::uint32_t fmul_bits(std::uint32_t a, std::uint32_t b);
+std::uint32_t ffma_bits(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+
+std::uint32_t hadd2_bits(std::uint32_t a, std::uint32_t b);
+std::uint32_t hmul2_bits(std::uint32_t a, std::uint32_t b);
+std::uint32_t hfma2_bits(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+std::uint32_t hmax2_bits(std::uint32_t a, std::uint32_t b);
+std::uint32_t hgelu2_bits(std::uint32_t a);
+
+std::uint32_t f2f_narrow_bits(std::uint32_t a);  // F2F.F16.F32 (round-nearest)
+std::uint32_t f2f_widen_bits(std::uint32_t a);   // F2F.F32.F16 (exact)
+
+}  // namespace tc::sim

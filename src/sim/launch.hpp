@@ -7,6 +7,7 @@
 #include "numerics/numerics.hpp"
 #include "sass/program.hpp"
 #include "sim/cta_order.hpp"
+#include "sim/engine.hpp"
 
 namespace tc::sim {
 
@@ -32,6 +33,10 @@ struct Launch {
   /// engines honor it): the historic idealized single-rounding model, or
   /// the bit-accurate SMT-formalization model (numerics/numerics.hpp).
   numerics::NumericsMode numerics = numerics::NumericsMode::kIdealized;
+  /// Functional execution engine: the instruction interpreter (the oracle)
+  /// or the block JIT. Bitwise-identical results by contract; the timing
+  /// engine ignores this field (it models issue, not results).
+  ExecEngine engine = ExecEngine::kInterpret;
 
   [[nodiscard]] std::uint64_t num_ctas() const {
     return static_cast<std::uint64_t>(grid_x) * grid_y * grid_z;

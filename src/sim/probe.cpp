@@ -55,13 +55,13 @@ void StateProbe::clear() {
   snapshots_.clear();
 }
 
-std::string StateProbe::diff(const StateProbe& functional, const StateProbe& timed,
-                             int max_reports) {
-  const auto fa = functional.sorted();
-  const auto ta = timed.sorted();
+std::string StateProbe::diff(const StateProbe& a, const StateProbe& b, int max_reports,
+                             const std::string& a_name, const std::string& b_name) {
+  const auto fa = a.sorted();
+  const auto ta = b.sorted();
   if (fa.size() != ta.size()) {
-    return "warp count differs: functional captured " + std::to_string(fa.size()) +
-           ", timed captured " + std::to_string(ta.size());
+    return "warp count differs: " + a_name + " captured " + std::to_string(fa.size()) + ", " +
+           b_name + " captured " + std::to_string(ta.size());
   }
   std::string out;
   int reports = 0;
@@ -74,8 +74,8 @@ std::string StateProbe::diff(const StateProbe& functional, const StateProbe& tim
     const WarpSnapshot& t = ta[i];
     if (std::tie(f.cta_x, f.cta_y, f.cta_z, f.warp_in_cta) !=
         std::tie(t.cta_x, t.cta_y, t.cta_z, t.warp_in_cta)) {
-      return "warp keys differ at index " + std::to_string(i) + ": functional " + warp_name(f) +
-             " vs timed " + warp_name(t);
+      return "warp keys differ at index " + std::to_string(i) + ": " + a_name + " " +
+             warp_name(f) + " vs " + b_name + " " + warp_name(t);
     }
     const std::size_t n = std::min(f.gprs.size(), t.gprs.size());
     if (f.gprs.size() != t.gprs.size()) {
@@ -87,8 +87,8 @@ std::string StateProbe::diff(const StateProbe& functional, const StateProbe& tim
         const int reg = static_cast<int>(g) / kWarpSize;
         const int lane = static_cast<int>(g) % kWarpSize;
         char buf[128];
-        std::snprintf(buf, sizeof(buf), "R%d lane %d: functional 0x%08x vs timed 0x%08x", reg,
-                      lane, f.gprs[g], t.gprs[g]);
+        std::snprintf(buf, sizeof(buf), "R%d lane %d: %s 0x%08x vs %s 0x%08x", reg, lane,
+                      a_name.c_str(), f.gprs[g], b_name.c_str(), t.gprs[g]);
         out += warp_name(f) + ": " + buf + "\n";
         ++reports;
       }
@@ -96,8 +96,8 @@ std::string StateProbe::diff(const StateProbe& functional, const StateProbe& tim
     for (std::size_t p = 0; p < f.preds.size() && reports < max_reports; ++p) {
       if (f.preds[p] != t.preds[p]) {
         char buf[128];
-        std::snprintf(buf, sizeof(buf), "P%zu lane mask: functional 0x%08x vs timed 0x%08x", p,
-                      f.preds[p], t.preds[p]);
+        std::snprintf(buf, sizeof(buf), "P%zu lane mask: %s 0x%08x vs %s 0x%08x", p,
+                      a_name.c_str(), f.preds[p], b_name.c_str(), t.preds[p]);
         out += warp_name(f) + ": " + buf + "\n";
         ++reports;
       }

@@ -43,9 +43,12 @@ class StateProbe {
   void clear();
 
   /// Empty string when both runs captured identical state; otherwise a
-  /// description of the first differences (bounded, human-readable).
-  static std::string diff(const StateProbe& functional, const StateProbe& timed,
-                          int max_reports = 4);
+  /// description of the first differences (bounded, human-readable). The
+  /// names label each side in the report — e.g. "interpret" vs "jit" for the
+  /// engine-differential fuzzer.
+  static std::string diff(const StateProbe& a, const StateProbe& b, int max_reports = 4,
+                          const std::string& a_name = "functional",
+                          const std::string& b_name = "timed");
 
  private:
   int num_regs_ = 0;

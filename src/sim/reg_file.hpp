@@ -46,6 +46,21 @@ class WarpRegs {
   /// timing engine to detect writeback-port reuse, and by tests.
   [[nodiscard]] bool has_pending(sass::Reg r) const;
 
+  /// Direct lane-row access for the JIT backend. Valid only while no write
+  /// is pending (functional execution settles immediately, so always there);
+  /// rows()[r] is register r's 32 lane values, r in [0, 255) — RZ has no row.
+  [[nodiscard]] std::array<std::uint32_t, kWarpSize>* rows() { return gpr_.data(); }
+  [[nodiscard]] const std::array<std::uint32_t, kWarpSize>* rows() const { return gpr_.data(); }
+
+  /// Lane mask of predicate p (bit l = lane l). PT reads all-ones.
+  [[nodiscard]] std::uint32_t pred_mask(sass::Pred p) const {
+    return pred_[static_cast<std::size_t>(p.idx)];
+  }
+  /// Replaces the whole lane mask of p; PT stays read-only (write dropped).
+  void set_pred_mask(sass::Pred p, std::uint32_t mask) {
+    if (!p.is_pt()) pred_[static_cast<std::size_t>(p.idx)] = mask;
+  }
+
  private:
   struct Pending {
     std::uint64_t due;

@@ -1,0 +1,33 @@
+// Shared FNV-1a 64 hashing over half-precision buffers, used by the
+// regression pins in test_equivalence.cpp and the JIT engine-axis tests:
+// a pinned hash recorded under one engine must reproduce bit-for-bit under
+// every other engine, so all of them must hash the same way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+
+namespace tc::testsupport {
+
+/// FNV-1a 64 over a half buffer's bytes (low byte of each element first).
+inline std::uint64_t fnv1a_bits(const half* data, std::size_t count) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint16_t b = data[i].bits();
+    for (const std::uint8_t byte : {static_cast<std::uint8_t>(b & 0xFF),
+                                    static_cast<std::uint8_t>(b >> 8)}) {
+      h = (h ^ byte) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// FNV-1a 64 over the output matrix bytes.
+inline std::uint64_t fnv1a_bits(const HalfMatrix& m) {
+  return fnv1a_bits(m.data(), m.size());
+}
+
+}  // namespace tc::testsupport

@@ -258,6 +258,54 @@ TEST(CliContract, Numerics) {
   EXPECT_EQ(points.back().at("k").as_number(), 256.0);
 }
 
+TEST(CliContract, RunJitEngineCheckJson) {
+  // `run --engine jit --check` executes the grid through the JIT and
+  // bit-compares C against the host reference; the engine lands in the JSON
+  // payload so tooling can tell which engine produced the artifact.
+  const JsonValue doc = run_cli("run --m 64 --n 64 --k 64 --engine jit --check");
+  expect_header(doc, "run");
+  EXPECT_EQ(doc.at("engine").as_string(), "jit");
+  EXPECT_EQ(doc.at("mismatches").as_number(), 0.0);
+}
+
+TEST(CliContract, RunJitEngineBitAccurateCheckJson) {
+  const JsonValue doc = run_cli(
+      "run --m 64 --n 64 --k 64 --engine jit --numerics bitaccurate --check");
+  expect_header(doc, "run");
+  EXPECT_EQ(doc.at("engine").as_string(), "jit");
+  EXPECT_EQ(doc.at("numerics").as_string(), "bitaccurate");
+  EXPECT_EQ(doc.at("mismatches").as_number(), 0.0);
+}
+
+TEST(CliContract, FuzzJitEngineJson) {
+  const JsonValue doc = run_cli("fuzz --programs 5 --seed 50001 --engine jit");
+  expect_header(doc, "fuzz");
+  EXPECT_EQ(doc.at("engines").as_string(), "jit-vs-interpreter");
+  EXPECT_EQ(doc.at("programs").as_number(), 5.0);
+  EXPECT_EQ(doc.at("divergences").as_number(), 0.0);
+  EXPECT_EQ(doc.at("failures").as_array().size(), 0u);
+}
+
+TEST(CliContract, FuzzDefaultEnginePairJson) {
+  const JsonValue doc = run_cli("fuzz --programs 3 --seed 9");
+  expect_header(doc, "fuzz");
+  EXPECT_EQ(doc.at("engines").as_string(), "functional-vs-timed");
+}
+
+TEST(CliContract, EngineValidationIsPerCommand) {
+  // --engine takes the union of the per-command vocabularies; each command
+  // must still reject values that are not meaningful for it.
+  const auto fails = [](const std::string& args) {
+    const std::string cmd =
+        std::string(TC_CLI_BIN) + " " + args + " > /dev/null 2>&1";
+    return std::system(cmd.c_str()) != 0;
+  };
+  EXPECT_TRUE(fails("run --m 64 --n 64 --k 64 --engine bogus"));
+  EXPECT_TRUE(fails("run --m 64 --n 64 --k 64 --engine model"));
+  EXPECT_TRUE(fails("perf --m 256 --n 256 --k 64 --engine jit"));
+  EXPECT_TRUE(fails("fuzz --programs 2 --engine model"));
+}
+
 TEST(CliContract, RunBitAccurateCheckJson) {
   // `run --numerics bitaccurate --check` verifies the executor against the
   // bit-accurate engine and must report zero mismatches.

@@ -96,11 +96,11 @@ TEST(Fuzz, ShrinkPreservesDivergence) {
   EXPECT_EQ(small.prog.code.back().op, sass::Opcode::kExit);
 }
 
-TEST(FuzzSmoke, ThousandFixedSeedProgramsNoDivergence) {
-  // The acceptance run: 1000 deterministic programs through both executors.
+TEST(FuzzSmoke, FixedSeedProgramsNoDivergence) {
+  // The acceptance run: 1500 deterministic programs through both executors.
   // Any failure prints the shrunken repro.
-  const FuzzReport rep = run_fuzz(/*base_seed=*/1, /*count=*/1000);
-  EXPECT_EQ(rep.programs, 1000);
+  const FuzzReport rep = run_fuzz(/*base_seed=*/1, /*count=*/1500);
+  EXPECT_EQ(rep.programs, 1500);
   EXPECT_EQ(rep.divergences, 0);
   for (const auto& f : rep.failures) {
     ADD_FAILURE() << "seed " << f.seed << " [" << f.phase << "] (shrunk "
@@ -153,8 +153,8 @@ void run_numeric_mode_sweep(numerics::NumericsMode mode, std::uint64_t base_seed
   FuzzOptions opts;
   opts.numeric_operands = true;
   opts.numerics = mode;
-  const FuzzReport rep = run_fuzz(base_seed, /*count=*/1000, opts);
-  EXPECT_EQ(rep.programs, 1000);
+  const FuzzReport rep = run_fuzz(base_seed, /*count=*/1500, opts);
+  EXPECT_EQ(rep.programs, 1500);
   EXPECT_EQ(rep.divergences, 0);
   for (const auto& f : rep.failures) {
     ADD_FAILURE() << "seed " << f.seed << " [" << f.phase << "] (shrunk "
@@ -163,11 +163,11 @@ void run_numeric_mode_sweep(numerics::NumericsMode mode, std::uint64_t base_seed
   }
 }
 
-TEST(FuzzSmoke, NumericOperandsIdealizedThousandSeeds) {
+TEST(FuzzSmoke, NumericOperandsIdealizedSweep) {
   run_numeric_mode_sweep(numerics::NumericsMode::kIdealized, /*base_seed=*/20001);
 }
 
-TEST(FuzzSmoke, NumericOperandsBitAccurateThousandSeeds) {
+TEST(FuzzSmoke, NumericOperandsBitAccurateSweep) {
   run_numeric_mode_sweep(numerics::NumericsMode::kBitAccurate, /*base_seed=*/30001);
 }
 

@@ -20,6 +20,10 @@
 //                                  --json tests/golden/batched_splitk_rtx2070.json
 //   build/bench/batched_splitk --device t4 \
 //                                  --json tests/golden/batched_splitk_t4.json
+//   build/bench/jit_throughput --device rtx2070 \
+//                                  --json-static tests/golden/jit_throughput_rtx2070.json
+//   build/bench/jit_throughput --device t4 \
+//                                  --json-static tests/golden/jit_throughput_t4.json
 //
 // and explain the delta in the commit message.
 #include <gtest/gtest.h>
@@ -165,6 +169,41 @@ TEST(Golden, BatchedSplitkRtx2070) {
 TEST(Golden, BatchedSplitkT4) {
   expect_op_payoff(golden_roundtrip_named("batched_splitk_t4", "batched_splitk", "--device t4"));
 }
+
+// The JIT throughput bench: the deterministic series (instruction counts,
+// block/pass statistics, bitwise-match flags) is golden-pinned per device
+// spec; the timing series is wall clock and can only be gated by the PR's
+// acceptance inequality — the dispatch-bound workload must be at least 10x
+// faster compiled than interpreted.
+void expect_jit_throughput(const std::string& golden, const std::string& device) {
+  const auto got = run_bench_json("jit_throughput", "--device " + device);
+  const auto want = load_golden(golden);
+  EXPECT_EQ(got.at("schema").as_string(), "tc-bench-v1");
+  EXPECT_EQ(got.at("device").as_string(), want.at("device").as_string());
+
+  const auto& got_series = got.at("series").as_array();
+  const auto& want_series = want.at("series").as_array();
+  ASSERT_GE(got_series.size(), 2u);
+  ASSERT_EQ(want_series.size(), 1u);  // the fixture holds only "static"
+  ASSERT_EQ(got_series[0].at("name").as_string(), "static");
+  expect_json_near(got_series[0], want_series[0], golden + ".static");
+
+  // Every workload row must report bitwise_match == 1.
+  const auto& cols = got_series[0].at("columns").as_array();
+  ASSERT_EQ(cols.back().as_string(), "bitwise_match");
+  for (const auto& row : got_series[0].at("rows").as_array()) {
+    EXPECT_EQ(row.as_array().back().as_number(), 1.0);
+  }
+
+  ASSERT_EQ(got_series[1].at("name").as_string(), "timing");
+  EXPECT_GE(got_series[1].at("summary").at("speedup_alu_dispatch").as_number(), 10.0);
+}
+
+TEST(Golden, JitThroughputRtx2070) {
+  expect_jit_throughput("jit_throughput_rtx2070", "rtx2070");
+}
+
+TEST(Golden, JitThroughputT4) { expect_jit_throughput("jit_throughput_t4", "t4"); }
 
 // The parser itself: golden comparisons are only as trustworthy as the
 // reader, so pin its behavior on the writer's own corner cases.

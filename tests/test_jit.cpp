@@ -1,0 +1,377 @@
+// JIT compiler tests (src/jit): compile-level invariants, per-pass
+// translation validation against the interpreter oracle, hand-written
+// regression vectors for the block/guard corners (predicated stores, loop
+// back edges, divergence and budget errors), and the fixed-seed
+// JIT-vs-interpreter differential fuzz sweeps (labelled jit_smoke in CTest).
+//
+// Oracle discipline: the interpreter (sim/exec_core.cpp via functional
+// run_cta) is the reference semantics for every test here. The JIT is never
+// compared against hand-computed values when a divergence question arises —
+// only against the interpreter, bitwise, over registers, predicates, and
+// memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "common/error.hpp"
+#include "jit/ir.hpp"
+#include "jit/jit.hpp"
+#include "mem/global_mem.hpp"
+#include "numerics/numerics.hpp"
+#include "sass/builder.hpp"
+#include "sim/engine.hpp"
+#include "sim/functional.hpp"
+#include "sim/probe.hpp"
+
+namespace tc::jit {
+namespace {
+
+using sass::CmpOp;
+using sass::KernelBuilder;
+using sass::MemWidth;
+using sass::Pred;
+using sass::Reg;
+
+constexpr std::uint64_t kBudget = 200'000'000;
+
+/// Runs `prog` through the interpreter and through jit::compile(opts) +
+/// jit::run_cta on separate memories, then bitwise-compares the per-warp
+/// probes, the output buffer, and the (must-be-untouched) input buffer.
+/// Returns the first difference, or nullopt on exact agreement.
+std::optional<std::string> diff_engines(
+    const sass::Program& prog, const JitOptions& opts, std::uint32_t in_bytes,
+    std::uint32_t out_bytes, const std::vector<std::uint8_t>& in_data,
+    numerics::NumericsMode mode = numerics::NumericsMode::kIdealized,
+    std::uint64_t budget = kBudget) {
+  mem::GlobalMemory gmem_i, gmem_j;
+  const std::uint32_t in_i = in_bytes > 0 ? gmem_i.alloc(in_bytes) : 0;
+  const std::uint32_t out_i = out_bytes > 0 ? gmem_i.alloc(out_bytes) : 0;
+  const std::uint32_t in_j = in_bytes > 0 ? gmem_j.alloc(in_bytes) : 0;
+  const std::uint32_t out_j = out_bytes > 0 ? gmem_j.alloc(out_bytes) : 0;
+  if (in_bytes > 0) {
+    gmem_i.write(in_i, std::span(in_data));
+    gmem_j.write(in_j, std::span(in_data));
+  }
+
+  sim::StateProbe probe_i, probe_j;
+  probe_i.set_num_regs(prog.num_regs);
+  probe_j.set_num_regs(prog.num_regs);
+
+  sim::Launch launch_i;
+  launch_i.program = &prog;
+  launch_i.params = {in_i, out_i};
+  launch_i.numerics = mode;
+  sim::FunctionalExecutor fx(gmem_i, /*host_threads=*/1);
+  fx.set_probe(&probe_i);
+  fx.run(launch_i, budget);
+
+  sim::Launch launch_j;
+  launch_j.program = &prog;
+  launch_j.params = {in_j, out_j};
+  launch_j.numerics = mode;
+  const JitProgram jp = compile(prog, opts);
+  run_cta(jp, gmem_j, launch_j, 0, 0, 0, budget, &probe_j);
+
+  const std::string reg_diff =
+      sim::StateProbe::diff(probe_i, probe_j, /*max_reports=*/4, "interpret", "jit");
+  if (!reg_diff.empty()) return reg_diff;
+
+  std::vector<std::uint8_t> buf_i(out_bytes), buf_j(out_bytes);
+  gmem_i.read(out_i, std::span(buf_i));
+  gmem_j.read(out_j, std::span(buf_j));
+  for (std::uint32_t i = 0; i < out_bytes; ++i) {
+    if (buf_i[i] != buf_j[i]) {
+      return "output byte " + std::to_string(i) + ": interpret " +
+             std::to_string(buf_i[i]) + " vs jit " + std::to_string(buf_j[i]);
+    }
+  }
+  buf_i.assign(in_bytes, 0);
+  buf_j.assign(in_bytes, 0);
+  if (in_bytes > 0) {
+    gmem_i.read(in_i, std::span(buf_i));
+    gmem_j.read(in_j, std::span(buf_j));
+    for (std::uint32_t i = 0; i < in_bytes; ++i) {
+      if (buf_i[i] != in_data[i] || buf_j[i] != in_data[i]) {
+        return "input buffer clobbered at byte " + std::to_string(i);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------------------- compile
+
+TEST(Jit, CompileRejectsInvalidPrograms) {
+  // compile() must gate through sass::validate even though the builder
+  // already validated: a program with its EXIT stripped off is the
+  // canonical structural error.
+  KernelBuilder b("no_exit");
+  b.mov_imm(Reg{1}, 42);
+  b.exit();
+  sass::Program prog = b.finalize();
+  prog.code.pop_back();
+  EXPECT_THROW((void)compile(prog), tc::Error);
+}
+
+TEST(Jit, CompileReportsStatsAndPassWork) {
+  // A block with a constant chain feeding a live store: forwarding must
+  // rewire the reads, folding must collapse the IADD3, and nothing live may
+  // be removed.
+  KernelBuilder b("const_chain");
+  b.mov_param(Reg{2}, 1);              // out pointer
+  b.mov_imm(Reg{4}, 3);
+  b.mov_imm(Reg{5}, 4);
+  b.iadd3(Reg{6}, Reg{4}, Reg{5});     // = 7, foldable after forwarding
+  b.stg(MemWidth::k32, Reg{2}, Reg{6});
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const JitProgram jp = compile(prog);
+  EXPECT_EQ(jp.stats.blocks, 1u);
+  EXPECT_EQ(jp.stats.sass_instructions, prog.code.size());
+  EXPECT_GT(jp.stats.ir_instructions, 0u);
+  EXPECT_GE(jp.stats.passes.forwarded, 2u);  // both IADD3 operands
+  EXPECT_GE(jp.stats.passes.folded, 1u);     // the IADD3 itself
+  EXPECT_LE(jp.stats.emitted_ops, jp.stats.ir_instructions);
+  ASSERT_FALSE(jp.blocks.empty());
+  EXPECT_EQ(jp.block_of_pc[0], 0);
+
+  // And the optimized block still behaves like the interpreter.
+  const auto diff = diff_engines(prog, JitOptions{}, 0, 32, {});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(Jit, AllPassesOffEmitsEveryTranslatedOp) {
+  KernelBuilder b("no_passes");
+  b.mov_param(Reg{2}, 1);
+  b.mov_imm(Reg{4}, 3);
+  b.iadd3(Reg{6}, Reg{4}, Reg{4});
+  b.stg(MemWidth::k32, Reg{2}, Reg{6});
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const JitOptions off{/*forward=*/false, /*fold=*/false, /*dce=*/false};
+  const JitProgram jp = compile(prog, off);
+  EXPECT_EQ(jp.stats.passes.forwarded, 0u);
+  EXPECT_EQ(jp.stats.passes.folded, 0u);
+  EXPECT_EQ(jp.stats.passes.removed, 0u);
+  EXPECT_EQ(jp.stats.emitted_ops, jp.stats.ir_instructions);
+}
+
+TEST(Jit, LoopKernelSplitsIntoBlocksAtLeaders) {
+  KernelBuilder b("loop_blocks");
+  b.mov_imm(Reg{1}, 0);
+  b.label("top");
+  b.iadd_imm(Reg{1}, Reg{1}, 1);
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{1}, 10);
+  b.bra("top").pred(Pred{0});
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const JitProgram jp = compile(prog);
+  // Leaders: pc 0, the branch target, and the instruction after the BRA.
+  EXPECT_EQ(jp.stats.blocks, 3u);
+  EXPECT_GE(jp.block_of_pc[1], 0);  // "top" is a leader
+}
+
+// ------------------------------------------------- translation validation
+
+/// Every pass, alone and combined, must be bitwise-invisible: the same
+/// randomized hazard-free programs the fuzzer generates, run pre-pass vs
+/// post-pass semantics (interpreter vs JIT-with-opts), must agree exactly.
+void validate_passes(const JitOptions& opts, const char* what) {
+  check::FuzzOptions gen;
+  gen.numeric_operands = true;  // steer float/half ops into edge cases
+  for (std::uint64_t seed = 70001; seed < 70041; ++seed) {
+    const check::FuzzCase c = check::generate_case(seed, gen);
+    const auto diff =
+        diff_engines(c.prog, opts, c.in_bytes, c.out_bytes, c.in_data);
+    EXPECT_FALSE(diff.has_value())
+        << what << " diverged at seed " << seed << ":\n"
+        << *diff << "\n"
+        << c.prog.disassemble();
+    if (diff.has_value()) return;  // one repro is enough
+  }
+}
+
+TEST(JitPassValidation, NoPasses) {
+  validate_passes(JitOptions{false, false, false}, "bare translation");
+}
+TEST(JitPassValidation, ForwardingAlone) {
+  validate_passes(JitOptions{true, false, false}, "forwarding");
+}
+TEST(JitPassValidation, FoldingAlone) {
+  validate_passes(JitOptions{false, true, false}, "constant folding");
+}
+TEST(JitPassValidation, DceAlone) {
+  validate_passes(JitOptions{false, false, true}, "dead-code elimination");
+}
+TEST(JitPassValidation, FullPipeline) {
+  validate_passes(JitOptions{}, "full pipeline");
+}
+
+// ------------------------------------------------------ regression vectors
+
+TEST(Jit, PredicatedStoreRegressionVector) {
+  // Lanes below 16 store their lane id; the other lanes store a sentinel
+  // through the negated guard. A masked-store bug (writing inactive lanes,
+  // or folding the guard into the address) diverges from the interpreter
+  // here before any fuzz seed would find it.
+  KernelBuilder b("predicated_store");
+  b.mov_param(Reg{2}, 1);                    // out pointer
+  b.s2r(Reg{5}, sass::SpecialReg::kLaneId);
+  b.shl(Reg{6}, Reg{5}, 2);
+  b.iadd3(Reg{7}, Reg{2}, Reg{6});
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{5}, 16);
+  b.stg(MemWidth::k32, Reg{7}, Reg{5}).pred(Pred{0});
+  b.mov_imm(Reg{8}, 0x0DDC0FFE);
+  b.stg(MemWidth::k32, Reg{7}, Reg{8}).pred(Pred{0}, /*neg=*/true);
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const auto diff = diff_engines(prog, JitOptions{}, 0, 128, {});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+
+  // Sanity against the intended semantics (not the oracle — just a tripwire
+  // that the vector exercises what it claims to).
+  mem::GlobalMemory gmem;
+  const std::uint32_t out = gmem.alloc(128);
+  sim::Launch launch;
+  launch.program = &prog;
+  launch.params = {0, out};
+  const JitProgram jp = compile(prog);
+  run_cta(jp, gmem, launch, 0, 0, 0, kBudget, nullptr);
+  std::vector<std::uint8_t> buf(128);
+  gmem.read(out, std::span(buf));
+  std::uint32_t w0 = 0, w20 = 0;
+  std::memcpy(&w0, buf.data(), 4);
+  std::memcpy(&w20, buf.data() + 20 * 4, 4);
+  EXPECT_EQ(w0, 0u);            // lane 0: active store of lane id
+  EXPECT_EQ(w20, 0x0DDC0FFEu);  // lane 20: negated-guard sentinel
+}
+
+TEST(Jit, LoopBackEdgeRegressionVector) {
+  // A counted loop whose induction variable is live across the back edge:
+  // forwarding state must reset at the block boundary, and the loop must
+  // execute the same trip count as the interpreter.
+  KernelBuilder b("counted_loop");
+  b.mov_param(Reg{2}, 1);
+  b.mov_imm(Reg{1}, 0);
+  b.label("top");
+  b.iadd_imm(Reg{1}, Reg{1}, 3);
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{1}, 30);
+  b.bra("top").pred(Pred{0});
+  b.stg(MemWidth::k32, Reg{2}, Reg{1});
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const auto diff = diff_engines(prog, JitOptions{}, 0, 32, {});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(Jit, DivergentBraMatchesInterpreterError) {
+  KernelBuilder b("divergent_bra");
+  b.s2r(Reg{5}, sass::SpecialReg::kLaneId);
+  b.isetp_imm(Pred{0}, CmpOp::kLt, Reg{5}, 1);
+  b.label("skip");
+  b.bra("skip").pred(Pred{0});
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const auto grab = [&](auto&& run) {
+    try {
+      run();
+      return std::string("<no exception>");
+    } catch (const std::exception& e) {
+      return std::string(e.what());
+    }
+  };
+  mem::GlobalMemory gmem_i, gmem_j;
+  sim::Launch launch;
+  launch.program = &prog;
+  const std::string msg_i = grab([&] {
+    sim::FunctionalExecutor fx(gmem_i, 1);
+    fx.run(launch);
+  });
+  const JitProgram jp = compile(prog);
+  const std::string msg_j =
+      grab([&] { run_cta(jp, gmem_j, launch, 0, 0, 0, kBudget, nullptr); });
+  // TC_CHECK prefixes file:line, so compare the canonical message text both
+  // engines must carry verbatim.
+  const std::string want = "divergent BRA is not supported (warp-uniform branches only)";
+  EXPECT_NE(msg_i.find(want), std::string::npos) << msg_i;
+  EXPECT_NE(msg_j.find(want), std::string::npos) << msg_j;
+}
+
+TEST(Jit, InstructionBudgetMatchesInterpreterError) {
+  KernelBuilder b("runaway");
+  b.label("top");
+  b.bra("top");
+  b.exit();
+  const sass::Program prog = b.finalize();
+
+  const auto grab = [&](auto&& run) {
+    try {
+      run();
+      return std::string("<no exception>");
+    } catch (const std::exception& e) {
+      return std::string(e.what());
+    }
+  };
+  mem::GlobalMemory gmem_i, gmem_j;
+  sim::Launch launch;
+  launch.program = &prog;
+  const std::string msg_i = grab([&] {
+    sim::FunctionalExecutor fx(gmem_i, 1);
+    fx.run(launch, /*max_warp_instructions=*/1000);
+  });
+  const JitProgram jp = compile(prog);
+  const std::string msg_j =
+      grab([&] { run_cta(jp, gmem_j, launch, 0, 0, 0, 1000, nullptr); });
+  const std::string want =
+      "warp exceeded instruction budget (runaway loop?) in kernel 'runaway'";
+  EXPECT_NE(msg_i.find(want), std::string::npos) << msg_i;
+  EXPECT_NE(msg_j.find(want), std::string::npos) << msg_j;
+}
+
+// ------------------------------------------------------- differential fuzz
+
+/// The jit_smoke acceptance sweeps: 1000 fixed seeds per numerics mode
+/// through the full fuzz pipeline with the engine axis flipped to
+/// JIT-vs-interpreter. Seed bases are disjoint from the functional-vs-timed
+/// sweeps (1 / 20001 / 30001) so the corpora don't overlap.
+void run_jit_fuzz_sweep(numerics::NumericsMode mode, bool numeric_operands,
+                        std::uint64_t base_seed) {
+  check::FuzzOptions opts;
+  opts.compare = check::FuzzCompare::kJitVsInterpreter;
+  opts.numerics = mode;
+  opts.numeric_operands = numeric_operands;
+  const check::FuzzReport rep = check::run_fuzz(base_seed, /*count=*/1000, opts);
+  EXPECT_EQ(rep.programs, 1000);
+  EXPECT_EQ(rep.divergences, 0);
+  for (const auto& f : rep.failures) {
+    ADD_FAILURE() << "seed " << f.seed << " [" << f.phase << "] (shrunk "
+                  << f.original_size << " -> " << f.shrunk_size << "):\n"
+                  << f.detail << "\n"
+                  << f.program;
+  }
+}
+
+TEST(JitSmoke, ThousandSeedsIdealizedNoDivergence) {
+  run_jit_fuzz_sweep(numerics::NumericsMode::kIdealized,
+                     /*numeric_operands=*/false, /*base_seed=*/50001);
+}
+
+TEST(JitSmoke, ThousandSeedsBitAccurateNumericOperandsNoDivergence) {
+  run_jit_fuzz_sweep(numerics::NumericsMode::kBitAccurate,
+                     /*numeric_operands=*/true, /*base_seed=*/60001);
+}
+
+}  // namespace
+}  // namespace tc::jit
